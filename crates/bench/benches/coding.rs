@@ -1,0 +1,73 @@
+//! Criterion benches of the coding kernels behind Figures 6 and 8:
+//! encode, decode (one data block lost) and repair, for the paper's four
+//! code families at k = 4 and k = 6 (n = 2k).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use erasure::{DecodePlan, SparseEncoder};
+use workloads::coding_bench::{fig6_codes, payload};
+
+const STRIPE_BYTES: usize = 8 << 20;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    for k in [4usize, 6] {
+        for (fam, code) in fig6_codes(k).expect("valid parameters") {
+            let data = payload(code.as_ref(), STRIPE_BYTES);
+            let encoder = SparseEncoder::new(code.linear());
+            g.throughput(Throughput::Bytes(data.len() as u64));
+            g.bench_with_input(
+                BenchmarkId::new(fam.label(), format!("k={k}")),
+                &data,
+                |b, data| b.iter(|| encoder.encode(data).expect("encode")),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    for k in [4usize, 6] {
+        for (fam, code) in fig6_codes(k).expect("valid parameters") {
+            let data = payload(code.as_ref(), STRIPE_BYTES);
+            let stripe = code.linear().encode(&data).expect("encode");
+            let nodes: Vec<usize> = (1..=k).collect();
+            let blocks: Vec<&[u8]> = nodes.iter().map(|&i| &stripe.blocks[i][..]).collect();
+            let plan = DecodePlan::for_nodes(code.linear(), &nodes).expect("plan");
+            g.throughput(Throughput::Bytes(data.len() as u64));
+            g.bench_with_input(
+                BenchmarkId::new(fam.label(), format!("k={k}")),
+                &blocks,
+                |b, blocks| b.iter(|| plan.decode(blocks).expect("decode")),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_repair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repair");
+    for k in [4usize, 6] {
+        for (fam, code) in fig6_codes(k).expect("valid parameters") {
+            let data = payload(code.as_ref(), STRIPE_BYTES);
+            let stripe = code.linear().encode(&data).expect("encode");
+            let helpers: Vec<usize> = (1..=code.d()).collect();
+            let plan = code.repair_plan(0, &helpers).expect("repair plan");
+            let blocks: Vec<&[u8]> = helpers.iter().map(|&i| &stripe.blocks[i][..]).collect();
+            g.throughput(Throughput::Bytes(stripe.block_bytes() as u64));
+            g.bench_with_input(
+                BenchmarkId::new(fam.label(), format!("k={k}")),
+                &blocks,
+                |b, blocks| b.iter(|| plan.run(blocks).expect("repair")),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encode, bench_decode, bench_repair
+}
+criterion_main!(benches);

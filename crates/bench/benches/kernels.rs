@@ -1,0 +1,60 @@
+//! Microbenchmarks of the GF arithmetic kernels and the non-GF(2⁸)
+//! additions: wide Reed-Solomon over GF(2¹⁶) and MBR repair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use erasure::ErasureCode;
+use gf256::{mul_acc_slice, Gf256};
+use msr::ProductMatrixMbr;
+use rs_code::wide::WideReedSolomon;
+
+fn bench_slice_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf256-kernels");
+    let src = vec![0xA7u8; 1 << 20];
+    let mut dst = vec![0x15u8; 1 << 20];
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    // Coefficient classes take different fast paths.
+    for (label, coeff) in [("general", 0x3Du8), ("one", 1), ("zero", 0)] {
+        g.bench_with_input(BenchmarkId::new("mul_acc_slice", label), &coeff, |b, &c| {
+            b.iter(|| mul_acc_slice(Gf256::new(c), &src, &mut dst))
+        });
+    }
+    g.finish();
+}
+
+fn bench_wide_rs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wide-rs");
+    g.sample_size(10);
+    let code = WideReedSolomon::new(64, 48).expect("valid parameters");
+    let data: Vec<u8> = (0..1 << 20).map(|i| (i * 31) as u8).collect();
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("encode 64/48 over GF(2^16)", |b| {
+        b.iter(|| code.encode(&data).expect("encode"))
+    });
+    let blocks = code.encode(&data).expect("encode");
+    let nodes: Vec<usize> = (16..64).collect();
+    let refs: Vec<&[u8]> = nodes.iter().map(|&i| &blocks[i][..]).collect();
+    g.bench_function("decode 64/48 over GF(2^16)", |b| {
+        b.iter(|| code.decode_nodes(&nodes, &refs).expect("decode"))
+    });
+    g.finish();
+}
+
+fn bench_mbr_repair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mbr");
+    g.sample_size(10);
+    let code = ProductMatrixMbr::new(12, 6, 10).expect("valid parameters");
+    let b = code.linear().message_units();
+    let data: Vec<u8> = (0..b * (1 << 14)).map(|i| (i * 13) as u8).collect();
+    let stripe = code.linear().encode(&data).expect("encode");
+    let helpers: Vec<usize> = (1..=10).collect();
+    let plan = code.repair_plan(0, &helpers).expect("plan");
+    let blocks: Vec<&[u8]> = helpers.iter().map(|&i| &stripe.blocks[i][..]).collect();
+    g.throughput(Throughput::Bytes(stripe.block_bytes() as u64));
+    g.bench_function("repair 12/6/10 (1-block traffic)", |b| {
+        b.iter(|| plan.run(&blocks).expect("repair"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_slice_kernels, bench_wide_rs, bench_mbr_repair);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmarks of the cluster simulator itself: a full Fig. 9-style job and
+//! a Fig. 11 download, to document the cost of regenerating the cluster
+//! figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfs::reader::download_striped;
+use dfs::{ClusterSpec, CodingRates, Namenode, Policy};
+use mapreduce::{run_job, WorkloadProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_job(c: &mut Criterion) {
+    let spec = ClusterSpec::r3_large_cluster();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut nn = Namenode::new(spec.nodes);
+    let file = nn
+        .store(
+            "f",
+            3072.0,
+            512.0,
+            Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+            &mut rng,
+        )
+        .clone();
+    let splits = file.map_splits();
+    c.bench_function("simulate terasort job", |b| {
+        b.iter(|| run_job(&spec, &splits, &WorkloadProfile::terasort()))
+    });
+}
+
+fn bench_download(c: &mut Criterion) {
+    let spec = ClusterSpec::r3_large_cluster().with_disk_read_mbps(37.5);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut nn = Namenode::new(spec.nodes);
+    let file = nn
+        .store(
+            "f",
+            3072.0,
+            512.0,
+            Policy::Carousel { n: 12, k: 6, d: 10, p: 10 },
+            &mut rng,
+        )
+        .clone();
+    c.bench_function("simulate fig11 download", |b| {
+        b.iter(|| download_striped(&spec, &file, CodingRates::default()).expect("download"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_job, bench_download
+}
+criterion_main!(benches);

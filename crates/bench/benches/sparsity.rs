@@ -1,0 +1,36 @@
+//! Ablation: sparse-aware vs dense encoding of Carousel codes — the
+//! optimization of paper §VIII-A. Without skipping zero coefficients the
+//! expanded generator would multiply the per-byte cost by N₀; the sparse
+//! encoder keeps it at the base code's cost.
+
+use carousel::Carousel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use erasure::codec::DenseEncoder;
+use erasure::{ErasureCode, SparseEncoder};
+use workloads::coding_bench::payload;
+
+fn bench_sparsity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparsity-ablation");
+    for (n, k, d, p) in [(12usize, 6usize, 6usize, 12usize), (12, 6, 10, 12)] {
+        let code = Carousel::new(n, k, d, p).expect("valid parameters");
+        let data = payload(&code, 4 << 20);
+        let sparse = SparseEncoder::new(code.linear());
+        let dense = DenseEncoder::new(code.linear());
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        let label = format!("({n},{k},{d},{p})");
+        g.bench_with_input(BenchmarkId::new("sparse", &label), &data, |b, data| {
+            b.iter(|| sparse.encode(data).expect("encode"))
+        });
+        g.bench_with_input(BenchmarkId::new("dense", &label), &data, |b, data| {
+            b.iter(|| dense.encode(data).expect("encode"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sparsity
+}
+criterion_main!(benches);

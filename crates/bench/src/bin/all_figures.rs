@@ -1,0 +1,218 @@
+//! Regenerates every figure and extension experiment in one run and writes
+//! a consolidated markdown report to `results/REPORT.md`.
+//!
+//! Coding-throughput figures (6 and 8) honor `BENCH_MB` / `BENCH_REPS`
+//! (defaults 16 MB × 2 here, smaller than the standalone binaries, so the
+//! full report stays fast). Run with `--release` for meaningful MB/s.
+
+use std::fmt::Write as _;
+
+use bench_support::{env_knob, fmt_secs, render_table};
+use workloads::coding_bench::{
+    fig5_matrices, fig6_codes, measure_decode, measure_encode, measure_repair, payload,
+    repair_traffic_mb, CodeFamily,
+};
+use workloads::experiments;
+
+fn main() -> std::io::Result<()> {
+    let mb = env_knob("BENCH_MB", 16);
+    let reps = env_knob("BENCH_REPS", 2);
+    let mut out = String::new();
+    let section = |title: &str, body: String, out: &mut String| {
+        println!("generated: {title}");
+        let _ = writeln!(out, "## {title}\n\n```text\n{body}```\n");
+    };
+
+    let _ = writeln!(
+        out,
+        "# Carousel codes — regenerated evaluation\n\n\
+         One run of every figure of the paper plus this repository's \
+         extension experiments. Coding throughput measured at {mb} MB x \
+         {reps} reps.\n"
+    );
+
+    section("Figure 5: generating matrices", fig5_matrices(), &mut out);
+
+    // Figures 6a/6b/7/8 share the code family sweep.
+    let ks = [2usize, 4, 6, 8, 10];
+    let labels: Vec<&str> = CodeFamily::all().iter().map(|f| f.label()).collect();
+    let headers: Vec<&str> = std::iter::once("k").chain(labels.clone()).collect();
+    let mut enc_rows = Vec::new();
+    let mut dec_rows = Vec::new();
+    let mut tr_rows = Vec::new();
+    let mut new_rows = Vec::new();
+    for &k in &ks {
+        let codes = fig6_codes(k).expect("paper parameters");
+        let mut enc = vec![k.to_string()];
+        let mut dec = vec![k.to_string()];
+        let mut tr = vec![k.to_string()];
+        let mut nc = vec![k.to_string()];
+        for (_, code) in &codes {
+            let data = payload(code.as_ref(), mb << 20);
+            enc.push(format!("{:.0}", measure_encode(code.as_ref(), &data, reps)));
+            dec.push(format!("{:.0}", measure_decode(code.as_ref(), &data, reps)));
+            tr.push(format!("{:.0}", repair_traffic_mb(code.as_ref(), 512.0)));
+            nc.push(fmt_secs(measure_repair(code.as_ref(), &data, reps).newcomer_s));
+        }
+        enc_rows.push(enc);
+        dec_rows.push(dec);
+        tr_rows.push(tr);
+        new_rows.push(nc);
+    }
+    section(
+        "Figure 6a: encoding throughput (MB/s)",
+        render_table(&headers, &enc_rows),
+        &mut out,
+    );
+    section(
+        "Figure 6b: decoding throughput (MB/s)",
+        render_table(&headers, &dec_rows),
+        &mut out,
+    );
+    section(
+        "Figure 7: reconstruction traffic (MB, 512 MB blocks)",
+        render_table(&headers, &tr_rows),
+        &mut out,
+    );
+    section(
+        "Figure 8: reconstruction time at the newcomer (s)",
+        render_table(&headers, &new_rows),
+        &mut out,
+    );
+
+    // Figure 9.
+    let rows = experiments::fig9_repeated(&(0..5).collect::<Vec<_>>());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.code.clone(),
+                r.map.display(),
+                r.reduce.display(),
+                r.job.display(),
+            ]
+        })
+        .collect();
+    section(
+        "Figure 9: Hadoop jobs (simulated, mean [p10, p90] over 5 placements)",
+        render_table(&["workload", "code", "map (s)", "reduce (s)", "job (s)"], &table),
+        &mut out,
+    );
+
+    // Figure 10.
+    let rows = experiments::fig10(42);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.scheme.clone(), fmt_secs(r.terasort_s), fmt_secs(r.wordcount_s)])
+        .collect();
+    section(
+        "Figure 10: job completion vs data parallelism",
+        render_table(&["scheme", "terasort (s)", "wordcount (s)"], &table),
+        &mut out,
+    );
+
+    // Figure 11.
+    let rows = experiments::fig11(42, dfs::CodingRates::default());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                r.servers.to_string(),
+                fmt_secs(r.no_failure_s),
+                fmt_secs(r.one_failure_s),
+            ]
+        })
+        .collect();
+    section(
+        "Figure 11: 3 GB retrieval (simulated, 300 Mbps disk cap)",
+        render_table(&["scheme", "servers", "no failure (s)", "one failure (s)"], &table),
+        &mut out,
+    );
+
+    // Extension: degraded job.
+    let rows = experiments::ext_degraded_job(42);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                fmt_secs(r.healthy_s),
+                fmt_secs(r.degraded_s),
+            ]
+        })
+        .collect();
+    section(
+        "Extension: wordcount with one dead data-bearing block",
+        render_table(&["scheme", "healthy (s)", "degraded (s)"], &table),
+        &mut out,
+    );
+
+    // Extension: stragglers.
+    let rows = experiments::ext_stragglers(&(0..5).collect::<Vec<_>>());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.scheme.clone(), fmt_secs(r.uniform_s), fmt_secs(r.straggler_s)])
+        .collect();
+    section(
+        "Extension: wordcount with 10 of 30 nodes 2x slower",
+        render_table(&["scheme", "uniform (s)", "stragglers (s)"], &table),
+        &mut out,
+    );
+
+    // Extension: oversubscription.
+    let rows = experiments::ext_oversubscription(42);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.switch.clone(), fmt_secs(r.terasort_s), fmt_secs(r.wordcount_s)])
+        .collect();
+    section(
+        "Extension: Carousel jobs vs core-switch bandwidth",
+        render_table(&["core switch", "terasort (s)", "wordcount (s)"], &table),
+        &mut out,
+    );
+
+    // Extension: durability (3 trials to keep the report fast).
+    {
+        use dfs::durability::{simulate, DurabilityParams};
+        use rand::SeedableRng;
+        let params = DurabilityParams {
+            node_mtbf_hours: 50.0,
+            repair_mbps: 0.2,
+            horizon_hours: 24.0 * 365.0,
+            rack_failures: None,
+        };
+        let rows: Vec<Vec<String>> = [
+            ("3x replication", dfs::Policy::Replication { copies: 3 }),
+            ("RS(12,6)", dfs::Policy::Rs { n: 12, k: 6 }),
+            (
+                "Carousel(12,6,10,12)",
+                dfs::Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+            ),
+        ]
+        .iter()
+        .map(|&(label, policy)| {
+            let mut lost = 0usize;
+            for seed in 0..3u64 {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let mut nn = dfs::Namenode::new(30);
+                let data_mb = policy.stripe_data_blocks() as f64 * 512.0 * 100.0;
+                let file = nn.store("f", data_mb, 512.0, policy, &mut rng).clone();
+                lost += simulate(&nn, &file, &params, &mut rng).stripes_lost;
+            }
+            vec![label.to_string(), format!("{:.1}", lost as f64 / 3.0)]
+        })
+        .collect();
+        section(
+            "Extension: durability, stripes lost per simulated year",
+            render_table(&["scheme", "stripes lost / year"], &rows),
+            &mut out,
+        );
+    }
+
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/REPORT.md", &out)?;
+    println!("\nwrote results/REPORT.md ({} bytes)", out.len());
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Measures the coding CPU rates used by the cluster simulator from the
+//! real kernels in this repository (run with `--release`).
+//!
+//! Knobs: `BENCH_MB` (default 64), `BENCH_REPS` (default 3).
+
+use bench_support::env_knob;
+
+fn main() {
+    let mb = env_knob("BENCH_MB", 64);
+    let reps = env_knob("BENCH_REPS", 3);
+    let rates = workloads::calibration::measure(mb, reps);
+    println!("== Simulator calibration ({mb} MB x {reps} reps) ==");
+    println!("rs_decode_mbps        = {:.0}", rates.rs_decode_mbps);
+    println!("carousel_decode_mbps  = {:.0}", rates.carousel_decode_mbps);
+    println!();
+    println!("Pass these via dfs::CodingRates to the fig11 experiment, or");
+    println!("run `BENCH_CALIBRATE=1 cargo run --release --bin fig11`.");
+}

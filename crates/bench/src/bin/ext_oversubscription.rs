@@ -1,0 +1,27 @@
+//! Extension: core-switch oversubscription. All cross-node traffic shares
+//! one fabric; as it tightens, shuffle-heavy terasort degrades while
+//! map-local wordcount barely notices — data-local map scheduling (which
+//! Carousel codes extend to `p` servers) is what keeps map phases off the
+//! fabric entirely.
+
+use bench_support::{fmt_secs, render_table};
+use workloads::experiments::ext_oversubscription;
+
+fn main() {
+    let rows = ext_oversubscription(42);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.switch.clone(),
+                fmt_secs(r.terasort_s),
+                fmt_secs(r.wordcount_s),
+            ]
+        })
+        .collect();
+    println!("== Extension: Carousel(12,6,10,12) jobs vs core-switch bandwidth ==");
+    println!(
+        "{}",
+        render_table(&["core switch", "terasort (s)", "wordcount (s)"], &table)
+    );
+}

@@ -1,0 +1,32 @@
+//! Extension: stragglers. Real clusters are heterogeneous; a third of the
+//! nodes running 2× slower stretches the map phase by the slowest task.
+//! Carousel's `p` smaller map tasks shrink the straggler's absolute
+//! penalty — a data-parallelism benefit the paper's uniform EC2 cluster
+//! could not show.
+
+use bench_support::{fmt_secs, render_table};
+use workloads::experiments::ext_stragglers;
+
+fn main() {
+    let rows = ext_stragglers(&(0..10).collect::<Vec<_>>());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                fmt_secs(r.uniform_s),
+                fmt_secs(r.straggler_s),
+                format!("{:+.1}", r.straggler_s - r.uniform_s),
+            ]
+        })
+        .collect();
+    println!("== Extension: wordcount with 10 of 30 nodes running 2x slower ==");
+    println!("(mean over 10 placements)");
+    println!(
+        "{}",
+        render_table(
+            &["scheme", "uniform (s)", "stragglers (s)", "penalty (s)"],
+            &table
+        )
+    );
+}

@@ -1,0 +1,28 @@
+//! Figure 10: job completion time of (12,6,10,p) Carousel codes for
+//! p ∈ {6, 8, 10, 12}, compared with 1× and 2× replication.
+//!
+//! The paper's observations to look for in the output: job time falls as
+//! `p` grows; `p = 6` matches 1× replication; `p = 12` approaches 2×
+//! replication at a fraction of its storage cost.
+
+use bench_support::{fmt_secs, render_table};
+use workloads::experiments::fig10;
+
+fn main() {
+    let rows = fig10(42);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                fmt_secs(r.terasort_s),
+                fmt_secs(r.wordcount_s),
+            ]
+        })
+        .collect();
+    println!("== Figure 10: job completion vs data parallelism (simulated) ==");
+    println!(
+        "{}",
+        render_table(&["scheme", "terasort (s)", "wordcount (s)"], &table)
+    );
+}

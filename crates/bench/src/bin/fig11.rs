@@ -1,0 +1,53 @@
+//! Figure 11: retrieving a 3 GB file from HDFS with datanode reads capped
+//! at 300 Mbps — 3× replication (`hadoop fs -get`), RS(12,6) and
+//! Carousel(12,6,10,10), with and without one failed data-bearing block.
+//!
+//! Decode costs are charged at rates measured from this repository's own
+//! kernels; set `BENCH_CALIBRATE=1` to re-measure instead of using the
+//! defaults (use `--release` when calibrating).
+
+use bench_support::{fmt_secs, render_table};
+use workloads::experiments::fig11;
+
+fn main() {
+    let rates = if std::env::var("BENCH_CALIBRATE").is_ok() {
+        let r = workloads::calibration::measure(32, 3);
+        eprintln!(
+            "calibrated: RS decode {:.0} MB/s, Carousel decode {:.0} MB/s",
+            r.rs_decode_mbps, r.carousel_decode_mbps
+        );
+        r
+    } else {
+        workloads::calibration::default_rates()
+    };
+    let rows = fig11(42, rates);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                r.servers.to_string(),
+                fmt_secs(r.no_failure_s),
+                fmt_secs(r.one_failure_s),
+            ]
+        })
+        .collect();
+    println!("== Figure 11: 3 GB retrieval time (simulated, 300 Mbps disk cap) ==");
+    println!(
+        "{}",
+        render_table(
+            &["scheme", "servers", "no failure (s)", "one failure (s)"],
+            &table
+        )
+    );
+    let rs = &rows[1];
+    let ca = &rows[2];
+    println!(
+        "Carousel vs RS saving (no failure): {:.1}%",
+        100.0 * (1.0 - ca.no_failure_s / rs.no_failure_s)
+    );
+    println!(
+        "Carousel vs built-in reader (one failure): {:.1}% less time",
+        100.0 * (1.0 - ca.one_failure_s / rows[0].one_failure_s)
+    );
+}

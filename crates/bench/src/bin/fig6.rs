@@ -1,0 +1,41 @@
+//! Figure 6: encoding and decoding throughput vs `k` (`n = 2k`).
+//!
+//! Codes: RS, MSR (d = 2k−1), Carousel (d = k) and Carousel (d = 2k−1),
+//! all with `p = 2k`. Decoding follows the paper's scenario: one data block
+//! lost, decode the original data from blocks 2..k+1.
+//!
+//! Knobs: `BENCH_MB` (stripe data size, default 64 MB) and `BENCH_REPS`
+//! (default 3). Run with `--release` for meaningful numbers.
+
+use bench_support::{env_knob, render_table};
+use workloads::coding_bench::{fig6_codes, measure_decode, measure_encode, payload};
+
+fn main() {
+    let mb = env_knob("BENCH_MB", 64);
+    let reps = env_knob("BENCH_REPS", 3);
+    let ks = [2usize, 4, 6, 8, 10];
+
+    for (title, measure) in [
+        ("(a) encoding", measure_encode as fn(&dyn erasure::ErasureCode, &[u8], usize) -> f64),
+        ("(b) decoding", measure_decode),
+    ] {
+        let mut rows = Vec::new();
+        for &k in &ks {
+            let codes = fig6_codes(k).expect("paper parameters are valid");
+            let mut row = vec![k.to_string()];
+            for (_, code) in &codes {
+                let data = payload(code.as_ref(), mb << 20);
+                let mbps = measure(code.as_ref(), &data, reps);
+                row.push(format!("{mbps:.0}"));
+            }
+            rows.push(row);
+        }
+        let labels: Vec<&str> = workloads::coding_bench::CodeFamily::all()
+            .iter()
+            .map(|f| f.label())
+            .collect();
+        let headers: Vec<&str> = std::iter::once("k").chain(labels).collect();
+        println!("== Figure 6{title} throughput (MB/s), {mb} MB x {reps} reps ==");
+        println!("{}", render_table(&headers, &rows));
+    }
+}

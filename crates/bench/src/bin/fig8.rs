@@ -1,0 +1,46 @@
+//! Figure 8: completion time of reconstruction at the newcomer and at one
+//! helper, vs `k` (`n = 2k`).
+//!
+//! The paper reconstructs block 0 of a 512 MB-block stripe from `d`
+//! helpers. RS helpers do no computation (they ship raw blocks), so the
+//! helper table lists only MSR and Carousel (d = 2k−1), as in the paper.
+//!
+//! Knobs: `BENCH_MB` (block size, default 64 MB), `BENCH_REPS` (default 3).
+
+use bench_support::{env_knob, fmt_secs, render_table};
+use workloads::coding_bench::{fig6_codes, measure_repair, payload, CodeFamily};
+
+fn main() {
+    let block_mb = env_knob("BENCH_MB", 64);
+    let reps = env_knob("BENCH_REPS", 3);
+    let ks = [2usize, 4, 6, 8, 10];
+
+    let mut newcomer_rows = Vec::new();
+    let mut helper_rows = Vec::new();
+    for &k in &ks {
+        let codes = fig6_codes(k).expect("paper parameters are valid");
+        let mut nrow = vec![k.to_string()];
+        let mut hrow = vec![k.to_string()];
+        for (fam, code) in &codes {
+            // Stripe data sized so each block is ~block_mb.
+            let stripe_mb = block_mb * k;
+            let data = payload(code.as_ref(), stripe_mb << 20);
+            let t = measure_repair(code.as_ref(), &data, reps);
+            nrow.push(fmt_secs(t.newcomer_s));
+            if matches!(fam, CodeFamily::Msr | CodeFamily::CarouselMsrBase) {
+                hrow.push(fmt_secs(t.helper_s));
+            }
+        }
+        newcomer_rows.push(nrow);
+        helper_rows.push(hrow);
+    }
+    let labels: Vec<&str> = CodeFamily::all().iter().map(|f| f.label()).collect();
+    let headers: Vec<&str> = std::iter::once("k").chain(labels.clone()).collect();
+    println!("== Figure 8(a): time at the newcomer (s), {block_mb} MB blocks ==");
+    println!("{}", render_table(&headers, &newcomer_rows));
+    println!("== Figure 8(b): time at one helper (s) ==");
+    println!(
+        "{}",
+        render_table(&["k", "MSR (d=2k-1)", "Carousel (d=2k-1)"], &helper_rows)
+    );
+}

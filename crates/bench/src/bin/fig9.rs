@@ -1,0 +1,54 @@
+//! Figure 9: terasort and wordcount on RS(12,6) vs Carousel(12,6,10,12).
+//!
+//! 30-slave simulated cluster (2-core nodes), 3 GB input in 512 MB blocks.
+//! Reports average map-task time, average reduce-task time and job
+//! completion time, plus the map-time saving the paper headlines (46.8%
+//! for wordcount, 39.7% for terasort on their testbed).
+
+use bench_support::render_table;
+use workloads::experiments::{fig9, fig9_repeated};
+
+fn main() {
+    // 20 repetitions, as in the paper; placement is the randomness.
+    let seeds: Vec<u64> = (0..20).collect();
+    let stat_rows = fig9_repeated(&seeds);
+    let table: Vec<Vec<String>> = stat_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.code.clone(),
+                r.map.display(),
+                r.reduce.display(),
+                r.job.display(),
+            ]
+        })
+        .collect();
+    println!("== Figure 9: Hadoop jobs, RS vs Carousel (simulated cluster) ==");
+    println!("(mean [p10, p90] over 20 placements)");
+    println!(
+        "{}",
+        render_table(
+            &["workload", "code", "map (s)", "reduce (s)", "job (s)"],
+            &table
+        )
+    );
+    let rows = fig9(42);
+    for w in ["terasort", "wordcount"] {
+        let rs = rows
+            .iter()
+            .find(|r| r.workload == w && r.code.starts_with("RS"))
+            .expect("row present");
+        let ca = rows
+            .iter()
+            .find(|r| r.workload == w && r.code.starts_with("Carousel"))
+            .expect("row present");
+        println!(
+            "{w}: map time saving {:.1}%, job time saving {:.1}%  (maps: {} -> {})",
+            100.0 * (1.0 - ca.stats.avg_map_s / rs.stats.avg_map_s),
+            100.0 * (1.0 - ca.stats.job_s / rs.stats.job_s),
+            rs.stats.map_tasks,
+            ca.stats.map_tasks,
+        );
+    }
+}

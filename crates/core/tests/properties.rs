@@ -1,0 +1,205 @@
+//! Property and conformance tests for Carousel codes across the parameter
+//! grid used in the paper's evaluation.
+
+use carousel::Carousel;
+use erasure::mds::verify_mds;
+use erasure::ErasureCode;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Parameter sets covering both regimes: RS base (d = k) and MSR base
+/// (d ≥ 2k−2), with p from k to n — including every (12, 6, 10, p) used in
+/// the paper's Hadoop experiments.
+fn grid() -> Vec<(usize, usize, usize, usize)> {
+    vec![
+        (3, 2, 2, 3),   // paper Fig. 2 toy
+        (5, 3, 3, 4),   // RS base, k < p < n
+        (6, 4, 4, 6),   // RS base, p = n
+        (6, 4, 4, 4),   // RS base, p = k (degenerates to systematic RS)
+        (6, 3, 4, 5),   // MSR base at native point d = 2k-2
+        (6, 3, 4, 6),   // MSR base, p = n
+        (8, 4, 7, 8),   // MSR base, d = 2k-1 (paper's Fig 6 family)
+        (12, 6, 10, 6), // paper cluster config, p sweep
+        (12, 6, 10, 8),
+        (12, 6, 10, 10),
+        (12, 6, 10, 12),
+    ]
+}
+
+fn test_data(code: &Carousel, reps: usize) -> Vec<u8> {
+    let b = code.linear().message_units();
+    (0..b * reps).map(|i| (i * 31 + 7) as u8).collect()
+}
+
+#[test]
+fn mds_property_across_grid() {
+    for (n, k, d, p) in grid() {
+        let code = Carousel::new(n, k, d, p).unwrap();
+        let report = verify_mds(code.linear(), 300);
+        assert!(report.is_mds(), "Carousel({n},{k},{d},{p}) not MDS: {report:?}");
+    }
+}
+
+#[test]
+fn data_spread_evenly_and_contiguously() {
+    for (n, k, d, p) in grid() {
+        let code = Carousel::new(n, k, d, p).unwrap();
+        let layout = code.data_layout();
+        assert_eq!(layout.data_bearing_nodes(), p, "({n},{k},{d},{p})");
+        assert!(layout.is_contiguous_per_node());
+        for i in 0..p {
+            assert!(
+                (layout.data_fraction(i) - k as f64 / p as f64).abs() < 1e-12,
+                "block {i} of ({n},{k},{d},{p}) holds {} of its units",
+                layout.data_fraction(i)
+            );
+        }
+        for i in p..n {
+            assert_eq!(layout.data_fraction(i), 0.0);
+        }
+    }
+}
+
+#[test]
+fn encoded_data_regions_reproduce_the_file() {
+    for (n, k, d, p) in grid() {
+        let code = Carousel::new(n, k, d, p).unwrap();
+        let data = test_data(&code, 3);
+        let stripe = code.linear().encode(&data).unwrap();
+        let layout = code.data_layout();
+        let w = stripe.unit_bytes;
+        let mut rebuilt = Vec::new();
+        for i in 0..p {
+            let range = layout.data_byte_range(i, w);
+            rebuilt.extend_from_slice(&stripe.blocks[i][range]);
+        }
+        assert_eq!(rebuilt, data, "({n},{k},{d},{p}) data regions != file");
+    }
+}
+
+#[test]
+fn decode_from_random_k_subsets() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for (n, k, d, p) in grid() {
+        let code = Carousel::new(n, k, d, p).unwrap();
+        let data = test_data(&code, 2);
+        let stripe = code.linear().encode(&data).unwrap();
+        for _ in 0..5 {
+            let mut nodes: Vec<usize> = (0..n).collect();
+            nodes.shuffle(&mut rng);
+            nodes.truncate(k);
+            let blocks: Vec<&[u8]> = nodes.iter().map(|&i| &stripe.blocks[i][..]).collect();
+            let out = code.linear().decode_nodes(&nodes, &blocks).unwrap();
+            assert_eq!(&out[..data.len()], &data[..], "({n},{k},{d},{p}) {nodes:?}");
+        }
+    }
+}
+
+#[test]
+fn repair_reconstructs_every_block_with_declared_traffic() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    for (n, k, d, p) in grid() {
+        let code = Carousel::new(n, k, d, p).unwrap();
+        let data = test_data(&code, 2);
+        let stripe = code.linear().encode(&data).unwrap();
+        let sub = code.sub();
+        for failed in 0..n {
+            let mut pool: Vec<usize> = (0..n).filter(|&i| i != failed).collect();
+            pool.shuffle(&mut rng);
+            let helpers: Vec<usize> = pool.into_iter().take(d).collect();
+            let plan = code.repair_plan(failed, &helpers).unwrap();
+            let blocks: Vec<&[u8]> = helpers.iter().map(|&i| &stripe.blocks[i][..]).collect();
+            let (rebuilt, traffic) = plan.run(&blocks).unwrap();
+            assert_eq!(
+                rebuilt, stripe.blocks[failed],
+                "({n},{k},{d},{p}) repair of block {failed}"
+            );
+            let expect_blocks = code.repair_traffic_blocks();
+            let got_blocks = traffic as f64 / stripe.block_bytes() as f64;
+            assert!(
+                (got_blocks - expect_blocks).abs() < 1e-9,
+                "({n},{k},{d},{p}): traffic {got_blocks} blocks, expected {expect_blocks}"
+            );
+            let _ = sub;
+        }
+    }
+}
+
+#[test]
+fn msr_based_carousel_beats_rs_repair_traffic() {
+    // The paper's Fig 7 claim in miniature: with d = 2k-1 the repair traffic
+    // is d/k blocks instead of k blocks.
+    let rs_based = Carousel::new(12, 6, 6, 12).unwrap();
+    let msr_based = Carousel::new(12, 6, 10, 12).unwrap();
+    assert_eq!(rs_based.repair_traffic_blocks(), 6.0);
+    assert!((msr_based.repair_traffic_blocks() - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn generator_is_sparse_like_base_code() {
+    // Paper §VIII-A / Fig. 5: parity rows of the Carousel generator carry at
+    // most k·α nonzeros — the same per-output-unit cost as the base code —
+    // even though the matrix is N₀ times larger.
+    for (n, k, d, p) in grid() {
+        let code = Carousel::new(n, k, d, p).unwrap();
+        let params = code.params();
+        let g = code.linear().generator();
+        let bound = k * params.alpha;
+        for r in 0..g.rows() {
+            assert!(
+                g.row_weight(r) <= bound,
+                "({n},{k},{d},{p}) row {r} weight {} > k*alpha = {bound}",
+                g.row_weight(r)
+            );
+        }
+    }
+}
+
+#[test]
+fn p_equals_k_matches_systematic_base_layout() {
+    let code = Carousel::new(6, 4, 4, 4).unwrap();
+    let rs = rs_code::ReedSolomon::new(6, 4).unwrap();
+    let data: Vec<u8> = (0..64).map(|i| (i * 3 + 1) as u8).collect();
+    let a = code.linear().encode(&data).unwrap();
+    let b = rs.linear().encode(&data).unwrap();
+    // Data blocks agree byte-for-byte; parity blocks may differ (equivalent
+    // codes) but data parallelism and sizes match.
+    for i in 0..4 {
+        assert_eq!(a.blocks[i], b.blocks[i]);
+    }
+    assert_eq!(code.parallelism(), 4);
+}
+
+#[test]
+fn parallel_read_with_failures_round_trips() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for (n, k, d, p) in grid() {
+        let code = Carousel::new(n, k, d, p).unwrap();
+        let data = test_data(&code, 2);
+        let stripe = code.linear().encode(&data).unwrap();
+        // Try 0, 1 and 2 failures of random blocks.
+        for failures in 0..=2usize.min(n - k) {
+            let mut nodes: Vec<usize> = (0..n).collect();
+            nodes.shuffle(&mut rng);
+            let dead: Vec<usize> = nodes.into_iter().take(failures).collect();
+            let blocks: Vec<Option<&[u8]>> = (0..n)
+                .map(|i| (!dead.contains(&i)).then(|| &stripe.blocks[i][..]))
+                .collect();
+            let out = code.read(&blocks).unwrap();
+            assert_eq!(
+                &out[..data.len()],
+                &data[..],
+                "({n},{k},{d},{p}) dead={dead:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn name_encodes_all_four_parameters() {
+    let code = Carousel::new(12, 6, 10, 8).unwrap();
+    assert_eq!(code.name(), "Carousel(12,6,10,8)");
+    assert_eq!(code.d(), 10);
+    assert_eq!(code.p(), 8);
+    assert!((code.data_fraction() - 0.75).abs() < 1e-12);
+}

@@ -1,0 +1,211 @@
+//! Storage policies: replication, systematic RS, and Carousel codes.
+
+/// A storage scheme for one file — the three schemes compared throughout
+/// the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// `copies`-way replication (HDFS default is 3).
+    Replication {
+        /// Number of replicas of every block.
+        copies: usize,
+    },
+    /// Systematic `(n, k)` Reed-Solomon striping.
+    Rs {
+        /// Blocks per stripe.
+        n: usize,
+        /// Data blocks per stripe.
+        k: usize,
+    },
+    /// `(n, k, d, p)` Carousel coding.
+    Carousel {
+        /// Blocks per stripe.
+        n: usize,
+        /// Data blocks per stripe.
+        k: usize,
+        /// Repair degree.
+        d: usize,
+        /// Data-parallelism degree.
+        p: usize,
+    },
+}
+
+impl Policy {
+    /// Placed blocks per stripe.
+    pub fn stripe_width(&self) -> usize {
+        match *self {
+            Policy::Replication { copies } => copies,
+            Policy::Rs { n, .. } | Policy::Carousel { n, .. } => n,
+        }
+    }
+
+    /// Original data per stripe, in block-sizes.
+    pub fn stripe_data_blocks(&self) -> usize {
+        match *self {
+            Policy::Replication { .. } => 1,
+            Policy::Rs { k, .. } | Policy::Carousel { k, .. } => k,
+        }
+    }
+
+    /// Stored bytes per original byte (3.0 for 3-way replication, `n/k` for
+    /// the codes) — the storage-overhead axis of the paper's trade-off.
+    pub fn storage_overhead(&self) -> f64 {
+        match *self {
+            Policy::Replication { copies } => copies as f64,
+            Policy::Rs { n, k } | Policy::Carousel { n, k, .. } => n as f64 / k as f64,
+        }
+    }
+
+    /// Number of block failures the scheme tolerates per stripe.
+    pub fn failures_tolerated(&self) -> usize {
+        match *self {
+            Policy::Replication { copies } => copies - 1,
+            Policy::Rs { n, k } | Policy::Carousel { n, k, .. } => n - k,
+        }
+    }
+
+    /// The degree of data parallelism: how many placed blocks per stripe
+    /// serve original data locally (paper §I/§II).
+    pub fn data_parallelism(&self) -> usize {
+        match *self {
+            // Every replica can host a map task over some share of the block.
+            Policy::Replication { copies } => copies,
+            Policy::Rs { k, .. } => k,
+            Policy::Carousel { p, .. } => p,
+        }
+    }
+
+    /// MapReduce input splits for one stripe of `block_mb`-sized blocks:
+    /// `(split size, candidate block roles)`.
+    ///
+    /// * RS: one split per data block (`k` splits of a full block — parity
+    ///   blocks cannot host map tasks, the paper's core observation);
+    /// * Carousel: one split per data-bearing block (`p` splits of
+    ///   `k/p` of a block — the data region);
+    /// * replication: the block is divided among its `copies` replicas so
+    ///   parallelism scales with the replication factor (paper Fig. 10's
+    ///   1×/2× replication bars).
+    pub fn splits(&self, block_mb: f64) -> Vec<SplitSpec> {
+        match *self {
+            Policy::Replication { copies } => (0..copies)
+                .map(|c| SplitSpec {
+                    size_mb: block_mb / copies as f64,
+                    candidates: vec![c],
+                })
+                .collect(),
+            Policy::Rs { k, .. } => (0..k)
+                .map(|i| SplitSpec {
+                    size_mb: block_mb,
+                    candidates: vec![i],
+                })
+                .collect(),
+            Policy::Carousel { k, p, .. } => (0..p)
+                .map(|i| SplitSpec {
+                    size_mb: block_mb * k as f64 / p as f64,
+                    candidates: vec![i],
+                })
+                .collect(),
+        }
+    }
+}
+
+impl core::fmt::Display for Policy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            Policy::Replication { copies } => write!(f, "{copies}x replication"),
+            Policy::Rs { n, k } => write!(f, "RS({n},{k})"),
+            Policy::Carousel { n, k, d, p } => write!(f, "Carousel({n},{k},{d},{p})"),
+        }
+    }
+}
+
+/// One MapReduce input split: its size and the stripe-block roles that hold
+/// it locally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitSpec {
+    /// Input bytes of the split, MB.
+    pub size_mb: f64,
+    /// Block roles (indices into the stripe) that can serve it locally.
+    pub candidates: Vec<usize>,
+}
+
+/// Coding CPU throughputs used by the simulator, in MB of original data per
+/// second per core.
+///
+/// Defaults come from a release-mode run of the real kernels in this
+/// repository (`cargo run --release -p carousel-bench --bin calibrate`);
+/// re-measure on your machine and construct this struct from the output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodingRates {
+    /// RS degraded decode throughput (stripe from k−1 data + 1 parity).
+    pub rs_decode_mbps: f64,
+    /// Carousel degraded parallel-read throughput (`p` blocks, one
+    /// data-bearing block replaced by parity). Lower than the RS rate: the
+    /// lost block's carousel copies mix contributions from all `p` blocks.
+    pub carousel_decode_mbps: f64,
+}
+
+impl Default for CodingRates {
+    fn default() -> Self {
+        CodingRates {
+            rs_decode_mbps: 400.0,
+            carousel_decode_mbps: 330.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_and_tolerance() {
+        let r3 = Policy::Replication { copies: 3 };
+        let rs = Policy::Rs { n: 6, k: 4 };
+        let ca = Policy::Carousel { n: 6, k: 4, d: 4, p: 6 };
+        assert_eq!(r3.storage_overhead(), 3.0);
+        assert_eq!(rs.storage_overhead(), 1.5);
+        assert_eq!(ca.storage_overhead(), 1.5);
+        assert_eq!(r3.failures_tolerated(), 2);
+        assert_eq!(rs.failures_tolerated(), 2);
+        assert_eq!(ca.failures_tolerated(), 2);
+    }
+
+    #[test]
+    fn parallelism_ordering_matches_paper() {
+        // The paper's motivating comparison: RS caps parallelism at k;
+        // Carousel reaches n at the same storage overhead.
+        let rs = Policy::Rs { n: 12, k: 6 };
+        let ca = Policy::Carousel { n: 12, k: 6, d: 10, p: 12 };
+        assert_eq!(rs.data_parallelism(), 6);
+        assert_eq!(ca.data_parallelism(), 12);
+        assert_eq!(rs.storage_overhead(), ca.storage_overhead());
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Policy::Replication { copies: 3 }.to_string(), "3x replication");
+        assert_eq!(Policy::Rs { n: 12, k: 6 }.to_string(), "RS(12,6)");
+        assert_eq!(
+            Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }.to_string(),
+            "Carousel(12,6,10,12)"
+        );
+    }
+
+    #[test]
+    fn splits_shapes() {
+        let rs = Policy::Rs { n: 12, k: 6 }.splits(512.0);
+        assert_eq!(rs.len(), 6);
+        assert_eq!(rs[0].size_mb, 512.0);
+
+        let ca = Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }.splits(512.0);
+        assert_eq!(ca.len(), 12);
+        assert!((ca[0].size_mb - 256.0).abs() < 1e-9);
+        // Total input covered is identical.
+        let total: f64 = ca.iter().map(|s| s.size_mb).sum();
+        assert!((total - 6.0 * 512.0).abs() < 1e-9);
+
+        let rep = Policy::Replication { copies: 2 }.splits(512.0);
+        assert_eq!(rep.len(), 2);
+        assert!((rep[0].size_mb - 256.0).abs() < 1e-9);
+    }
+}

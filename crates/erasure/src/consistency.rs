@@ -1,0 +1,180 @@
+//! Stripe consistency checking and corruption localization.
+//!
+//! Erasure codes recover *erasures* (blocks known to be missing); a block
+//! that is present but silently corrupt poisons any decode that includes
+//! it. With `n − k ≥ 2` there is enough redundancy to *locate* a small
+//! number of corrupt blocks without checksums: decode candidate messages
+//! from several `k`-subsets, take the message that the largest number of
+//! subsets agree on, re-encode it, and flag the blocks that disagree with
+//! the consensus encoding.
+//!
+//! This is a pragmatic consensus scheme (not full Berlekamp–Welch error
+//! decoding): it is exact whenever the number of corrupt blocks is at most
+//! `n − k − 1` and at least one sampled subset is corruption-free.
+
+use crate::decode::DecodePlan;
+use crate::error::CodeError;
+use crate::linear::LinearCode;
+use crate::SparseEncoder;
+
+/// Outcome of a consistency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StripeHealth {
+    /// All blocks agree with the consensus encoding.
+    Consistent,
+    /// These block indices disagree with the consensus encoding.
+    Corrupt(Vec<usize>),
+    /// No consensus could be formed (too much disagreement).
+    Undecidable,
+}
+
+/// Checks a full stripe for silent corruption.
+///
+/// `blocks` must contain all `n` blocks. Up to `n − k − 1` corrupt blocks
+/// are located reliably; beyond that the result may be
+/// [`StripeHealth::Undecidable`].
+///
+/// # Errors
+///
+/// Returns size-mismatch/decode errors for malformed inputs.
+pub fn check_stripe(code: &LinearCode, blocks: &[&[u8]]) -> Result<StripeHealth, CodeError> {
+    let n = code.n();
+    let k = code.k();
+    if blocks.len() != n {
+        return Err(CodeError::InsufficientData {
+            needed: n,
+            got: blocks.len(),
+        });
+    }
+    let len = blocks[0].len();
+    for b in blocks {
+        if b.len() != len {
+            return Err(CodeError::BlockSizeMismatch {
+                expected: len,
+                actual: b.len(),
+            });
+        }
+    }
+
+    // Candidate messages voted by k-subsets: all C(n, k) of them when that
+    // is small (every clean subset votes for the true message, and with at
+    // most n - k - 1 corruptions the clean subsets form a large plurality),
+    // otherwise a sliding window of n subsets (locates one corruption).
+    let mut candidates: Vec<(Vec<u8>, usize)> = Vec::new();
+    let vote = |nodes: &[usize], candidates: &mut Vec<(Vec<u8>, usize)>| -> Result<(), CodeError> {
+        let plan = DecodePlan::for_nodes(code, nodes)?;
+        let refs: Vec<&[u8]> = nodes.iter().map(|&i| blocks[i]).collect();
+        let message = plan.decode(&refs)?;
+        match candidates.iter_mut().find(|(m, _)| *m == message) {
+            Some((_, votes)) => *votes += 1,
+            None => candidates.push((message, 1)),
+        }
+        Ok(())
+    };
+    if crate::mds::binomial(n, k).is_some_and(|c| c <= 300) {
+        let mut subset: Vec<usize> = (0..k).collect();
+        loop {
+            vote(&subset, &mut candidates)?;
+            if !crate::mds::next_combination(&mut subset, n) {
+                break;
+            }
+        }
+    } else {
+        for start in 0..n {
+            let nodes: Vec<usize> = (0..k).map(|j| (start + j) % n).collect();
+            vote(&nodes, &mut candidates)?;
+        }
+    }
+    candidates.sort_by(|a, b| b.1.cmp(&a.1));
+    let (consensus, votes) = &candidates[0];
+    if *votes <= 1 && candidates.len() > 1 {
+        return Ok(StripeHealth::Undecidable);
+    }
+
+    // Re-encode the consensus and diff against the stored blocks.
+    let stripe = SparseEncoder::new(code).encode(consensus)?;
+    let corrupt: Vec<usize> = (0..n)
+        .filter(|&i| stripe.blocks[i] != blocks[i])
+        .collect();
+    if corrupt.is_empty() {
+        Ok(StripeHealth::Consistent)
+    } else if corrupt.len() <= n - k {
+        Ok(StripeHealth::Corrupt(corrupt))
+    } else {
+        Ok(StripeHealth::Undecidable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf256::builders::systematize;
+    use gf256::Matrix;
+
+    fn code(n: usize, k: usize) -> LinearCode {
+        LinearCode::new(n, k, 1, systematize(&Matrix::vandermonde(n, k))).unwrap()
+    }
+
+    fn stripe(code: &LinearCode, bytes: usize) -> Vec<Vec<u8>> {
+        let data: Vec<u8> = (0..bytes).map(|i| (i * 41 + 3) as u8).collect();
+        code.encode(&data).unwrap().blocks
+    }
+
+    #[test]
+    fn clean_stripe_is_consistent() {
+        let code = code(8, 4);
+        let blocks = stripe(&code, 64);
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| &b[..]).collect();
+        assert_eq!(check_stripe(&code, &refs).unwrap(), StripeHealth::Consistent);
+    }
+
+    #[test]
+    fn single_corruption_located_everywhere() {
+        let code = code(8, 4);
+        for victim in 0..8 {
+            let mut blocks = stripe(&code, 64);
+            blocks[victim][5] ^= 0x40;
+            let refs: Vec<&[u8]> = blocks.iter().map(|b| &b[..]).collect();
+            assert_eq!(
+                check_stripe(&code, &refs).unwrap(),
+                StripeHealth::Corrupt(vec![victim]),
+                "victim {victim}"
+            );
+        }
+    }
+
+    #[test]
+    fn double_corruption_located() {
+        // n - k - 1 = 3 corruptions locatable for (8, 4).
+        let code = code(8, 4);
+        let mut blocks = stripe(&code, 32);
+        blocks[1][0] ^= 1;
+        blocks[6][3] ^= 2;
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| &b[..]).collect();
+        assert_eq!(
+            check_stripe(&code, &refs).unwrap(),
+            StripeHealth::Corrupt(vec![1, 6])
+        );
+    }
+
+    #[test]
+    fn overwhelming_corruption_is_undecidable_or_detected() {
+        let code = code(6, 4);
+        let mut blocks = stripe(&code, 32);
+        // Corrupt more than n - k blocks: cannot be reliably located.
+        for b in blocks.iter_mut().take(3) {
+            b[0] ^= 0xFF;
+        }
+        let refs: Vec<&[u8]> = blocks.iter().map(|b| &b[..]).collect();
+        let health = check_stripe(&code, &refs).unwrap();
+        assert_ne!(health, StripeHealth::Consistent);
+    }
+
+    #[test]
+    fn input_validation() {
+        let code = code(6, 4);
+        let blocks = stripe(&code, 32);
+        let refs: Vec<&[u8]> = blocks.iter().take(5).map(|b| &b[..]).collect();
+        assert!(check_stripe(&code, &refs).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Error type shared by all coding operations.
+
+use core::fmt;
+
+/// Errors produced by code construction, encoding, decoding and repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// Parameters violate a structural requirement of the construction.
+    InvalidParameters {
+        /// Explanation of the violated requirement.
+        reason: String,
+    },
+    /// The generator matrix does not match the declared `(n, k, sub)` shape.
+    ShapeMismatch {
+        /// Expected `(rows, cols)`.
+        expected: (usize, usize),
+        /// Actual `(rows, cols)`.
+        actual: (usize, usize),
+    },
+    /// A block index was `>= n`.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+        /// The number of blocks.
+        n: usize,
+    },
+    /// The same block was supplied twice.
+    DuplicateNode {
+        /// The duplicated index.
+        node: usize,
+    },
+    /// Not enough blocks/units were supplied to decode.
+    InsufficientData {
+        /// Units required.
+        needed: usize,
+        /// Units supplied.
+        got: usize,
+    },
+    /// The selected rows of the generator are not invertible — the supplied
+    /// set cannot decode (never happens for MDS codes with `k` full blocks).
+    SingularSelection,
+    /// A supplied block had the wrong length.
+    BlockSizeMismatch {
+        /// Expected length in bytes.
+        expected: usize,
+        /// Actual length in bytes.
+        actual: usize,
+    },
+    /// The helper set is invalid for repair.
+    BadHelperSet {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParameters { reason } => {
+                write!(f, "invalid code parameters: {reason}")
+            }
+            CodeError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "generator shape mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            CodeError::NodeOutOfRange { node, n } => {
+                write!(f, "block index {node} out of range for n = {n}")
+            }
+            CodeError::DuplicateNode { node } => {
+                write!(f, "block index {node} supplied more than once")
+            }
+            CodeError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data to decode: need {needed} units, got {got}")
+            }
+            CodeError::SingularSelection => {
+                write!(f, "selected units do not span the message space")
+            }
+            CodeError::BlockSizeMismatch { expected, actual } => {
+                write!(f, "block size mismatch: expected {expected} bytes, got {actual}")
+            }
+            CodeError::BadHelperSet { reason } => write!(f, "bad helper set: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CodeError::InsufficientData { needed: 6, got: 4 };
+        let s = e.to_string();
+        assert!(s.contains("need 6"));
+        assert!(s.contains("got 4"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<CodeError>();
+    }
+}

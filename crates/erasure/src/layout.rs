@@ -1,0 +1,236 @@
+//! Data layout: which units of which encoded blocks hold original data.
+//!
+//! This is the information the paper's Hadoop prototype exposes through its
+//! custom `FileInputFormat` (§VIII-A): "the boundary between the original
+//! data and parity data in each block", so map tasks and parallel readers
+//! can consume original data straight from encoded blocks.
+
+use core::fmt;
+
+/// A reference to one unit (symbol-row) of one encoded block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitRef {
+    /// Block index in `0..n`.
+    pub node: usize,
+    /// Unit index within the block, in `0..sub`.
+    pub unit: usize,
+}
+
+/// Describes, for every block, which file units its leading units carry.
+///
+/// After the Carousel *reordering* step all data units sit at the top of
+/// their block in file order, so the layout is fully described by one list
+/// of file-unit indices per node: unit `u` of node `i` carries file unit
+/// `node_data[i][u]` (and units beyond `node_data[i].len()` are parity).
+///
+/// # Examples
+///
+/// ```
+/// use erasure::DataLayout;
+///
+/// // A systematic (5, 3) layout: data in blocks 0..3, parity in 3..5.
+/// let layout = DataLayout::systematic(5, 3, 2);
+/// assert_eq!(layout.data_bearing_nodes(), 3);
+/// assert_eq!(layout.data_units_of(1), &[2, 3]);
+/// assert_eq!(layout.data_fraction(4), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataLayout {
+    sub: usize,
+    file_units: usize,
+    node_data: Vec<Vec<usize>>,
+}
+
+impl DataLayout {
+    /// Creates a layout and validates it: each node lists at most `sub`
+    /// units, and every file unit in `0..file_units` appears exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is inconsistent — layouts are produced by code
+    /// constructions, so an inconsistency is a construction bug, not a
+    /// recoverable condition.
+    pub fn new(sub: usize, file_units: usize, node_data: Vec<Vec<usize>>) -> Self {
+        let mut seen = vec![false; file_units];
+        for (node, units) in node_data.iter().enumerate() {
+            assert!(
+                units.len() <= sub,
+                "node {node} claims {} data units but blocks have only {sub}",
+                units.len()
+            );
+            for &fu in units {
+                assert!(fu < file_units, "file unit {fu} out of range");
+                assert!(!seen[fu], "file unit {fu} mapped twice");
+                seen[fu] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some file units are not mapped to any block"
+        );
+        DataLayout {
+            sub,
+            file_units,
+            node_data,
+        }
+    }
+
+    /// The systematic layout: node `i < k` carries file units
+    /// `[i·sub, (i+1)·sub)` and nodes `k..n` carry none.
+    pub fn systematic(n: usize, k: usize, sub: usize) -> Self {
+        let node_data = (0..n)
+            .map(|i| {
+                if i < k {
+                    (i * sub..(i + 1) * sub).collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        DataLayout::new(sub, k * sub, node_data)
+    }
+
+    /// Units per block.
+    pub fn sub(&self) -> usize {
+        self.sub
+    }
+
+    /// Total number of file units (`k·sub`).
+    pub fn file_units(&self) -> usize {
+        self.file_units
+    }
+
+    /// Number of blocks described.
+    pub fn nodes(&self) -> usize {
+        self.node_data.len()
+    }
+
+    /// File units carried by the leading units of `node`, in unit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn data_units_of(&self, node: usize) -> &[usize] {
+        &self.node_data[node]
+    }
+
+    /// Number of blocks that carry at least one data unit — the data
+    /// parallelism degree `p`.
+    pub fn data_bearing_nodes(&self) -> usize {
+        self.node_data.iter().filter(|u| !u.is_empty()).count()
+    }
+
+    /// Fraction of `node`'s block occupied by original data (`k/p` for a
+    /// Carousel code, 1 for an RS data block, 0 for an RS parity block).
+    pub fn data_fraction(&self, node: usize) -> f64 {
+        self.node_data[node].len() as f64 / self.sub as f64
+    }
+
+    /// Finds where a file unit is stored.
+    pub fn locate(&self, file_unit: usize) -> Option<UnitRef> {
+        for (node, units) in self.node_data.iter().enumerate() {
+            if let Some(unit) = units.iter().position(|&fu| fu == file_unit) {
+                return Some(UnitRef { node, unit });
+            }
+        }
+        None
+    }
+
+    /// `true` if every node's data units are a run of consecutive file units
+    /// — the property that lets a map task read its share of the file as one
+    /// contiguous range.
+    pub fn is_contiguous_per_node(&self) -> bool {
+        self.node_data
+            .iter()
+            .all(|units| units.windows(2).all(|w| w[1] == w[0] + 1))
+    }
+
+    /// The byte range of original data inside `node`'s block, given the unit
+    /// width in bytes: always the leading `len·w` bytes.
+    pub fn data_byte_range(&self, node: usize, unit_bytes: usize) -> core::ops::Range<usize> {
+        0..self.node_data[node].len() * unit_bytes
+    }
+
+    /// The byte range in the *file* covered by `node`'s data region (valid
+    /// when the layout is contiguous per node and this node is non-empty).
+    pub fn file_byte_range(&self, node: usize, unit_bytes: usize) -> Option<core::ops::Range<usize>> {
+        let units = &self.node_data[node];
+        let first = *units.first()?;
+        Some(first * unit_bytes..(first + units.len()) * unit_bytes)
+    }
+}
+
+impl fmt::Display for DataLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (node, units) in self.node_data.iter().enumerate() {
+            writeln!(
+                f,
+                "block {node}: {} data units / {} ({})",
+                units.len(),
+                self.sub,
+                if units.is_empty() {
+                    "parity only".to_string()
+                } else {
+                    format!("file units {:?}", units)
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn systematic_layout_properties() {
+        let l = DataLayout::systematic(6, 4, 3);
+        assert_eq!(l.data_bearing_nodes(), 4);
+        assert_eq!(l.file_units(), 12);
+        assert_eq!(l.data_units_of(1), &[3, 4, 5]);
+        assert_eq!(l.data_units_of(5), &[] as &[usize]);
+        assert_eq!(l.data_fraction(0), 1.0);
+        assert_eq!(l.data_fraction(4), 0.0);
+        assert!(l.is_contiguous_per_node());
+        assert_eq!(l.locate(7), Some(UnitRef { node: 2, unit: 1 }));
+        assert_eq!(l.locate(99), None);
+    }
+
+    #[test]
+    fn byte_ranges() {
+        let l = DataLayout::systematic(4, 2, 2);
+        assert_eq!(l.data_byte_range(0, 100), 0..200);
+        assert_eq!(l.data_byte_range(3, 100), 0..0);
+        assert_eq!(l.file_byte_range(1, 100), Some(200..400));
+        assert_eq!(l.file_byte_range(2, 100), None);
+    }
+
+    #[test]
+    fn carousel_like_layout() {
+        // 3 nodes, sub = 3, each node carries 2 of 6 file units: the paper's
+        // Fig. 2 layout.
+        let l = DataLayout::new(3, 6, vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+        assert_eq!(l.data_bearing_nodes(), 3);
+        assert!((l.data_fraction(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(l.is_contiguous_per_node());
+    }
+
+    #[test]
+    #[should_panic(expected = "mapped twice")]
+    fn duplicate_file_unit_rejected() {
+        let _ = DataLayout::new(2, 4, vec![vec![0, 1], vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not mapped")]
+    fn missing_file_unit_rejected() {
+        let _ = DataLayout::new(2, 4, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "claims")]
+    fn overfull_node_rejected() {
+        let _ = DataLayout::new(1, 2, vec![vec![0, 1]]);
+    }
+}

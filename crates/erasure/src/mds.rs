@@ -1,0 +1,213 @@
+//! Verification of the MDS property: any `k` blocks must decode.
+
+use crate::linear::LinearCode;
+
+/// Outcome of an MDS verification sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdsReport {
+    /// Every checked `k`-subset of blocks had full rank.
+    Mds {
+        /// How many subsets were checked.
+        subsets_checked: usize,
+        /// Whether that covered *all* `C(n, k)` subsets.
+        exhaustive: bool,
+    },
+    /// A counterexample subset that cannot decode.
+    NotMds {
+        /// The failing block subset.
+        counterexample: Vec<usize>,
+    },
+}
+
+impl MdsReport {
+    /// `true` when no counterexample was found.
+    pub fn is_mds(&self) -> bool {
+        matches!(self, MdsReport::Mds { .. })
+    }
+}
+
+/// Checks the MDS property by decoding-rank over `k`-subsets of blocks.
+///
+/// All `C(n,k)` subsets are checked if there are at most `max_subsets` of
+/// them; otherwise a deterministic stratified sample of `max_subsets`
+/// subsets is checked (every block participates).
+///
+/// # Examples
+///
+/// ```
+/// use erasure::{mds::verify_mds, LinearCode};
+/// use gf256::{builders::systematize, Matrix};
+///
+/// let code = LinearCode::new(6, 4, 1, systematize(&Matrix::vandermonde(6, 4)))?;
+/// assert!(verify_mds(&code, 100).is_mds());
+/// # Ok::<(), erasure::CodeError>(())
+/// ```
+pub fn verify_mds(code: &LinearCode, max_subsets: usize) -> MdsReport {
+    let n = code.n();
+    let k = code.k();
+    let total = binomial(n, k);
+    if total.map_or(false, |t| t <= max_subsets) {
+        let mut checked = 0;
+        let mut subset: Vec<usize> = (0..k).collect();
+        loop {
+            checked += 1;
+            if !code.can_decode(&subset) {
+                return MdsReport::NotMds {
+                    counterexample: subset,
+                };
+            }
+            if !next_combination(&mut subset, n) {
+                break;
+            }
+        }
+        MdsReport::Mds {
+            subsets_checked: checked,
+            exhaustive: true,
+        }
+    } else {
+        // Deterministic LCG-driven sample; also always include the sliding
+        // windows so every block appears in several subsets.
+        let mut checked = 0;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut subset = Vec::with_capacity(k);
+        for start in 0..n {
+            subset.clear();
+            subset.extend((0..k).map(|j| (start + j) % n));
+            subset.sort_unstable();
+            checked += 1;
+            if !code.can_decode(&subset) {
+                return MdsReport::NotMds {
+                    counterexample: subset,
+                };
+            }
+        }
+        while checked < max_subsets {
+            subset.clear();
+            let mut pool: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = i + (state >> 33) as usize % (n - i);
+                pool.swap(i, j);
+                subset.push(pool[i]);
+            }
+            subset.sort_unstable();
+            checked += 1;
+            if !code.can_decode(&subset) {
+                return MdsReport::NotMds {
+                    counterexample: subset,
+                };
+            }
+        }
+        MdsReport::Mds {
+            subsets_checked: checked,
+            exhaustive: false,
+        }
+    }
+}
+
+/// `C(n, k)` with overflow detection.
+pub(crate) fn binomial(n: usize, k: usize) -> Option<usize> {
+    let k = k.min(n - k);
+    let mut acc: usize = 1;
+    for i in 0..k {
+        acc = acc.checked_mul(n - i)?;
+        acc /= i + 1;
+    }
+    Some(acc)
+}
+
+/// Advances `subset` (sorted, values `< n`) to the next combination in
+/// lexicographic order; returns `false` after the last one.
+pub(crate) fn next_combination(subset: &mut [usize], n: usize) -> bool {
+    let k = subset.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if subset[i] < n - (k - i) {
+            subset[i] += 1;
+            for j in i + 1..k {
+                subset[j] = subset[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf256::builders::systematize;
+    use gf256::{Gf256, Matrix};
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(6, 3), Some(20));
+        assert_eq!(binomial(12, 6), Some(924));
+        assert_eq!(binomial(5, 0), Some(1));
+        assert_eq!(binomial(5, 5), Some(1));
+    }
+
+    #[test]
+    fn combinations_enumerate_all() {
+        let mut c = vec![0, 1, 2];
+        let mut count = 1;
+        while next_combination(&mut c, 6) {
+            count += 1;
+        }
+        assert_eq!(count, 20);
+    }
+
+    #[test]
+    fn vandermonde_code_is_mds() {
+        let code = LinearCode::new(8, 4, 1, systematize(&Matrix::vandermonde(8, 4))).unwrap();
+        let report = verify_mds(&code, 1_000);
+        assert_eq!(
+            report,
+            MdsReport::Mds {
+                subsets_checked: 70,
+                exhaustive: true
+            }
+        );
+    }
+
+    #[test]
+    fn broken_code_is_detected() {
+        // Duplicate a generator row: the subset containing both copies is
+        // singular.
+        let mut g = systematize(&Matrix::vandermonde(5, 3));
+        for c in 0..3 {
+            let v = g.get(0, c);
+            g.set(4, c, v);
+        }
+        let code = LinearCode::new(5, 3, 1, g).unwrap();
+        let report = verify_mds(&code, 1_000);
+        assert!(!report.is_mds());
+        if let MdsReport::NotMds { counterexample } = report {
+            assert!(counterexample.contains(&0) && counterexample.contains(&4));
+        }
+    }
+
+    #[test]
+    fn sampled_mode_used_for_large_spaces() {
+        let code = LinearCode::new(24, 12, 1, systematize(&Matrix::vandermonde(24, 12))).unwrap();
+        let report = verify_mds(&code, 200);
+        match report {
+            MdsReport::Mds {
+                subsets_checked,
+                exhaustive,
+            } => {
+                assert!(!exhaustive);
+                assert_eq!(subsets_checked, 200);
+            }
+            MdsReport::NotMds { .. } => panic!("vandermonde should be MDS"),
+        }
+    }
+
+    #[test]
+    fn all_zero_code_fails_fast() {
+        let g = Matrix::from_fn(4, 2, |_, _| Gf256::ZERO);
+        let code = LinearCode::new(4, 2, 1, g).unwrap();
+        assert!(!verify_mds(&code, 10).is_mds());
+    }
+}

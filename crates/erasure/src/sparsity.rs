@@ -1,0 +1,97 @@
+//! Generator-matrix sparsity statistics and rendering (paper Fig. 5).
+//!
+//! The paper observes that although the Carousel generating matrix is
+//! `N₀`-times larger than the RS matrix it came from, each parity row has
+//! only `k` (or `k·α`) nonzero coefficients, so sparse-aware encoding costs
+//! the same per output byte. These helpers quantify and visualize that.
+
+use gf256::Matrix;
+
+/// Summary statistics of a generator matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Matrix dimensions `(rows, cols)`.
+    pub shape: (usize, usize),
+    /// Count of nonzero coefficients.
+    pub nonzeros: usize,
+    /// Fraction of entries that are nonzero.
+    pub density: f64,
+    /// Maximum nonzeros in any single row.
+    pub max_row_weight: usize,
+    /// Mean nonzeros per row.
+    pub avg_row_weight: f64,
+    /// Number of rows that are unit vectors (systematic/data rows).
+    pub identity_rows: usize,
+}
+
+/// Computes [`MatrixStats`] for a matrix.
+pub fn stats(m: &Matrix) -> MatrixStats {
+    let rows = m.rows();
+    let cols = m.cols();
+    let nonzeros = m.nonzeros();
+    let mut max_row_weight = 0;
+    let mut identity_rows = 0;
+    for r in 0..rows {
+        let w = m.row_weight(r);
+        max_row_weight = max_row_weight.max(w);
+        if w == 1 && m.row(r).iter().any(|v| *v == gf256::Gf256::ONE) {
+            identity_rows += 1;
+        }
+    }
+    MatrixStats {
+        shape: (rows, cols),
+        nonzeros,
+        density: nonzeros as f64 / (rows * cols).max(1) as f64,
+        max_row_weight,
+        avg_row_weight: nonzeros as f64 / rows.max(1) as f64,
+        identity_rows,
+    }
+}
+
+/// Renders the zero/nonzero pattern as ASCII art — `█` for a nonzero entry,
+/// `·` for zero — the visual equivalent of the paper's Fig. 5.
+pub fn render_pattern(m: &Matrix) -> String {
+    let mut out = String::with_capacity(m.rows() * (2 * m.cols() + 1));
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            out.push(if m.get(r, c).is_zero() { '·' } else { '█' });
+            out.push(' ');
+        }
+        out.pop();
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gf256::builders::systematize;
+
+    #[test]
+    fn stats_of_systematic_generator() {
+        let g = systematize(&Matrix::vandermonde(5, 3));
+        let s = stats(&g);
+        assert_eq!(s.shape, (5, 3));
+        assert_eq!(s.identity_rows, 3);
+        assert_eq!(s.max_row_weight, 3);
+        assert_eq!(s.nonzeros, 3 + 2 * 3);
+        assert!((s.density - 9.0 / 15.0).abs() < 1e-12);
+        assert!((s.avg_row_weight - 9.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pattern_rendering() {
+        let g = Matrix::identity(2);
+        assert_eq!(render_pattern(&g), "█ ·\n· █\n");
+    }
+
+    #[test]
+    fn stats_of_empty_ish_matrix() {
+        let z = Matrix::zeros(3, 3);
+        let s = stats(&z);
+        assert_eq!(s.nonzeros, 0);
+        assert_eq!(s.max_row_weight, 0);
+        assert_eq!(s.identity_rows, 0);
+    }
+}

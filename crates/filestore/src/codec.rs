@@ -1,0 +1,624 @@
+//! The file codec: stripes, whole-file decode, byte-range reads, repair.
+
+use erasure::{ColumnUpdater, DecodePlan, ErasureCode, SparseEncoder};
+
+use crate::error::FileError;
+
+/// Metadata of an encoded file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Original file length in bytes.
+    pub file_len: u64,
+    /// Bytes per encoded block.
+    pub block_bytes: usize,
+    /// Blocks per stripe (`n`).
+    pub n: usize,
+    /// Data blocks per stripe (`k`).
+    pub k: usize,
+    /// Number of stripes.
+    pub stripes: usize,
+    /// Original data bytes per stripe (`k · block_bytes` for MDS-shaped
+    /// codes; less for MBR codes, which store extra per block).
+    pub stripe_data_bytes: usize,
+    /// Human-readable code name (e.g. `Carousel(12,6,10,12)`).
+    pub code_name: String,
+}
+
+impl FileMeta {
+    /// Original data bytes carried by one stripe.
+    pub fn stripe_data_bytes(&self) -> usize {
+        self.stripe_data_bytes
+    }
+}
+
+/// A fixed-geometry file encoder for one erasure code.
+#[derive(Debug, Clone)]
+pub struct FileCodec<C> {
+    code: C,
+    block_bytes: usize,
+}
+
+impl<C: ErasureCode> FileCodec<C> {
+    /// Creates a codec with the given per-block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileError::BadGeometry`] unless `block_bytes` is positive
+    /// and divisible by the code's units-per-block (`sub`), so every unit
+    /// has a whole number of bytes.
+    pub fn new(code: C, block_bytes: usize) -> Result<Self, FileError> {
+        let sub = code.linear().sub();
+        if block_bytes == 0 || block_bytes % sub != 0 {
+            return Err(FileError::BadGeometry {
+                reason: format!(
+                    "block size {block_bytes} must be a positive multiple of sub = {sub}"
+                ),
+            });
+        }
+        Ok(FileCodec { code, block_bytes })
+    }
+
+    /// The underlying code.
+    pub fn code(&self) -> &C {
+        &self.code
+    }
+
+    /// Bytes per encoded block.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// Original data bytes per stripe: `message_units · unit_bytes`
+    /// (`k · block_bytes` for MDS-shaped codes).
+    pub fn stripe_data_bytes(&self) -> usize {
+        let unit = self.block_bytes / self.code.linear().sub();
+        self.code.linear().message_units() * unit
+    }
+
+    /// Encodes one stripe's worth of data (zero-padded to a full stripe).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileError::BadGeometry`] if `chunk` exceeds a stripe.
+    pub fn encode_stripe(&self, chunk: &[u8]) -> Result<Vec<Vec<u8>>, FileError> {
+        let sdb = self.stripe_data_bytes();
+        if chunk.is_empty() || chunk.len() > sdb {
+            return Err(FileError::BadGeometry {
+                reason: format!("stripe chunk of {} bytes, expected 1..={sdb}", chunk.len()),
+            });
+        }
+        let mut padded = chunk.to_vec();
+        padded.resize(sdb, 0);
+        let encoder = SparseEncoder::new(self.code.linear());
+        let stripe = encoder.encode(&padded)?;
+        debug_assert_eq!(stripe.block_bytes(), self.block_bytes);
+        Ok(stripe.blocks)
+    }
+
+    /// Encodes a whole file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileError::BadGeometry`] for empty input.
+    pub fn encode(&self, data: &[u8]) -> Result<EncodedFile<C>, FileError>
+    where
+        C: Clone,
+    {
+        if data.is_empty() {
+            return Err(FileError::BadGeometry {
+                reason: "cannot encode an empty file".into(),
+            });
+        }
+        let sdb = self.stripe_data_bytes();
+        let mut stripes = Vec::with_capacity(data.len().div_ceil(sdb));
+        for chunk in data.chunks(sdb) {
+            stripes.push(self.encode_stripe(chunk)?.into_iter().map(Some).collect());
+        }
+        let meta = FileMeta {
+            file_len: data.len() as u64,
+            block_bytes: self.block_bytes,
+            n: self.code.n(),
+            k: self.code.k(),
+            stripes: stripes.len(),
+            stripe_data_bytes: sdb,
+            code_name: self.code.name(),
+        };
+        Ok(EncodedFile {
+            codec: self.clone(),
+            meta,
+            stripes,
+        })
+    }
+
+    /// Decodes one stripe from its (partially available) blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileError::StripeUnrecoverable`] with fewer than `k` live
+    /// blocks.
+    pub fn decode_stripe(&self, blocks: &[Option<Vec<u8>>]) -> Result<Vec<u8>, FileError> {
+        let live: Vec<usize> = blocks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.as_ref().map(|_| i))
+            .collect();
+        let k = self.code.k();
+        if live.len() < k {
+            return Err(FileError::StripeUnrecoverable {
+                stripe: 0,
+                live: live.len(),
+                needed: k,
+            });
+        }
+        let nodes: Vec<usize> = live.into_iter().take(k).collect();
+        let plan = DecodePlan::for_nodes(self.code.linear(), &nodes)?;
+        let refs: Vec<&[u8]> = nodes
+            .iter()
+            .map(|&i| blocks[i].as_deref().expect("selected live block"))
+            .collect();
+        Ok(plan.decode(&refs)?)
+    }
+}
+
+/// A file encoded into stripes of blocks, with per-block availability.
+#[derive(Debug, Clone)]
+pub struct EncodedFile<C> {
+    codec: FileCodec<C>,
+    meta: FileMeta,
+    /// `stripes[s][block]` — `None` once dropped/lost.
+    stripes: Vec<Vec<Option<Vec<u8>>>>,
+}
+
+impl<C: ErasureCode> EncodedFile<C> {
+    /// Creates an encoded file with every block missing — the starting
+    /// point for loaders that fill blocks in from storage.
+    pub fn empty(codec: FileCodec<C>, meta: FileMeta) -> Self {
+        let stripes = (0..meta.stripes)
+            .map(|_| (0..meta.n).map(|_| None).collect())
+            .collect();
+        EncodedFile {
+            codec,
+            meta,
+            stripes,
+        }
+    }
+
+    /// The file metadata.
+    pub fn meta(&self) -> &FileMeta {
+        &self.meta
+    }
+
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Borrows a block's bytes, if present.
+    pub fn block(&self, stripe: usize, block: usize) -> Option<&[u8]> {
+        self.stripes.get(stripe)?.get(block)?.as_deref()
+    }
+
+    /// Replaces a block's bytes (used by repair and the on-disk loader).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or wrong block size.
+    pub fn set_block(&mut self, stripe: usize, block: usize, bytes: Vec<u8>) {
+        assert_eq!(bytes.len(), self.meta.block_bytes, "wrong block size");
+        self.stripes[stripe][block] = Some(bytes);
+    }
+
+    /// Marks a block lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn drop_block(&mut self, stripe: usize, block: usize) {
+        self.stripes[stripe][block] = None;
+    }
+
+    /// Live block indices of a stripe.
+    pub fn live_blocks(&self, stripe: usize) -> Vec<usize> {
+        self.stripes[stripe]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Decodes the entire file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileError::StripeUnrecoverable`] naming the first stripe
+    /// with fewer than `k` live blocks.
+    pub fn decode(&self) -> Result<Vec<u8>, FileError> {
+        let mut out = Vec::with_capacity(self.meta.file_len as usize);
+        for (s, blocks) in self.stripes.iter().enumerate() {
+            let data = self.codec.decode_stripe(blocks).map_err(|e| match e {
+                FileError::StripeUnrecoverable { live, needed, .. } => {
+                    FileError::StripeUnrecoverable {
+                        stripe: s,
+                        live,
+                        needed,
+                    }
+                }
+                other => other,
+            })?;
+            out.extend_from_slice(&data);
+        }
+        out.truncate(self.meta.file_len as usize);
+        Ok(out)
+    }
+
+    /// Reads `len` bytes at `offset`, touching only the stripes involved
+    /// and decoding a stripe only when a needed unit's block is missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileError::RangeOutOfBounds`] for ranges past the end and
+    /// [`FileError::StripeUnrecoverable`] when a needed stripe cannot be
+    /// decoded.
+    pub fn read_range(&self, offset: u64, len: u64) -> Result<Vec<u8>, FileError> {
+        if offset + len > self.meta.file_len {
+            return Err(FileError::RangeOutOfBounds {
+                offset,
+                len,
+                file_len: self.meta.file_len,
+            });
+        }
+        let sdb = self.meta.stripe_data_bytes as u64;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut off = offset;
+        let mut remaining = len;
+        while remaining > 0 {
+            let stripe = (off / sdb) as usize;
+            let within = (off % sdb) as usize;
+            let take = remaining.min(sdb - within as u64) as usize;
+            self.read_within_stripe(stripe, within, take, &mut out)?;
+            off += take as u64;
+            remaining -= take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Repairs a missing block of one stripe in place from `d` live blocks.
+    ///
+    /// # Errors
+    ///
+    /// Fails when fewer than `d` helpers are live or the block is not
+    /// actually missing.
+    pub fn repair_block(&mut self, stripe: usize, block: usize) -> Result<(), FileError> {
+        if self.stripes[stripe][block].is_some() {
+            return Err(FileError::BadGeometry {
+                reason: format!("block {block} of stripe {stripe} is not missing"),
+            });
+        }
+        let d = self.codec.code.d();
+        let live = self.live_blocks(stripe);
+        if live.len() < d {
+            return Err(FileError::StripeUnrecoverable {
+                stripe,
+                live: live.len(),
+                needed: d,
+            });
+        }
+        let helpers: Vec<usize> = live.into_iter().take(d).collect();
+        let plan = self.codec.code.repair_plan(block, &helpers)?;
+        let blocks: Vec<&[u8]> = helpers
+            .iter()
+            .map(|&i| self.stripes[stripe][i].as_deref().expect("live helper"))
+            .collect();
+        let (rebuilt, _) = plan.run(&blocks)?;
+        self.stripes[stripe][block] = Some(rebuilt);
+        Ok(())
+    }
+
+    /// Overwrites `bytes` at `offset` *in place*, updating parity with
+    /// delta writes: each modified message unit changes every affected
+    /// encoded unit by `coeff · Δ` instead of re-encoding whole stripes —
+    /// the read-modify-write path of erasure-coded storage.
+    ///
+    /// Every block of each touched stripe must be present (a real system
+    /// would repair first); the write cannot extend the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileError::RangeOutOfBounds`] past EOF and
+    /// [`FileError::StripeUnrecoverable`] if a touched stripe has missing
+    /// blocks.
+    pub fn write_range(&mut self, offset: u64, bytes: &[u8]) -> Result<(), FileError> {
+        if offset + bytes.len() as u64 > self.meta.file_len {
+            return Err(FileError::RangeOutOfBounds {
+                offset,
+                len: bytes.len() as u64,
+                file_len: self.meta.file_len,
+            });
+        }
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let updater = ColumnUpdater::new(self.codec.code.linear());
+        let layout = self.codec.code.data_layout();
+        let sub = self.codec.code.linear().sub();
+        let w = self.meta.block_bytes / sub;
+        let sdb = self.meta.stripe_data_bytes as u64;
+
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let abs = offset + pos as u64;
+            let stripe = (abs / sdb) as usize;
+            let within = (abs % sdb) as usize;
+            let unit = within / w;
+            let in_unit = within % w;
+            let chunk = (w - in_unit).min(bytes.len() - pos);
+
+            // All blocks of this stripe must be live for an in-place update.
+            if self.stripes[stripe].iter().any(Option::is_none) {
+                return Err(FileError::StripeUnrecoverable {
+                    stripe,
+                    live: self.live_blocks(stripe).len(),
+                    needed: self.meta.n,
+                });
+            }
+            // Old bytes of the touched unit live in its data location.
+            let loc = layout.locate(unit).expect("every file unit is mapped");
+            let start = loc.unit * w + in_unit;
+            let old = self.stripes[stripe][loc.node]
+                .as_ref()
+                .expect("checked live")
+                [start..start + chunk]
+                .to_vec();
+            // Unit-wide delta (zero outside the written span).
+            let mut delta = vec![0u8; w];
+            for (i, (&new, &o)) in bytes[pos..pos + chunk].iter().zip(&old).enumerate() {
+                delta[in_unit + i] = new ^ o;
+            }
+            // Move the blocks out, apply the delta, move them back.
+            let mut blocks: Vec<Vec<u8>> = self.stripes[stripe]
+                .iter_mut()
+                .map(|b| b.take().expect("checked live"))
+                .collect();
+            let applied = updater.apply(unit, &delta, &mut blocks);
+            for (slot, block) in self.stripes[stripe].iter_mut().zip(blocks) {
+                *slot = Some(block);
+            }
+            applied.map_err(FileError::Code)?;
+            pos += chunk;
+        }
+        Ok(())
+    }
+
+    /// Deep-scrubs the file: for every stripe with all `n` blocks present,
+    /// runs the consistency check of [`erasure::consistency`] (subset-vote
+    /// corruption localization — no checksums needed). Stripes with missing
+    /// blocks are skipped (`None`).
+    pub fn scrub(&self) -> Vec<Option<erasure::consistency::StripeHealth>> {
+        self.stripes
+            .iter()
+            .map(|blocks| {
+                let refs: Option<Vec<&[u8]>> =
+                    blocks.iter().map(|b| b.as_deref()).collect();
+                refs.and_then(|refs| {
+                    erasure::consistency::check_stripe(self.codec.code.linear(), &refs).ok()
+                })
+            })
+            .collect()
+    }
+
+    /// Serves `take` bytes at offset `within` of stripe `stripe`'s data,
+    /// copying from live data regions where possible.
+    fn read_within_stripe(
+        &self,
+        stripe: usize,
+        within: usize,
+        take: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), FileError> {
+        let layout = self.codec.code.data_layout();
+        let sub = self.codec.code.linear().sub();
+        let w = self.meta.block_bytes / sub;
+        let mut decoded: Option<Vec<u8>> = None;
+        let mut pos = within;
+        let end = within + take;
+        while pos < end {
+            let unit = pos / w;
+            let in_unit = pos % w;
+            let chunk = (w - in_unit).min(end - pos);
+            let served = layout.locate(unit).and_then(|loc| {
+                self.block(stripe, loc.node).map(|bytes| {
+                    let start = loc.unit * w + in_unit;
+                    &bytes[start..start + chunk]
+                })
+            });
+            match served {
+                Some(slice) => out.extend_from_slice(slice),
+                None => {
+                    if decoded.is_none() {
+                        decoded = Some(self.codec.decode_stripe(&self.stripes[stripe]).map_err(
+                            |e| match e {
+                                FileError::StripeUnrecoverable { live, needed, .. } => {
+                                    FileError::StripeUnrecoverable {
+                                        stripe,
+                                        live,
+                                        needed,
+                                    }
+                                }
+                                other => other,
+                            },
+                        )?);
+                    }
+                    let data = decoded.as_ref().expect("just decoded");
+                    out.extend_from_slice(&data[pos..pos + chunk]);
+                }
+            }
+            pos += chunk;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carousel::Carousel;
+    use rs_code::ReedSolomon;
+
+    fn data(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 131 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn geometry_validation() {
+        let code = Carousel::new(6, 3, 3, 6).unwrap(); // sub = 2
+        assert!(FileCodec::new(code.clone(), 0).is_err());
+        assert!(FileCodec::new(code.clone(), 101).is_err());
+        assert!(FileCodec::new(code, 100).is_ok());
+    }
+
+    #[test]
+    fn encode_decode_multi_stripe() {
+        let codec = FileCodec::new(ReedSolomon::new(6, 4).unwrap(), 256).unwrap();
+        let file = data(3000); // 2.9 stripes of 1024
+        let enc = codec.encode(&file).unwrap();
+        assert_eq!(enc.stripes(), 3);
+        assert_eq!(enc.meta().file_len, 3000);
+        assert_eq!(enc.decode().unwrap(), file);
+    }
+
+    #[test]
+    fn decode_with_failures_per_stripe() {
+        let codec = FileCodec::new(Carousel::new(6, 3, 3, 6).unwrap(), 300).unwrap();
+        let file = data(2000);
+        let mut enc = codec.encode(&file).unwrap();
+        for s in 0..enc.stripes() {
+            enc.drop_block(s, s % 6);
+            enc.drop_block(s, (s + 3) % 6);
+        }
+        assert_eq!(enc.decode().unwrap(), file);
+    }
+
+    #[test]
+    fn too_many_failures_names_the_stripe() {
+        let codec = FileCodec::new(ReedSolomon::new(4, 2).unwrap(), 64).unwrap();
+        let file = data(400); // 4 stripes of 128
+        let mut enc = codec.encode(&file).unwrap();
+        for b in 0..3 {
+            enc.drop_block(2, b);
+        }
+        match enc.decode() {
+            Err(FileError::StripeUnrecoverable { stripe, live, needed }) => {
+                assert_eq!((stripe, live, needed), (2, 1, 2));
+            }
+            other => panic!("expected StripeUnrecoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_reads_match_source() {
+        let codec = FileCodec::new(Carousel::new(5, 3, 3, 5).unwrap(), 120).unwrap();
+        let file = data(2500);
+        let enc = codec.encode(&file).unwrap();
+        for (off, len) in [(0u64, 1u64), (359, 2), (0, 2500), (1000, 720), (2499, 1), (123, 456)] {
+            let got = enc.read_range(off, len).unwrap();
+            assert_eq!(got, &file[off as usize..(off + len) as usize], "({off},{len})");
+        }
+        assert!(enc.read_range(2400, 200).is_err());
+    }
+
+    #[test]
+    fn range_reads_survive_failures() {
+        let codec = FileCodec::new(Carousel::new(6, 4, 4, 6).unwrap(), 240).unwrap();
+        let file = data(4000);
+        let mut enc = codec.encode(&file).unwrap();
+        enc.drop_block(0, 0);
+        enc.drop_block(1, 3);
+        for (off, len) in [(0u64, 500u64), (900, 1200), (0, 4000)] {
+            let got = enc.read_range(off, len).unwrap();
+            assert_eq!(got, &file[off as usize..(off + len) as usize]);
+        }
+    }
+
+    #[test]
+    fn repair_restores_byte_identical_blocks() {
+        let codec = FileCodec::new(Carousel::new(8, 4, 6, 8).unwrap(), 480).unwrap();
+        let file = data(5000);
+        let mut enc = codec.encode(&file).unwrap();
+        let original = enc.block(1, 2).unwrap().to_vec();
+        enc.drop_block(1, 2);
+        enc.repair_block(1, 2).unwrap();
+        assert_eq!(enc.block(1, 2).unwrap(), &original[..]);
+        // Repairing a present block is an error.
+        assert!(enc.repair_block(1, 2).is_err());
+    }
+
+    #[test]
+    fn write_range_updates_data_and_parity() {
+        let codec = FileCodec::new(Carousel::new(6, 3, 3, 6).unwrap(), 60).unwrap();
+        let mut file = data(500);
+        let mut enc = codec.encode(&file).unwrap();
+        // Overwrite a span crossing unit and stripe boundaries.
+        let patch: Vec<u8> = (0..177).map(|i| (i * 3 + 200) as u8).collect();
+        enc.write_range(150, &patch).unwrap();
+        file[150..150 + 177].copy_from_slice(&patch);
+        // Every k-subset decodes the updated file: parity followed the data.
+        assert_eq!(enc.decode().unwrap(), file);
+        let mut lossy = enc.clone();
+        lossy.drop_block(0, 0);
+        lossy.drop_block(1, 3);
+        lossy.drop_block(2, 5);
+        assert_eq!(lossy.decode().unwrap(), file);
+        assert_eq!(enc.read_range(140, 200).unwrap(), &file[140..340]);
+    }
+
+    #[test]
+    fn write_range_validates() {
+        let codec = FileCodec::new(ReedSolomon::new(4, 2).unwrap(), 32).unwrap();
+        let file = data(200);
+        let mut enc = codec.encode(&file).unwrap();
+        assert!(enc.write_range(150, &[0u8; 100]).is_err(), "past EOF");
+        enc.write_range(10, &[]).unwrap();
+        enc.drop_block(0, 1);
+        assert!(matches!(
+            enc.write_range(0, &[1, 2, 3]),
+            Err(FileError::StripeUnrecoverable { .. })
+        ));
+    }
+
+    #[test]
+    fn scrub_localizes_silent_corruption() {
+        use erasure::consistency::StripeHealth;
+        let codec = FileCodec::new(ReedSolomon::new(6, 3).unwrap(), 120).unwrap();
+        let file = data(700);
+        let mut enc = codec.encode(&file).unwrap();
+        assert!(enc
+            .scrub()
+            .iter()
+            .all(|h| *h == Some(StripeHealth::Consistent)));
+        // Silently corrupt one block of stripe 1.
+        let mut bad = enc.block(1, 4).unwrap().to_vec();
+        bad[10] ^= 0x08;
+        enc.set_block(1, 4, bad);
+        let health = enc.scrub();
+        assert_eq!(health[0], Some(StripeHealth::Consistent));
+        assert_eq!(health[1], Some(StripeHealth::Corrupt(vec![4])));
+        // A stripe with a missing block is skipped.
+        enc.drop_block(0, 0);
+        assert_eq!(enc.scrub()[0], None);
+    }
+
+    #[test]
+    fn stripe_chunk_size_validation() {
+        let codec = FileCodec::new(ReedSolomon::new(4, 2).unwrap(), 64).unwrap();
+        assert!(codec.encode_stripe(&[]).is_err());
+        assert!(codec.encode_stripe(&data(129)).is_err());
+        assert!(codec.encode_stripe(&data(128)).is_ok());
+        assert!(codec.encode_stripe(&data(5)).is_ok(), "short chunks padded");
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let codec = FileCodec::new(ReedSolomon::new(4, 2).unwrap(), 64).unwrap();
+        assert!(codec.encode(&[]).is_err());
+    }
+}

@@ -1,0 +1,412 @@
+//! On-disk block format: a directory with a `meta` file and one file per
+//! block, used by the `carousel-tool` CLI.
+//!
+//! ```text
+//! mydata.enc/
+//!   meta                    # key=value lines
+//!   s00000_b003.blk         # stripe 0, block 3
+//!   ...
+//! ```
+//!
+//! The metadata records the code as a [`CodeSpec`] so the directory is
+//! self-describing; [`AnyCode`] instantiates it.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use carousel::Carousel;
+use erasure::{CodeError, DataLayout, ErasureCode, LinearCode, RepairPlan};
+use msr::{ProductMatrixMbr, ProductMatrixMsr};
+use rs_code::ReedSolomon;
+
+use crate::checksum::crc32;
+use crate::codec::{EncodedFile, FileCodec, FileMeta};
+use crate::error::FileError;
+
+/// A serializable description of a code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeSpec {
+    /// Systematic `(n, k)` Reed-Solomon.
+    Rs {
+        /// Blocks per stripe.
+        n: usize,
+        /// Data blocks per stripe.
+        k: usize,
+    },
+    /// `(n, k, d, p)` Carousel.
+    Carousel {
+        /// Blocks per stripe.
+        n: usize,
+        /// Data blocks per stripe.
+        k: usize,
+        /// Repair degree.
+        d: usize,
+        /// Data-parallelism degree.
+        p: usize,
+    },
+    /// `(n, k, d)` product-matrix MSR.
+    Msr {
+        /// Blocks per stripe.
+        n: usize,
+        /// Data blocks per stripe.
+        k: usize,
+        /// Repair degree.
+        d: usize,
+    },
+    /// `(n, k, d)` product-matrix MBR.
+    Mbr {
+        /// Blocks per stripe.
+        n: usize,
+        /// Data blocks per stripe.
+        k: usize,
+        /// Repair degree.
+        d: usize,
+    },
+}
+
+impl CodeSpec {
+    /// Instantiates the code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures for invalid parameters.
+    pub fn build(self) -> Result<AnyCode, CodeError> {
+        Ok(match self {
+            CodeSpec::Rs { n, k } => AnyCode::Rs(ReedSolomon::new(n, k)?),
+            CodeSpec::Carousel { n, k, d, p } => AnyCode::Carousel(Carousel::new(n, k, d, p)?),
+            CodeSpec::Msr { n, k, d } => AnyCode::Msr(ProductMatrixMsr::new(n, k, d)?),
+            CodeSpec::Mbr { n, k, d } => AnyCode::Mbr(ProductMatrixMbr::new(n, k, d)?),
+        })
+    }
+
+    /// Parses the `code=` line format produced by [`fmt::Display`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileError::BadMeta`] on malformed input.
+    pub fn parse(s: &str) -> Result<Self, FileError> {
+        let bad = || FileError::BadMeta {
+            reason: format!("unparseable code spec: {s:?}"),
+        };
+        let (kind, rest) = s.split_once('(').ok_or_else(bad)?;
+        let rest = rest.strip_suffix(')').ok_or_else(|| bad())?;
+        let nums: Vec<usize> = rest
+            .split(',')
+            .map(|v| v.trim().parse().map_err(|_| bad()))
+            .collect::<Result<_, _>>()?;
+        match (kind.trim(), nums.as_slice()) {
+            ("rs", [n, k]) => Ok(CodeSpec::Rs { n: *n, k: *k }),
+            ("carousel", [n, k, d, p]) => Ok(CodeSpec::Carousel {
+                n: *n,
+                k: *k,
+                d: *d,
+                p: *p,
+            }),
+            ("msr", [n, k, d]) => Ok(CodeSpec::Msr { n: *n, k: *k, d: *d }),
+            ("mbr", [n, k, d]) => Ok(CodeSpec::Mbr { n: *n, k: *k, d: *d }),
+            _ => Err(bad()),
+        }
+    }
+}
+
+impl fmt::Display for CodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeSpec::Rs { n, k } => write!(f, "rs({n},{k})"),
+            CodeSpec::Carousel { n, k, d, p } => write!(f, "carousel({n},{k},{d},{p})"),
+            CodeSpec::Msr { n, k, d } => write!(f, "msr({n},{k},{d})"),
+            CodeSpec::Mbr { n, k, d } => write!(f, "mbr({n},{k},{d})"),
+        }
+    }
+}
+
+/// A runtime-selected code (RS or Carousel) implementing [`ErasureCode`]
+/// by delegation — what the self-describing on-disk format instantiates.
+#[derive(Debug, Clone)]
+pub enum AnyCode {
+    /// Systematic Reed-Solomon.
+    Rs(ReedSolomon),
+    /// Carousel.
+    Carousel(Carousel),
+    /// Product-matrix MSR.
+    Msr(ProductMatrixMsr),
+    /// Product-matrix MBR.
+    Mbr(ProductMatrixMbr),
+}
+
+impl ErasureCode for AnyCode {
+    fn name(&self) -> String {
+        match self {
+            AnyCode::Rs(c) => c.name(),
+            AnyCode::Carousel(c) => c.name(),
+            AnyCode::Msr(c) => c.name(),
+            AnyCode::Mbr(c) => c.name(),
+        }
+    }
+
+    fn linear(&self) -> &LinearCode {
+        match self {
+            AnyCode::Rs(c) => c.linear(),
+            AnyCode::Carousel(c) => c.linear(),
+            AnyCode::Msr(c) => c.linear(),
+            AnyCode::Mbr(c) => c.linear(),
+        }
+    }
+
+    fn d(&self) -> usize {
+        match self {
+            AnyCode::Rs(c) => c.d(),
+            AnyCode::Carousel(c) => c.d(),
+            AnyCode::Msr(c) => c.d(),
+            AnyCode::Mbr(c) => c.d(),
+        }
+    }
+
+    fn data_layout(&self) -> DataLayout {
+        match self {
+            AnyCode::Rs(c) => c.data_layout(),
+            AnyCode::Carousel(c) => c.data_layout(),
+            AnyCode::Msr(c) => c.data_layout(),
+            AnyCode::Mbr(c) => c.data_layout(),
+        }
+    }
+
+    fn repair_plan(&self, failed: usize, helpers: &[usize]) -> Result<RepairPlan, CodeError> {
+        match self {
+            AnyCode::Rs(c) => c.repair_plan(failed, helpers),
+            AnyCode::Carousel(c) => c.repair_plan(failed, helpers),
+            AnyCode::Msr(c) => c.repair_plan(failed, helpers),
+            AnyCode::Mbr(c) => c.repair_plan(failed, helpers),
+        }
+    }
+}
+
+fn block_file_name(stripe: usize, block: usize) -> String {
+    format!("s{stripe:05}_b{block:03}.blk")
+}
+
+/// Writes an encoded file to `dir` (created if absent): `meta` plus one
+/// `.blk` file per *present* block.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn save(dir: &Path, spec: CodeSpec, file: &EncodedFile<AnyCode>) -> Result<(), FileError> {
+    fs::create_dir_all(dir)?;
+    let meta = file.meta();
+    let mut text = String::new();
+    text.push_str("format=carousel-filestore-v1\n");
+    text.push_str(&format!("code={spec}\n"));
+    text.push_str(&format!("file_len={}\n", meta.file_len));
+    text.push_str(&format!("block_bytes={}\n", meta.block_bytes));
+    text.push_str(&format!("stripes={}\n", meta.stripes));
+    text.push_str(&format!("stripe_data_bytes={}\n", meta.stripe_data_bytes));
+    for s in 0..file.stripes() {
+        for b in 0..meta.n {
+            if let Some(bytes) = file.block(s, b) {
+                fs::write(dir.join(block_file_name(s, b)), bytes)?;
+                text.push_str(&format!("crc_{s}_{b}={:08x}\n", crc32(bytes)));
+            }
+        }
+    }
+    fs::write(dir.join("meta"), text)?;
+    Ok(())
+}
+
+/// Reads the metadata of an encoded directory.
+///
+/// # Errors
+///
+/// Returns [`FileError::BadMeta`] on malformed metadata and I/O errors on
+/// filesystem failures.
+pub fn read_meta(dir: &Path) -> Result<(CodeSpec, FileMeta), FileError> {
+    let text = fs::read_to_string(dir.join("meta"))?;
+    let mut code = None;
+    let mut file_len = None;
+    let mut block_bytes = None;
+    let mut stripes = None;
+    let mut stripe_data_bytes = None;
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        match key.trim() {
+            "code" => code = Some(CodeSpec::parse(value.trim())?),
+            "file_len" => file_len = value.trim().parse().ok(),
+            "block_bytes" => block_bytes = value.trim().parse().ok(),
+            "stripes" => stripes = value.trim().parse().ok(),
+            "stripe_data_bytes" => stripe_data_bytes = value.trim().parse().ok(),
+            _ => {}
+        }
+    }
+    let missing = |what: &str| FileError::BadMeta {
+        reason: format!("missing or invalid {what}"),
+    };
+    let spec = code.ok_or_else(|| missing("code"))?;
+    let (n, k) = match spec {
+        CodeSpec::Rs { n, k }
+        | CodeSpec::Carousel { n, k, .. }
+        | CodeSpec::Msr { n, k, .. }
+        | CodeSpec::Mbr { n, k, .. } => (n, k),
+    };
+    let block_bytes: usize = block_bytes.ok_or_else(|| missing("block_bytes"))?;
+    let meta = FileMeta {
+        file_len: file_len.ok_or_else(|| missing("file_len"))?,
+        block_bytes,
+        n,
+        k,
+        stripes: stripes.ok_or_else(|| missing("stripes"))?,
+        // Older directories predate this field and only held MDS-shaped
+        // codes, for which k * block_bytes is the correct fallback.
+        stripe_data_bytes: stripe_data_bytes.unwrap_or(k * block_bytes),
+        code_name: spec.to_string(),
+    };
+    Ok((spec, meta))
+}
+
+/// Loads an encoded directory: missing `.blk` files become missing blocks,
+/// and blocks whose CRC-32 disagrees with the metadata are *quarantined*
+/// (treated as missing, so the erasure code can recover them).
+///
+/// # Errors
+///
+/// Propagates metadata and filesystem failures; individual absent or
+/// corrupt block files are *not* errors (that is the point of erasure
+/// coding).
+pub fn load(dir: &Path) -> Result<EncodedFile<AnyCode>, FileError> {
+    let (spec, meta) = read_meta(dir)?;
+    let crcs = read_crcs(dir)?;
+    let code = spec.build()?;
+    let codec = FileCodec::new(code, meta.block_bytes)?;
+    let mut file = EncodedFile::empty(codec, meta.clone());
+    for s in 0..meta.stripes {
+        for b in 0..meta.n {
+            let path = dir.join(block_file_name(s, b));
+            if path.exists() {
+                let bytes = fs::read(&path)?;
+                if bytes.len() != meta.block_bytes {
+                    return Err(FileError::BadMeta {
+                        reason: format!(
+                            "block file {} has {} bytes, expected {}",
+                            path.display(),
+                            bytes.len(),
+                            meta.block_bytes
+                        ),
+                    });
+                }
+                // Quarantine blocks failing their recorded checksum.
+                if let Some(&expect) = crcs.get(&(s, b)) {
+                    if crc32(&bytes) != expect {
+                        continue;
+                    }
+                }
+                file.set_block(s, b, bytes);
+            }
+        }
+    }
+    Ok(file)
+}
+
+/// Reads the per-block CRCs recorded in the metadata.
+fn read_crcs(dir: &Path) -> Result<std::collections::HashMap<(usize, usize), u32>, FileError> {
+    let text = fs::read_to_string(dir.join("meta"))?;
+    let mut out = std::collections::HashMap::new();
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let Some(rest) = key.trim().strip_prefix("crc_") else {
+            continue;
+        };
+        let Some((s, b)) = rest.split_once('_') else {
+            continue;
+        };
+        if let (Ok(s), Ok(b), Ok(crc)) = (
+            s.parse::<usize>(),
+            b.parse::<usize>(),
+            u32::from_str_radix(value.trim(), 16),
+        ) {
+            out.insert((s, b), crc);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_spec_round_trip() {
+        for spec in [
+            CodeSpec::Rs { n: 12, k: 6 },
+            CodeSpec::Carousel { n: 12, k: 6, d: 10, p: 12 },
+            CodeSpec::Msr { n: 12, k: 6, d: 10 },
+            CodeSpec::Mbr { n: 12, k: 6, d: 10 },
+        ] {
+            assert_eq!(CodeSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+        assert!(CodeSpec::parse("nonsense").is_err());
+        assert!(CodeSpec::parse("rs(1,2,3)").is_err());
+        assert!(CodeSpec::parse("carousel(1,x,3,4)").is_err());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("filestore-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let spec = CodeSpec::Carousel { n: 6, k: 3, d: 3, p: 6 };
+        let codec = FileCodec::new(spec.build().unwrap(), 120).unwrap();
+        let data: Vec<u8> = (0..777).map(|i| (i * 31 + 1) as u8).collect();
+        let enc = codec.encode(&data).unwrap();
+        save(&dir, spec, &enc).unwrap();
+
+        // Delete two block files of stripe 0: still loads and decodes.
+        fs::remove_file(dir.join(block_file_name(0, 1))).unwrap();
+        fs::remove_file(dir.join(block_file_name(0, 4))).unwrap();
+        let loaded = load(&dir).unwrap();
+        assert_eq!(loaded.live_blocks(0).len(), 4);
+        assert_eq!(loaded.decode().unwrap(), data);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_blocks_are_quarantined_and_recovered() {
+        let dir =
+            std::env::temp_dir().join(format!("filestore-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let spec = CodeSpec::Rs { n: 5, k: 3 };
+        let codec = FileCodec::new(spec.build().unwrap(), 90).unwrap();
+        let data: Vec<u8> = (0..500).map(|i| (i * 13 + 5) as u8).collect();
+        let enc = codec.encode(&data).unwrap();
+        save(&dir, spec, &enc).unwrap();
+
+        // Flip one byte inside a block file: bit rot.
+        let victim = dir.join(block_file_name(0, 1));
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes[7] ^= 0xFF;
+        fs::write(&victim, bytes).unwrap();
+
+        let loaded = load(&dir).unwrap();
+        assert!(
+            !loaded.live_blocks(0).contains(&1),
+            "corrupt block must be quarantined"
+        );
+        assert_eq!(loaded.decode().unwrap(), data, "code recovers the damage");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn meta_errors_are_descriptive() {
+        let dir = std::env::temp_dir().join(format!("filestore-badmeta-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("meta"), "format=x\ncode=rs(4,2)\nblock_bytes=64\n").unwrap();
+        match read_meta(&dir) {
+            Err(FileError::BadMeta { reason }) => assert!(reason.contains("file_len")),
+            other => panic!("expected BadMeta, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,49 @@
+//! File-level storage on top of the coding crates: the layer a real
+//! deployment (like the paper's Hadoop prototype) needs between "a code"
+//! and "a file".
+//!
+//! * [`FileCodec`] — fixed-geometry encoder: a file becomes a sequence of
+//!   stripes of `k · block_bytes` data each, every stripe independently
+//!   encoded into `n` blocks;
+//! * [`EncodedFile`] — in-memory encoded form with whole-file decode under
+//!   arbitrary per-block availability, and **byte-range reads** that touch
+//!   only the stripes/blocks they need (reading straight from data regions
+//!   when possible, falling back to decoding only the affected stripes);
+//! * [`stream`] — incremental encoding/decoding over `std::io` readers and
+//!   writers, one stripe of memory at a time;
+//! * [`mod@format`] — a simple on-disk block format (`meta` + one file per
+//!   block) used by the `carousel-tool` CLI.
+//!
+//! # Examples
+//!
+//! ```
+//! use carousel::Carousel;
+//! use filestore::FileCodec;
+//!
+//! let codec = FileCodec::new(Carousel::new(6, 4, 4, 6)?, 4098)?; // 3 units/block
+//! let data = vec![7u8; 40_000]; // 2.5 stripes
+//! let encoded = codec.encode(&data)?;
+//! assert_eq!(encoded.stripes(), 3);
+//! // Lose up to n - k = 2 blocks of every stripe and still read anything:
+//! let mut lossy = encoded.clone();
+//! lossy.drop_block(0, 1);
+//! lossy.drop_block(1, 5);
+//! lossy.drop_block(2, 0);
+//! assert_eq!(lossy.read_range(10_000, 64)?, &data[10_000..10_064]);
+//! # Ok::<(), filestore::FileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod error;
+
+pub mod checksum;
+
+pub mod format;
+pub mod stream;
+
+pub use codec::{EncodedFile, FileCodec, FileMeta};
+pub use erasure::consistency::StripeHealth;
+pub use error::FileError;

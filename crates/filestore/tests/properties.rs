@@ -1,0 +1,96 @@
+//! Property tests: random files, random geometries, random failures — the
+//! file layer must round-trip everything within the code's tolerance.
+
+use carousel::Carousel;
+use filestore::FileCodec;
+use proptest::prelude::*;
+use rs_code::ReedSolomon;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rs_files_round_trip_any_size(
+        len in 1usize..5_000,
+        block in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let codec = FileCodec::new(ReedSolomon::new(6, 4).unwrap(), block).unwrap();
+        let data: Vec<u8> = (0..len)
+            .map(|i| ((i as u64).wrapping_mul(seed | 1) >> 5) as u8)
+            .collect();
+        let mut enc = codec.encode(&data).unwrap();
+        // Drop up to n - k = 2 random blocks per stripe.
+        let mut s = seed;
+        for stripe in 0..enc.stripes() {
+            for _ in 0..2 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let victim = (s >> 33) as usize % 6;
+                enc.drop_block(stripe, victim); // duplicates are harmless
+            }
+        }
+        prop_assert_eq!(enc.decode().unwrap(), data);
+    }
+
+    #[test]
+    fn carousel_range_reads_any_window(
+        len in 100usize..4_000,
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        // sub = 2 for Carousel(6,3,3,6); block of 30 bytes.
+        let codec = FileCodec::new(Carousel::new(6, 3, 3, 6).unwrap(), 30).unwrap();
+        let data: Vec<u8> = (0..len).map(|i| (i * 97 + 13) as u8).collect();
+        let enc = codec.encode(&data).unwrap();
+        let offset = (start_frac * (len - 1) as f64) as u64;
+        let max_len = len as u64 - offset;
+        let read_len = 1 + (len_frac * (max_len - 1) as f64) as u64;
+        let got = enc.read_range(offset, read_len).unwrap();
+        prop_assert_eq!(
+            &got[..],
+            &data[offset as usize..(offset + read_len) as usize]
+        );
+    }
+
+    #[test]
+    fn write_range_random_spans_keep_parity_consistent(
+        len in 300usize..2_000,
+        off_frac in 0.0f64..1.0,
+        span_frac in 0.0f64..1.0,
+        fill in any::<u8>(),
+    ) {
+        let codec = FileCodec::new(Carousel::new(6, 3, 3, 6).unwrap(), 30).unwrap();
+        let mut file: Vec<u8> = (0..len).map(|i| (i * 11 + 3) as u8).collect();
+        let mut enc = codec.encode(&file).unwrap();
+        let offset = (off_frac * (len - 1) as f64) as usize;
+        let span = 1 + (span_frac * (len - offset - 1) as f64) as usize;
+        let patch = vec![fill; span];
+        enc.write_range(offset as u64, &patch).unwrap();
+        file[offset..offset + span].copy_from_slice(&patch);
+        // Parity followed the data: decode after losing any 3 blocks.
+        let mut lossy = enc.clone();
+        for s in 0..lossy.stripes() {
+            lossy.drop_block(s, s % 6);
+            lossy.drop_block(s, (s + 2) % 6);
+            lossy.drop_block(s, (s + 4) % 6);
+        }
+        prop_assert_eq!(lossy.decode().unwrap(), file);
+    }
+
+    #[test]
+    fn repair_then_decode_always_exact(
+        len in 200usize..3_000,
+        victim in 0usize..6,
+        stripe_pick in any::<u16>(),
+    ) {
+        let codec = FileCodec::new(Carousel::new(6, 4, 4, 6).unwrap(), 24).unwrap();
+        let data: Vec<u8> = (0..len).map(|i| (i * 7 + 5) as u8).collect();
+        let mut enc = codec.encode(&data).unwrap();
+        let stripe = stripe_pick as usize % enc.stripes();
+        let original = enc.block(stripe, victim).unwrap().to_vec();
+        enc.drop_block(stripe, victim);
+        enc.repair_block(stripe, victim).unwrap();
+        prop_assert_eq!(enc.block(stripe, victim).unwrap(), &original[..]);
+        prop_assert_eq!(enc.decode().unwrap(), data);
+    }
+}

@@ -1,0 +1,124 @@
+//! The [`Field`] abstraction: what the matrix algebra and code
+//! constructions actually require of their scalars.
+//!
+//! The paper works in GF(2⁸) ("we assume that a symbol is a byte") but
+//! notes that "the symbol and its corresponding Galois field may have
+//! different sizes in practice". This trait lets the generic matrix — and
+//! the wide Reed-Solomon codes built on it — run over GF(2¹⁶) as well,
+//! lifting the 255-block limit.
+
+use core::fmt::Debug;
+use core::ops::{Add, Mul, Neg, Sub};
+
+/// A finite field element.
+///
+/// Implemented by [`Gf256`](crate::Gf256) and
+/// [`Gf65536`](crate::Gf65536).
+pub trait Field:
+    Copy
+    + Eq
+    + Debug
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Number of field elements.
+    const ORDER: u64;
+
+    /// Multiplicative inverse; `None` for zero.
+    fn inv(self) -> Option<Self>;
+
+    /// `g^i` for a fixed generator `g` of the multiplicative group —
+    /// guarantees `ORDER − 1` distinct nonzero values.
+    fn exp_gen(i: u64) -> Self;
+
+    /// `true` for the additive identity.
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// Exponentiation by squaring (with `0⁰ = 1`).
+    fn pow_u64(self, mut e: u64) -> Self {
+        if e == 0 {
+            return Self::ONE;
+        }
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            e >>= 1;
+        }
+        acc
+    }
+}
+
+impl Field for crate::Gf256 {
+    const ZERO: Self = crate::Gf256::ZERO;
+    const ONE: Self = crate::Gf256::ONE;
+    const ORDER: u64 = 256;
+
+    fn inv(self) -> Option<Self> {
+        crate::Gf256::inv(self)
+    }
+
+    fn exp_gen(i: u64) -> Self {
+        crate::Gf256::exp((i % 255) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gf256;
+
+    fn field_axioms<F: Field>(samples: &[F]) {
+        for &a in samples {
+            assert_eq!(a + F::ZERO, a);
+            assert_eq!(a * F::ONE, a);
+            assert_eq!(a * F::ZERO, F::ZERO);
+            assert_eq!(a - a, F::ZERO);
+            if !a.is_zero() {
+                assert_eq!(a * Field::inv(a).unwrap(), F::ONE);
+            }
+            for &b in samples {
+                assert_eq!(a + b, b + a);
+                assert_eq!(a * b, b * a);
+                for &c in samples {
+                    assert_eq!(a * (b + c), a * b + a * c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gf256_satisfies_axioms() {
+        let samples: Vec<Gf256> = [0u8, 1, 2, 7, 0x53, 0xFF].iter().map(|&v| Gf256::new(v)).collect();
+        field_axioms(&samples);
+    }
+
+    #[test]
+    fn gf256_exp_gen_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..255u64 {
+            assert!(seen.insert(Gf256::exp_gen(i)), "repeat at {i}");
+        }
+        assert_eq!(Gf256::exp_gen(255), Gf256::exp_gen(0));
+    }
+
+    #[test]
+    fn pow_u64_matches_pow() {
+        let a = Gf256::new(0x3D);
+        for e in 0..300u64 {
+            assert_eq!(a.pow_u64(e), a.pow(e as u32));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Arithmetic over the Galois field GF(2⁸) and dense matrix algebra on top
+//! of it, as used throughout the Carousel codes reproduction.
+//!
+//! The paper performs all coding operations as vector/matrix multiplications
+//! over GF(2⁸) (one symbol = one byte), originally via Intel ISA-L. This
+//! crate is the pure-Rust substitute: log/exp table arithmetic for scalars,
+//! split-table (4-bit nibble) kernels for long byte slices, and a dense
+//! [`Matrix`] type with Gauss-Jordan inversion plus the structured builders
+//! (Vandermonde, Cauchy, Kronecker) the code constructions need.
+//!
+//! # Examples
+//!
+//! ```
+//! use gf256::{Gf256, Matrix};
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xCA);
+//! assert_eq!((a * b) / b, a);
+//!
+//! let m = Matrix::vandermonde(4, 2);
+//! assert_eq!(m.rank(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod field_trait;
+mod gf65536;
+mod matrix;
+mod slice;
+mod tables;
+
+pub mod builders;
+
+pub use field::Gf256;
+pub use field_trait::Field;
+pub use gf65536::Gf65536;
+pub use matrix::{Matrix, MatrixOf};
+pub use slice::{add_assign_slice, mul_acc_slice, mul_slice, mul_slice_in_place};

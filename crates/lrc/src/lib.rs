@@ -1,0 +1,340 @@
+//! Locally repairable codes (LRC) — the repair-locality baseline from the
+//! paper's related work (§III cites their deployment in Windows Azure and
+//! Facebook's HDFS).
+//!
+//! An `(k, l, g)` LRC stores `k` data blocks in `l` local groups of
+//! `m = k/l` blocks, adds one XOR *local parity* per group and `g` *global
+//! parities*, for `n = k + l + g` blocks total. A lost data block is
+//! repaired from its group — `m` blocks of traffic instead of RS's `k` —
+//! at the price of giving up the MDS property (the code stores `l + g`
+//! parities but does not tolerate every `l + g`-subset failure).
+//!
+//! This crate exists as a comparison point: Carousel codes keep MDS
+//! storage optimality and *optimal* repair traffic while LRCs trade
+//! storage for repair locality, and neither LRC nor RS extends data
+//! parallelism beyond `k`.
+//!
+//! # Examples
+//!
+//! ```
+//! use erasure::ErasureCode;
+//! use lrc::LocalRepairable;
+//!
+//! let code = LocalRepairable::new(6, 2, 2)?; // 6 data, 2 groups, 2 globals
+//! assert_eq!(code.n(), 10);
+//! assert_eq!(code.d(), 3, "repair of a data block touches its 3-block group");
+//! # Ok::<(), erasure::CodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use erasure::{CodeError, DataLayout, ErasureCode, HelperTask, LinearCode, RepairPlan};
+use gf256::{Gf256, Matrix};
+
+/// An `(k, l, g)` Azure-style locally repairable code.
+///
+/// Block roles, in order: data `0..k`, local parities `k..k+l` (one per
+/// group), global parities `k+l..n`.
+#[derive(Debug, Clone)]
+pub struct LocalRepairable {
+    k: usize,
+    l: usize,
+    g: usize,
+    code: LinearCode,
+}
+
+impl LocalRepairable {
+    /// Constructs the code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameters`] unless `l` divides `k`,
+    /// `g ≥ 1`, and `k + l + g ≤ 255`.
+    pub fn new(k: usize, l: usize, g: usize) -> Result<Self, CodeError> {
+        if k == 0 || l == 0 || k % l != 0 {
+            return Err(CodeError::InvalidParameters {
+                reason: format!("l = {l} must divide k = {k} (both positive)"),
+            });
+        }
+        if g == 0 {
+            return Err(CodeError::InvalidParameters {
+                reason: "need at least one global parity".into(),
+            });
+        }
+        let n = k + l + g;
+        if n > 255 {
+            return Err(CodeError::InvalidParameters {
+                reason: format!("n = {n} exceeds the GF(2^8) limit of 255 blocks"),
+            });
+        }
+        let m = k / l;
+        let mut gen = Matrix::zeros(n, k);
+        for i in 0..k {
+            gen.set(i, i, Gf256::ONE);
+        }
+        // Local parities: XOR of each group.
+        for group in 0..l {
+            for i in group * m..(group + 1) * m {
+                gen.set(k + group, i, Gf256::ONE);
+            }
+        }
+        // Global parities: rows of a Vandermonde tail (x_i = 2^i, powers
+        // t+1 so they are independent of the all-ones local rows).
+        for t in 0..g {
+            for i in 0..k {
+                gen.set(k + l + t, i, Gf256::exp(i as u32).pow((t + 1) as u32));
+            }
+        }
+        let code = LinearCode::new(n, k, 1, gen)?;
+        Ok(LocalRepairable { k, l, g, code })
+    }
+
+    /// Number of local groups.
+    pub fn groups(&self) -> usize {
+        self.l
+    }
+
+    /// Data blocks per group.
+    pub fn group_size(&self) -> usize {
+        self.k / self.l
+    }
+
+    /// Number of global parities.
+    pub fn globals(&self) -> usize {
+        self.g
+    }
+
+    /// The group index of a data block or local parity.
+    ///
+    /// # Panics
+    ///
+    /// Panics for global-parity roles.
+    pub fn group_of(&self, block: usize) -> usize {
+        if block < self.k {
+            block / self.group_size()
+        } else if block < self.k + self.l {
+            block - self.k
+        } else {
+            panic!("block {block} is a global parity and belongs to no group")
+        }
+    }
+
+    /// The helper set required to repair `failed` (any order accepted by
+    /// [`ErasureCode::repair_plan`]): the rest of its group plus the local
+    /// parity for data blocks, the group for a local parity, and the `k`
+    /// data blocks for a global parity.
+    pub fn required_helpers(&self, failed: usize) -> Vec<usize> {
+        let m = self.group_size();
+        if failed < self.k {
+            let group = failed / m;
+            let mut v: Vec<usize> = (group * m..(group + 1) * m).filter(|&i| i != failed).collect();
+            v.push(self.k + group);
+            v
+        } else if failed < self.k + self.l {
+            let group = failed - self.k;
+            (group * m..(group + 1) * m).collect()
+        } else {
+            (0..self.k).collect()
+        }
+    }
+
+    /// Whether the given set of live blocks can recover all original data
+    /// (LRCs are not MDS, so this depends on the failure pattern, not just
+    /// the count).
+    pub fn can_recover(&self, available: &[usize]) -> bool {
+        if available.len() < self.k {
+            return false;
+        }
+        let rows: Vec<usize> = available.to_vec();
+        self.code.generator().select_rows(&rows).rank() == self.k
+    }
+}
+
+impl ErasureCode for LocalRepairable {
+    fn name(&self) -> String {
+        format!("LRC({},{},{})", self.k, self.l, self.g)
+    }
+
+    fn linear(&self) -> &LinearCode {
+        &self.code
+    }
+
+    /// The headline repair degree: a *data* block's group size.
+    fn d(&self) -> usize {
+        self.group_size()
+    }
+
+    fn data_layout(&self) -> DataLayout {
+        DataLayout::systematic(self.n(), self.k, 1)
+    }
+
+    fn repair_plan(&self, failed: usize, helpers: &[usize]) -> Result<RepairPlan, CodeError> {
+        let n = self.n();
+        if failed >= n {
+            return Err(CodeError::NodeOutOfRange { node: failed, n });
+        }
+        let mut required = self.required_helpers(failed);
+        let mut given = helpers.to_vec();
+        required.sort_unstable();
+        given.sort_unstable();
+        if required != given {
+            return Err(CodeError::BadHelperSet {
+                reason: format!(
+                    "LRC repair of block {failed} requires exactly blocks {required:?}"
+                ),
+            });
+        }
+        // Solve for the combine coefficients: failed_row = x^T * helper rows.
+        // For data/local-parity repairs all coefficients are ONE (XOR); for
+        // a global parity they are its generator coefficients over the data.
+        let combine = if failed < self.k + self.l {
+            Matrix::from_fn(1, helpers.len(), |_, _| Gf256::ONE)
+        } else {
+            // Helpers are the k data blocks, in caller order.
+            let row = self.code.generator().row(failed).to_vec();
+            Matrix::from_fn(1, helpers.len(), |_, c| row[helpers[c]])
+        };
+        let tasks = helpers
+            .iter()
+            .map(|&node| HelperTask {
+                node,
+                coeffs: Matrix::identity(1),
+            })
+            .collect();
+        Ok(RepairPlan {
+            failed,
+            helpers: tasks,
+            combine,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn stripe(code: &LocalRepairable, reps: usize) -> (Vec<u8>, erasure::EncodedStripe) {
+        let data: Vec<u8> = (0..code.k() * reps).map(|i| (i * 23 + 9) as u8).collect();
+        let s = code.linear().encode(&data).unwrap();
+        (data, s)
+    }
+
+    #[test]
+    fn construction_validations() {
+        assert!(LocalRepairable::new(6, 4, 2).is_err()); // l does not divide k
+        assert!(LocalRepairable::new(6, 2, 0).is_err());
+        assert!(LocalRepairable::new(0, 1, 1).is_err());
+        assert!(LocalRepairable::new(6, 2, 2).is_ok());
+    }
+
+    #[test]
+    fn shape_and_overhead() {
+        let code = LocalRepairable::new(6, 2, 2).unwrap();
+        assert_eq!(code.n(), 10);
+        assert_eq!(code.groups(), 2);
+        assert_eq!(code.group_size(), 3);
+        assert_eq!(code.parallelism(), 6, "LRC does not extend parallelism");
+    }
+
+    #[test]
+    fn data_block_repair_uses_only_its_group() {
+        let code = LocalRepairable::new(6, 2, 2).unwrap();
+        let (_, s) = stripe(&code, 16);
+        for failed in 0..6 {
+            let helpers = code.required_helpers(failed);
+            assert_eq!(helpers.len(), 3, "group-size traffic");
+            let plan = code.repair_plan(failed, &helpers).unwrap();
+            let blocks: Vec<&[u8]> = helpers.iter().map(|&i| &s.blocks[i][..]).collect();
+            let (rebuilt, traffic) = plan.run(&blocks).unwrap();
+            assert_eq!(rebuilt, s.blocks[failed]);
+            assert_eq!(traffic, 3 * s.block_bytes());
+        }
+    }
+
+    #[test]
+    fn parity_repairs_work() {
+        let code = LocalRepairable::new(6, 3, 2).unwrap();
+        let (_, s) = stripe(&code, 8);
+        for failed in 6..code.n() {
+            let helpers = code.required_helpers(failed);
+            let plan = code.repair_plan(failed, &helpers).unwrap();
+            let blocks: Vec<&[u8]> = helpers.iter().map(|&i| &s.blocks[i][..]).collect();
+            let (rebuilt, _) = plan.run(&blocks).unwrap();
+            assert_eq!(rebuilt, s.blocks[failed], "block {failed}");
+        }
+    }
+
+    #[test]
+    fn repair_rejects_wrong_helper_sets() {
+        let code = LocalRepairable::new(6, 2, 2).unwrap();
+        // Block 0's group is {0,1,2} + local parity 6.
+        assert!(code.repair_plan(0, &[1, 2, 7]).is_err());
+        assert!(code.repair_plan(0, &[1, 2, 3, 6]).is_err());
+        assert!(code.repair_plan(0, &[2, 1, 6]).is_ok(), "order-insensitive");
+    }
+
+    #[test]
+    fn single_and_double_failures_recoverable() {
+        let code = LocalRepairable::new(6, 2, 2).unwrap();
+        let n = code.n();
+        for a in 0..n {
+            for b in a..n {
+                let avail: Vec<usize> = (0..n).filter(|&i| i != a && i != b).collect();
+                assert!(code.can_recover(&avail), "failures {{{a}, {b}}}");
+            }
+        }
+    }
+
+    #[test]
+    fn not_mds_some_k_subsets_fail() {
+        // LRC gives up MDS: there exists a k-subset that cannot decode
+        // (e.g. one whole group plus both its... take group 0's data and
+        // local parities only).
+        let code = LocalRepairable::new(6, 2, 2).unwrap();
+        // Blocks {0,1,2,6} are linearly dependent (local parity = XOR of
+        // the group), so {0,1,2,6,7,3} may still work; instead check that
+        // the MDS verifier finds a counterexample over all k-subsets.
+        let report = erasure::mds::verify_mds(code.linear(), 100_000);
+        assert!(!report.is_mds());
+    }
+
+    #[test]
+    fn decode_from_survivors_after_group_failure() {
+        let code = LocalRepairable::new(4, 2, 2).unwrap();
+        let (data, s) = stripe(&code, 8);
+        // Fail both blocks of group 0: recover via globals.
+        let avail = [2usize, 3, 4, 5, 6, 7];
+        assert!(code.can_recover(&avail));
+        // Decode with a unit-level plan over 4 independent rows.
+        let units: Vec<(usize, usize)> = [2usize, 3, 6, 7].iter().map(|&i| (i, 0)).collect();
+        let plan = erasure::DecodePlan::for_units(code.linear(), &units).unwrap();
+        let w = s.unit_bytes;
+        let slices: Vec<&[u8]> = units.iter().map(|&(i, _)| &s.blocks[i][..w]).collect();
+        let out = plan.decode_units(&slices).unwrap();
+        assert_eq!(&out[..data.len()], &data[..]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_any_single_failure_repairable(
+            l in 1usize..4,
+            m in 1usize..4,
+            g in 1usize..3,
+            seed in any::<u64>(),
+        ) {
+            let k = l * m;
+            let code = LocalRepairable::new(k, l, g).unwrap();
+            let failed = (seed as usize) % code.n();
+            let data: Vec<u8> = (0..k * 8).map(|i| (i * 3) as u8).collect();
+            let s = code.linear().encode(&data).unwrap();
+            let helpers = code.required_helpers(failed);
+            let plan = code.repair_plan(failed, &helpers).unwrap();
+            let blocks: Vec<&[u8]> = helpers.iter().map(|&i| &s.blocks[i][..]).collect();
+            let (rebuilt, _) = plan.run(&blocks).unwrap();
+            prop_assert_eq!(rebuilt, s.blocks[failed].clone());
+        }
+    }
+}

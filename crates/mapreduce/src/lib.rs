@@ -1,0 +1,27 @@
+//! A slot-based MapReduce engine over the simulated DFS.
+//!
+//! Models the Hadoop behaviours the paper's §VIII-C results hinge on:
+//!
+//! * **one map task per input split**, preferably scheduled on a node that
+//!   holds the split locally (paper §II: "each map task will be preferably
+//!   located on the local server that hosts the corresponding data block");
+//!   with systematic RS only the `k` data blocks can host map tasks, while
+//!   Carousel codes launch `p` smaller tasks — the source of the ~50%
+//!   map-time saving;
+//! * **slots**: each node runs at most `cores` concurrent tasks; a task
+//!   pays a constant startup overhead (JVM launch) and then streams its
+//!   split through disk and CPU concurrently (completion when both drain);
+//! * **shuffle**: every map's output is partitioned to all reducers and
+//!   shipped over the NIC fabric once the map phase ends;
+//! * **reduce**: per-reducer CPU plus an HDFS write of the final output.
+//!
+//! The public entry point is [`run_job`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod profile;
+
+pub use job::{run_job, JobStats};
+pub use profile::WorkloadProfile;

@@ -1,0 +1,91 @@
+//! Workload profiles: per-MB costs of map, shuffle and reduce stages.
+
+/// Resource costs of one MapReduce application.
+///
+/// The two benchmark presets mirror the paper's §VIII-C workloads:
+/// *wordcount* (map-CPU-bound, negligible shuffle/reduce) and *terasort*
+/// (I/O-bound map, full-volume shuffle, heavy reduce).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Human-readable name.
+    pub name: String,
+    /// CPU seconds per MB of map input (on one core).
+    pub map_cpu_s_per_mb: f64,
+    /// Map output bytes per input byte (shuffle volume factor).
+    pub map_output_ratio: f64,
+    /// CPU seconds per MB of reduce input.
+    pub reduce_cpu_s_per_mb: f64,
+    /// Reduce output bytes (HDFS write) per reduce-input byte.
+    pub reduce_output_ratio: f64,
+    /// Number of reduce tasks (0 = map-only job).
+    pub reducers: usize,
+    /// Constant startup cost per task (JVM launch, scheduling), seconds.
+    pub task_overhead_s: f64,
+    /// Partition skew: the largest reducer receives `reduce_skew ×` the
+    /// mean share (1.0 = perfectly uniform partitioning). Real terasort
+    /// partitioners are sampled and mildly skewed.
+    pub reduce_skew: f64,
+}
+
+impl WorkloadProfile {
+    /// The `wordcount` benchmark: CPU-heavy maps (tokenising and counting),
+    /// tiny shuffle (word histograms), light reduce.
+    pub fn wordcount() -> Self {
+        WorkloadProfile {
+            name: "wordcount".into(),
+            map_cpu_s_per_mb: 0.11,
+            map_output_ratio: 0.05,
+            reduce_cpu_s_per_mb: 0.05,
+            reduce_output_ratio: 1.0,
+            reducers: 8,
+            task_overhead_s: 2.0,
+            reduce_skew: 1.0,
+        }
+    }
+
+    /// The `terasort` benchmark: cheap maps (parse + partition), shuffle of
+    /// the full dataset, sort-and-write-heavy reduce. The paper observes
+    /// that its reduce tasks take about as long as its map tasks, which
+    /// caps the job-level saving of faster maps (§VIII-C, Fig. 9).
+    pub fn terasort() -> Self {
+        WorkloadProfile {
+            name: "terasort".into(),
+            map_cpu_s_per_mb: 0.05,
+            map_output_ratio: 1.0,
+            reduce_cpu_s_per_mb: 0.22,
+            reduce_output_ratio: 1.0,
+            reducers: 28,
+            task_overhead_s: 5.0,
+            reduce_skew: 1.3,
+        }
+    }
+
+    /// A map-only profile for microbenchmarks.
+    pub fn map_only(cpu_s_per_mb: f64) -> Self {
+        WorkloadProfile {
+            name: "map-only".into(),
+            map_cpu_s_per_mb: cpu_s_per_mb,
+            map_output_ratio: 0.0,
+            reduce_cpu_s_per_mb: 0.0,
+            reduce_output_ratio: 0.0,
+            reducers: 0,
+            task_overhead_s: 1.0,
+            reduce_skew: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_shapes() {
+        let wc = WorkloadProfile::wordcount();
+        let ts = WorkloadProfile::terasort();
+        assert!(wc.map_cpu_s_per_mb > ts.map_cpu_s_per_mb, "wordcount maps are heavier");
+        assert!(ts.map_output_ratio > wc.map_output_ratio, "terasort shuffles everything");
+        assert_eq!(WorkloadProfile::map_only(0.1).reducers, 0);
+        assert!(ts.reduce_skew > wc.reduce_skew, "terasort partitions skew");
+    }
+}

@@ -1,0 +1,260 @@
+//! The native product-matrix MSR construction at the point `d = 2k − 2`.
+//!
+//! Following Rashmi et al.: with `α = k − 1` and `B = kα` message symbols,
+//! the message is arranged as `M = [S₁; S₂]` where `S₁, S₂` are symmetric
+//! `α × α` matrices each filled from `α(α+1)/2` symbols. The encoding matrix
+//! is `Ψ = [Φ  ΛΦ]` with `Φ` Vandermonde and `Λ = diag(λ_i)`, `λ_i = x_i^α`,
+//! so `ψ_i = [1, x_i, …, x_i^{d−1}]` — any `d` rows of `Ψ` are linearly
+//! independent, any `α` rows of `Φ` are linearly independent, and the `λ_i`
+//! are chosen distinct. Block `i` stores the `α` symbols `ψ_iᵀ M`.
+//!
+//! Repair of block `f`: helper `j` sends the single symbol
+//! `(ψ_jᵀ M)·φ_f`; stacking `d` of those gives `Ψ_R (M φ_f)`, the newcomer
+//! inverts `Ψ_R`, recovers `M φ_f = [S₁φ_f; S₂φ_f]`, and by symmetry of
+//! `S₁, S₂` reassembles `ψ_fᵀ M = (S₁φ_f)ᵀ + λ_f (S₂φ_f)ᵀ`.
+
+use erasure::CodeError;
+use gf256::builders::{distinct_points_with_distinct_powers, upper_index};
+use gf256::{Gf256, Matrix};
+
+/// The raw (non-systematic) product-matrix MSR code at `d = 2k − 2`.
+#[derive(Debug, Clone)]
+pub struct RawMsr {
+    n: usize,
+    k: usize,
+    /// Evaluation points `x_i`, one per block.
+    points: Vec<Gf256>,
+}
+
+impl RawMsr {
+    /// Builds the raw construction for `n` blocks and dimension `k ≥ 2` at
+    /// the native point `d = 2k − 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameters`] if `k < 2`, if `d ≥ n` fails,
+    /// or if GF(2⁸) cannot supply `n` points with distinct `α`-th powers.
+    pub fn new(n: usize, k: usize) -> Result<Self, CodeError> {
+        if k < 2 {
+            return Err(CodeError::InvalidParameters {
+                reason: "product-matrix MSR requires k >= 2".into(),
+            });
+        }
+        let d = 2 * k - 2;
+        if d >= n {
+            return Err(CodeError::InvalidParameters {
+                reason: format!("require d = 2k - 2 = {d} < n = {n}"),
+            });
+        }
+        let alpha = k - 1;
+        let points = distinct_points_with_distinct_powers(n, alpha as u32).ok_or_else(|| {
+            CodeError::InvalidParameters {
+                reason: format!(
+                    "GF(2^8) lacks {n} evaluation points with distinct {alpha}-th powers"
+                ),
+            }
+        })?;
+        Ok(RawMsr { n, k, points })
+    }
+
+    /// Number of blocks.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Code dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Helpers per repair, `d = 2k − 2`.
+    pub fn d(&self) -> usize {
+        2 * self.k - 2
+    }
+
+    /// Segments per block, `α = k − 1`.
+    pub fn alpha(&self) -> usize {
+        self.k - 1
+    }
+
+    /// Message symbols, `B = kα`.
+    pub fn message_symbols(&self) -> usize {
+        self.k * self.alpha()
+    }
+
+    /// The repair vector `ψ_i = [1, x_i, …, x_i^{d−1}]` of block `i`.
+    pub fn psi(&self, i: usize) -> Vec<Gf256> {
+        let x = self.points[i];
+        (0..self.d()).map(|t| x.pow(t as u32)).collect()
+    }
+
+    /// The projection vector `φ_i = [1, x_i, …, x_i^{α−1}]` of block `i`.
+    pub fn phi(&self, i: usize) -> Vec<Gf256> {
+        let x = self.points[i];
+        (0..self.alpha()).map(|t| x.pow(t as u32)).collect()
+    }
+
+    /// `λ_i = x_i^α`.
+    pub fn lambda(&self, i: usize) -> Gf256 {
+        self.points[i].pow(self.alpha() as u32)
+    }
+
+    /// Builds the `(n·α) × B` generator matrix.
+    ///
+    /// Message columns are ordered: the `α(α+1)/2` upper-triangle symbols of
+    /// `S₁`, then those of `S₂`. Generator row `(i, j)` expresses segment `j`
+    /// of block `i`, i.e. `Σ_t ψ_i[t] · M[t][j]`.
+    pub fn generator(&self) -> Matrix {
+        let alpha = self.alpha();
+        let d = self.d();
+        let b1 = alpha * (alpha + 1) / 2;
+        let b = self.message_symbols();
+        let mut g = Matrix::zeros(self.n * alpha, b);
+        for i in 0..self.n {
+            let psi = self.psi(i);
+            for j in 0..alpha {
+                let row = i * alpha + j;
+                for (t, &coeff) in psi.iter().enumerate().take(d) {
+                    let (s_row, offset) = if t < alpha { (t, 0) } else { (t - alpha, b1) };
+                    let (lo, hi) = if s_row <= j { (s_row, j) } else { (j, s_row) };
+                    let col = offset + upper_index(alpha, lo, hi);
+                    let v = g.get(row, col) + coeff;
+                    g.set(row, col, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// The `d × d` repair matrix `Ψ_R` whose rows are `ψ_j` for the given
+    /// helper blocks, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::BadHelperSet`] if the count is not `d`.
+    pub fn psi_stack(&self, helpers: &[usize]) -> Result<Matrix, CodeError> {
+        if helpers.len() != self.d() {
+            return Err(CodeError::BadHelperSet {
+                reason: format!("need {} helpers, got {}", self.d(), helpers.len()),
+            });
+        }
+        let d = self.d();
+        let mut m = Matrix::zeros(d, d);
+        for (r, &h) in helpers.iter().enumerate() {
+            let psi = self.psi(h);
+            for (c, &v) in psi.iter().enumerate() {
+                m.set(r, c, v);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Newcomer combine matrix for repairing block `failed` from the given
+    /// helpers (in order): `[I_α | λ_f I_α] · Ψ_R⁻¹`, of shape `α × d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::BadHelperSet`] for a wrong-size helper set and
+    /// [`CodeError::SingularSelection`] if `Ψ_R` is singular (cannot happen
+    /// with distinct evaluation points).
+    pub fn repair_combine(&self, failed: usize, helpers: &[usize]) -> Result<Matrix, CodeError> {
+        let psi_r = self.psi_stack(helpers)?;
+        let inv = psi_r.inverse().ok_or(CodeError::SingularSelection)?;
+        let alpha = self.alpha();
+        let lambda = self.lambda(failed);
+        // Selector [I | λI] picks (S1 φ_f)[j] + λ_f (S2 φ_f)[j].
+        let selector = Matrix::from_fn(alpha, self.d(), |r, c| {
+            if c == r {
+                Gf256::ONE
+            } else if c == r + alpha {
+                lambda
+            } else {
+                Gf256::ZERO
+            }
+        });
+        Ok(&selector * &inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validations() {
+        assert!(RawMsr::new(5, 1).is_err());
+        assert!(RawMsr::new(4, 3).is_err()); // d = 4 >= n = 4
+        assert!(RawMsr::new(5, 3).is_ok()); // d = 4 < 5
+    }
+
+    #[test]
+    fn generator_shape_and_rank() {
+        let raw = RawMsr::new(6, 3).unwrap();
+        let g = raw.generator();
+        assert_eq!((g.rows(), g.cols()), (12, 6));
+        assert_eq!(g.rank(), 6, "generator must have full column rank");
+    }
+
+    #[test]
+    fn psi_is_geometric_progression() {
+        let raw = RawMsr::new(6, 3).unwrap();
+        let psi = raw.psi(2);
+        assert_eq!(psi[0], Gf256::ONE);
+        for t in 1..psi.len() {
+            assert_eq!(psi[t], psi[1].pow(t as u32));
+        }
+        // phi is the prefix of psi, and lambda the next power.
+        let phi = raw.phi(2);
+        assert_eq!(&psi[..phi.len()], &phi[..]);
+        assert_eq!(raw.lambda(2), psi[1].pow(raw.alpha() as u32));
+    }
+
+    #[test]
+    fn any_d_psi_rows_invertible() {
+        let raw = RawMsr::new(7, 3).unwrap();
+        // d = 4; check a few subsets including adversarial ones.
+        for helpers in [[0usize, 1, 2, 3], [3, 4, 5, 6], [0, 2, 4, 6], [6, 0, 5, 1]] {
+            assert!(raw.psi_stack(&helpers).unwrap().is_invertible());
+        }
+    }
+
+    #[test]
+    fn repair_algebra_identity() {
+        // Verify symbolically: for every failed node f and helper set H,
+        // combine · [ψ_j M φ_f]_j == ψ_f M for random symmetric S1, S2.
+        let raw = RawMsr::new(6, 3).unwrap();
+        let alpha = raw.alpha();
+        // Random-ish symmetric matrices.
+        let s1 = gf256::builders::symmetric_from_upper(
+            alpha,
+            &[Gf256::new(7), Gf256::new(19), Gf256::new(42)],
+        );
+        let s2 = gf256::builders::symmetric_from_upper(
+            alpha,
+            &[Gf256::new(3), Gf256::new(88), Gf256::new(201)],
+        );
+        let m = s1.vstack(&s2); // d x alpha
+        for failed in 0..6 {
+            let helpers: Vec<usize> = (0..6).filter(|&i| i != failed).take(raw.d()).collect();
+            let phi_f = raw.phi(failed);
+            // Helper payload: psi_j^T M phi_f.
+            let payloads: Vec<Gf256> = helpers
+                .iter()
+                .map(|&j| {
+                    let row = Matrix::from_fn(1, raw.d(), |_, c| raw.psi(j)[c]);
+                    let col = Matrix::from_fn(alpha, 1, |r, _| phi_f[r]);
+                    (&(&row * &m) * &col).get(0, 0)
+                })
+                .collect();
+            let combine = raw.repair_combine(failed, &helpers).unwrap();
+            let payload_col = Matrix::from_fn(raw.d(), 1, |r, _| payloads[r]);
+            let rebuilt = &combine * &payload_col;
+            // Expected: psi_f^T M.
+            let psi_row = Matrix::from_fn(1, raw.d(), |_, c| raw.psi(failed)[c]);
+            let expected = &psi_row * &m; // 1 x alpha
+            for j in 0..alpha {
+                assert_eq!(rebuilt.get(j, 0), expected.get(0, j), "f={failed} seg={j}");
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Wide Reed-Solomon: systematic `(n, k)` codes over GF(2¹⁶), for
+//! deployments with more than 255 blocks per stripe.
+//!
+//! The paper fixes one symbol = one byte ("typically, a symbol is simply a
+//! byte") but notes the field size is a parameter in practice. This module
+//! instantiates the same systematized-Vandermonde construction over
+//! [`Gf65536`], lifting the stripe-width limit to 65535 blocks. Payload
+//! symbols are little-endian `u16` pairs.
+
+use erasure::CodeError;
+use gf256::{Field, Gf65536, MatrixOf};
+
+/// A systematic `(n, k)` Reed-Solomon code over GF(2¹⁶).
+///
+/// # Examples
+///
+/// ```
+/// use rs_code::wide::WideReedSolomon;
+///
+/// // 300 blocks per stripe — impossible over GF(2^8).
+/// let code = WideReedSolomon::new(300, 200)?;
+/// let stripe = code.encode(b"wide-stripe payload")?;
+/// let nodes: Vec<usize> = (100..300).collect();
+/// let blocks: Vec<&[u8]> = nodes.iter().map(|&i| &stripe[i][..]).collect();
+/// let out = code.decode_nodes(&nodes, &blocks)?;
+/// assert_eq!(&out[..19], b"wide-stripe payload");
+/// # Ok::<(), erasure::CodeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WideReedSolomon {
+    n: usize,
+    k: usize,
+    generator: MatrixOf<Gf65536>,
+}
+
+impl WideReedSolomon {
+    /// Constructs the code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameters`] unless `0 < k ≤ n ≤ 65535`.
+    pub fn new(n: usize, k: usize) -> Result<Self, CodeError> {
+        if k == 0 || k > n {
+            return Err(CodeError::InvalidParameters {
+                reason: format!("require 0 < k <= n, got n = {n}, k = {k}"),
+            });
+        }
+        if n > 65535 {
+            return Err(CodeError::InvalidParameters {
+                reason: format!("n = {n} exceeds the GF(2^16) limit of 65535 blocks"),
+            });
+        }
+        let v: MatrixOf<Gf65536> = MatrixOf::vandermonde(n, k);
+        let top: Vec<usize> = (0..k).collect();
+        let inv = v
+            .select_rows(&top)
+            .inverse()
+            .ok_or(CodeError::SingularSelection)?;
+        let generator = &v * &inv;
+        Ok(WideReedSolomon { n, k, generator })
+    }
+
+    /// Blocks per stripe.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Data blocks per stripe.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The `n × k` generator over GF(2¹⁶).
+    pub fn generator(&self) -> &MatrixOf<Gf65536> {
+        &self.generator
+    }
+
+    /// Encodes `data` into `n` blocks. Data is padded to `2k·w` bytes
+    /// (16-bit symbols); each block is `2w` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InsufficientData`] for empty input.
+    pub fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
+        if data.is_empty() {
+            return Err(CodeError::InsufficientData { needed: 1, got: 0 });
+        }
+        let symbols = to_symbols(data);
+        let w = symbols.len().div_ceil(self.k).max(1);
+        let mut padded = symbols;
+        padded.resize(self.k * w, Gf65536::ZERO);
+        let mut blocks = vec![vec![Gf65536::ZERO; w]; self.n];
+        for (i, block) in blocks.iter_mut().enumerate() {
+            for (j, &coeff) in self.generator.row(i).iter().enumerate() {
+                if coeff.is_zero() {
+                    continue;
+                }
+                let src = &padded[j * w..(j + 1) * w];
+                for (dst, &s) in block.iter_mut().zip(src) {
+                    *dst = *dst + coeff * s;
+                }
+            }
+        }
+        Ok(blocks.into_iter().map(|b| from_symbols(&b)).collect())
+    }
+
+    /// Decodes the original (padded) bytes from any `k` distinct blocks.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors the GF(2⁸) [`LinearCode`](erasure::LinearCode) errors:
+    /// wrong counts, duplicates, out-of-range indices, size mismatches.
+    pub fn decode_nodes(&self, nodes: &[usize], blocks: &[&[u8]]) -> Result<Vec<u8>, CodeError> {
+        if nodes.len() != self.k || blocks.len() != self.k {
+            return Err(CodeError::InsufficientData {
+                needed: self.k,
+                got: nodes.len().min(blocks.len()),
+            });
+        }
+        for (i, &nd) in nodes.iter().enumerate() {
+            if nd >= self.n {
+                return Err(CodeError::NodeOutOfRange { node: nd, n: self.n });
+            }
+            if nodes[i + 1..].contains(&nd) {
+                return Err(CodeError::DuplicateNode { node: nd });
+            }
+        }
+        let len = blocks[0].len();
+        for b in blocks {
+            if b.len() != len || len % 2 != 0 {
+                return Err(CodeError::BlockSizeMismatch {
+                    expected: len,
+                    actual: b.len(),
+                });
+            }
+        }
+        let inverse = self
+            .generator
+            .select_rows(nodes)
+            .inverse()
+            .ok_or(CodeError::SingularSelection)?;
+        let w = len / 2;
+        let symbol_blocks: Vec<Vec<Gf65536>> = blocks.iter().map(|b| to_symbols(b)).collect();
+        let mut out = vec![Gf65536::ZERO; self.k * w];
+        for r in 0..self.k {
+            let row = inverse.row(r);
+            let dst = &mut out[r * w..(r + 1) * w];
+            for (coeff, src) in row.iter().zip(&symbol_blocks) {
+                if coeff.is_zero() {
+                    continue;
+                }
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = *d + *coeff * s;
+                }
+            }
+        }
+        Ok(from_symbols(&out))
+    }
+
+    /// Checks that a subset of blocks can decode (full rank).
+    pub fn can_decode(&self, nodes: &[usize]) -> bool {
+        nodes.len() >= self.k
+            && nodes.iter().all(|&nd| nd < self.n)
+            && self.generator.select_rows(nodes).rank() == self.k
+    }
+}
+
+fn to_symbols(data: &[u8]) -> Vec<Gf65536> {
+    let mut out = Vec::with_capacity(data.len().div_ceil(2));
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        out.push(Gf65536::new(u16::from_le_bytes([c[0], c[1]])));
+    }
+    if let [last] = chunks.remainder() {
+        out.push(Gf65536::new(*last as u16));
+    }
+    out
+}
+
+fn from_symbols(symbols: &[Gf65536]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(symbols.len() * 2);
+    for s in symbols {
+        out.extend_from_slice(&s.value().to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(WideReedSolomon::new(0, 0).is_err());
+        assert!(WideReedSolomon::new(4, 5).is_err());
+        assert!(WideReedSolomon::new(65536, 10).is_err());
+        assert!(WideReedSolomon::new(300, 200).is_ok());
+    }
+
+    #[test]
+    fn systematic_prefix() {
+        let code = WideReedSolomon::new(10, 4).unwrap();
+        let data: Vec<u8> = (0..64).map(|i| (i * 11 + 1) as u8).collect();
+        let blocks = code.encode(&data).unwrap();
+        let w2 = blocks[0].len();
+        for i in 0..4 {
+            assert_eq!(&blocks[i][..], &data[i * w2..(i + 1) * w2], "block {i}");
+        }
+    }
+
+    #[test]
+    fn decode_from_any_k_beyond_gf256_limit() {
+        // n = 400 blocks: impossible over GF(2^8).
+        let code = WideReedSolomon::new(400, 80).unwrap();
+        let data: Vec<u8> = (0..960).map(|i| (i * 7 + 3) as u8).collect();
+        let blocks = code.encode(&data).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut nodes: Vec<usize> = (0..400).collect();
+        nodes.shuffle(&mut rng);
+        nodes.truncate(80);
+        let refs: Vec<&[u8]> = nodes.iter().map(|&i| &blocks[i][..]).collect();
+        let out = code.decode_nodes(&nodes, &refs).unwrap();
+        assert_eq!(&out[..data.len()], &data[..]);
+    }
+
+    #[test]
+    fn odd_length_data_round_trips() {
+        let code = WideReedSolomon::new(6, 3).unwrap();
+        let data: Vec<u8> = (0..33).map(|i| i as u8).collect();
+        let blocks = code.encode(&data).unwrap();
+        let nodes = [5usize, 1, 3];
+        let refs: Vec<&[u8]> = nodes.iter().map(|&i| &blocks[i][..]).collect();
+        let out = code.decode_nodes(&nodes, &refs).unwrap();
+        assert_eq!(&out[..data.len()], &data[..]);
+    }
+
+    #[test]
+    fn sampled_mds_check() {
+        let code = WideReedSolomon::new(40, 10).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let mut nodes: Vec<usize> = (0..40).collect();
+            nodes.shuffle(&mut rng);
+            nodes.truncate(10);
+            assert!(code.can_decode(&nodes), "{nodes:?}");
+        }
+        assert!(!code.can_decode(&[0, 1]));
+    }
+
+    #[test]
+    fn decode_validates_inputs() {
+        let code = WideReedSolomon::new(6, 3).unwrap();
+        let data = vec![1u8; 30];
+        let blocks = code.encode(&data).unwrap();
+        let refs: Vec<&[u8]> = blocks[..3].iter().map(|b| &b[..]).collect();
+        assert!(code.decode_nodes(&[0, 0, 1], &refs).is_err());
+        assert!(code.decode_nodes(&[0, 1, 9], &refs).is_err());
+        assert!(code.decode_nodes(&[0, 1], &refs[..2]).is_err());
+        assert!(code.encode(&[]).is_err());
+    }
+}

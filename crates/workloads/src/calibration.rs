@@ -1,0 +1,64 @@
+//! Calibration of the cluster simulator's coding CPU costs.
+//!
+//! The Fig. 9–11 simulations charge decode work at a MB/s rate. Rather
+//! than invent numbers, the rates are measured from this repository's own
+//! kernels (the `calibrate` binary in `carousel-bench` prints them); this
+//! module provides the measurement and a conservative default for test
+//! environments where a release-mode measurement is unavailable.
+
+use dfs::CodingRates;
+
+use crate::coding_bench::{self, CodeFamily};
+
+/// Measures [`CodingRates`] from the real kernels at the paper's cluster
+/// parameters (`k = 6`, `n = 12`), using `mb` megabytes of data per trial.
+///
+/// Debug builds are an order of magnitude slower than release builds; use
+/// release mode when producing numbers for the figures.
+///
+/// # Panics
+///
+/// Panics if the codes cannot be constructed (impossible for these fixed
+/// parameters).
+pub fn measure(mb: usize, reps: usize) -> CodingRates {
+    let rs = CodeFamily::Rs.build(6).expect("RS(12,6)");
+    let data_rs = coding_bench::payload(rs.as_ref(), mb << 20);
+    // The Fig. 11 degraded path for Carousel is a p-block parallel read
+    // with one data-bearing block replaced by parity — measure exactly
+    // that, not a worst-case dense decode.
+    let ca = carousel::Carousel::new(12, 6, 10, 10).expect("Carousel(12,6,10,10)");
+    let data_ca = coding_bench::payload(&ca, mb << 20);
+    CodingRates {
+        rs_decode_mbps: coding_bench::measure_decode(rs.as_ref(), &data_rs, reps),
+        carousel_decode_mbps: coding_bench::measure_parallel_read(&ca, &data_ca, reps, 1),
+    }
+}
+
+/// The default rates used by tests and quick runs, set from a release-mode
+/// run of [`measure`] on the reference machine (RS ≈ 400 MB/s full-stripe
+/// degraded decode; Carousel ≈ 330 MB/s degraded parallel read — slower
+/// because the lost block's carousel copies mix contributions from all `p`
+/// fetched blocks).
+pub fn default_rates() -> CodingRates {
+    CodingRates::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_rates_are_positive() {
+        // Tiny sizes: this is a smoke test, not a benchmark; the two rates'
+        // relative order is machine- and build-dependent at this size.
+        let rates = measure(1, 1);
+        assert!(rates.rs_decode_mbps > 0.0);
+        assert!(rates.carousel_decode_mbps > 0.0);
+    }
+
+    #[test]
+    fn default_rates_sane() {
+        let r = default_rates();
+        assert!(r.rs_decode_mbps > r.carousel_decode_mbps);
+    }
+}

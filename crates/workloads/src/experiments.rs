@@ -1,0 +1,471 @@
+//! Cluster experiment drivers: Figures 9, 10 and 11.
+//!
+//! All three use the paper's setup: a 30-slave cluster of 2-core nodes, a
+//! 3 GB file in 512 MB blocks, `(12, 6)` stripes.
+
+use dfs::reader::{download_replicated, download_striped};
+use dfs::{ClusterSpec, CodingRates, Namenode, Policy};
+use mapreduce::{run_job, JobStats, WorkloadProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The 3 GB / 512 MB-block file of §VIII-C/D.
+pub const FILE_MB: f64 = 3072.0;
+/// HDFS block size used throughout the evaluation.
+pub const BLOCK_MB: f64 = 512.0;
+
+/// One bar group of Fig. 9: a workload × code combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Row {
+    /// Workload name (`terasort` / `wordcount`).
+    pub workload: String,
+    /// Code name (`RS(12,6)` / `Carousel(12,6,10,12)`).
+    pub code: String,
+    /// Job statistics.
+    pub stats: JobStats,
+}
+
+/// Runs Fig. 9: terasort and wordcount on RS(12,6) vs Carousel(12,6,10,12).
+pub fn fig9(seed: u64) -> Vec<Fig9Row> {
+    let spec = ClusterSpec::r3_large_cluster();
+    let mut out = Vec::new();
+    for profile in [WorkloadProfile::terasort(), WorkloadProfile::wordcount()] {
+        for (code_name, policy) in [
+            ("RS(12,6)".to_string(), Policy::Rs { n: 12, k: 6 }),
+            (
+                "Carousel(12,6,10,12)".to_string(),
+                Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+            ),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut nn = Namenode::new(spec.nodes);
+            let file = nn.store("input", FILE_MB, BLOCK_MB, policy, &mut rng);
+            let stats = run_job(&spec, &file.map_splits(), &profile);
+            out.push(Fig9Row {
+                workload: profile.name.clone(),
+                code: code_name,
+                stats,
+            });
+        }
+    }
+    out
+}
+
+/// One bar of Fig. 10: a storage scheme's job completion time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Row {
+    /// Scheme label (`1x replication`, `Carousel p = 8`, …).
+    pub scheme: String,
+    /// terasort job completion time, seconds.
+    pub terasort_s: f64,
+    /// wordcount job completion time, seconds.
+    pub wordcount_s: f64,
+}
+
+/// Runs Fig. 10: job completion vs `p ∈ {6, 8, 10, 12}` plus 1×/2×
+/// replication.
+pub fn fig10(seed: u64) -> Vec<Fig10Row> {
+    let spec = ClusterSpec::r3_large_cluster();
+    let schemes: Vec<(String, Policy)> = std::iter::once((
+        "1x replication".to_string(),
+        Policy::Replication { copies: 1 },
+    ))
+    .chain([6usize, 8, 10, 12].into_iter().map(|p| {
+        (
+            format!("Carousel p = {p}"),
+            Policy::Carousel { n: 12, k: 6, d: 10, p },
+        )
+    }))
+    .chain(std::iter::once((
+        "2x replication".to_string(),
+        Policy::Replication { copies: 2 },
+    )))
+    .collect();
+
+    schemes
+        .into_iter()
+        .map(|(scheme, policy)| {
+            let run = |profile: &WorkloadProfile| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut nn = Namenode::new(spec.nodes);
+                let file = nn.store("input", FILE_MB, BLOCK_MB, policy, &mut rng);
+                run_job(&spec, &file.map_splits(), profile).job_s
+            };
+            Fig10Row {
+                scheme,
+                terasort_s: run(&WorkloadProfile::terasort()),
+                wordcount_s: run(&WorkloadProfile::wordcount()),
+            }
+        })
+        .collect()
+}
+
+/// One bar group of Fig. 11: retrieval time of a 3 GB file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11Row {
+    /// Scheme label.
+    pub scheme: String,
+    /// Retrieval time with all blocks available, seconds.
+    pub no_failure_s: f64,
+    /// Retrieval time with one data-bearing block removed, seconds.
+    pub one_failure_s: f64,
+    /// Servers read from in the no-failure case.
+    pub servers: usize,
+}
+
+/// Runs Fig. 11: 3 GB retrieval under 3× replication (`hadoop fs -get`),
+/// RS(12,6) and Carousel(12,6,10,10), with and without one failure.
+/// Datanode reads are capped at 300 Mbps as in the paper.
+pub fn fig11(seed: u64, rates: CodingRates) -> Vec<Fig11Row> {
+    let spec = ClusterSpec::r3_large_cluster().with_disk_read_mbps(37.5);
+    let mut out = Vec::new();
+    let schemes: [(&str, Policy); 3] = [
+        ("HDFS (3x replication)", Policy::Replication { copies: 3 }),
+        ("RS(12,6)", Policy::Rs { n: 12, k: 6 }),
+        ("Carousel(12,6,10,10)", Policy::Carousel { n: 12, k: 6, d: 10, p: 10 }),
+    ];
+    for (label, policy) in schemes {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nn = Namenode::new(spec.nodes);
+        nn.store("f", FILE_MB, BLOCK_MB, policy, &mut rng);
+
+        let download = |nn: &Namenode| {
+            let file = nn.file("f").expect("stored");
+            match policy {
+                Policy::Replication { .. } => download_replicated(&spec, file),
+                _ => download_striped(&spec, file, rates),
+            }
+            .expect("download")
+        };
+        let ok = download(&nn);
+        // Remove one block that contains original data (role 0 of stripe 0).
+        nn.fail_block("f", 0, 0);
+        let degraded = download(&nn);
+        out.push(Fig11Row {
+            scheme: label.to_string(),
+            no_failure_s: ok.seconds,
+            one_failure_s: degraded.seconds,
+            servers: ok.servers,
+        });
+    }
+    out
+}
+
+/// Fig. 9 with repetition statistics: runs the experiment over many seeds
+/// (placement randomness) and summarizes each metric as the paper does
+/// ("run repetitively for 20 times and we show the mean with the 10th and
+/// 90th percentiles").
+pub fn fig9_repeated(seeds: &[u64]) -> Vec<Fig9StatRow> {
+    use crate::stats::Percentiles;
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut acc: Vec<(String, String, Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+    for &seed in seeds {
+        for row in fig9(seed) {
+            let entry = acc
+                .iter_mut()
+                .find(|(w, c, ..)| *w == row.workload && *c == row.code);
+            let entry = match entry {
+                Some(e) => e,
+                None => {
+                    acc.push((row.workload.clone(), row.code.clone(), vec![], vec![], vec![]));
+                    acc.last_mut().expect("just pushed")
+                }
+            };
+            entry.2.push(row.stats.avg_map_s);
+            entry.3.push(row.stats.avg_reduce_s);
+            entry.4.push(row.stats.job_s);
+        }
+    }
+    acc.into_iter()
+        .map(|(workload, code, map, reduce, job)| Fig9StatRow {
+            workload,
+            code,
+            map: Percentiles::of(&map),
+            reduce: Percentiles::of(&reduce),
+            job: Percentiles::of(&job),
+        })
+        .collect()
+}
+
+/// One summarized bar group of Fig. 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9StatRow {
+    /// Workload name.
+    pub workload: String,
+    /// Code name.
+    pub code: String,
+    /// Map-task time summary.
+    pub map: crate::stats::Percentiles,
+    /// Reduce-task time summary.
+    pub reduce: crate::stats::Percentiles,
+    /// Job completion summary.
+    pub job: crate::stats::Percentiles,
+}
+
+/// One row of the network-oversubscription extension experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OversubRow {
+    /// Core-switch bandwidth label.
+    pub switch: String,
+    /// terasort job completion, seconds.
+    pub terasort_s: f64,
+    /// wordcount job completion, seconds.
+    pub wordcount_s: f64,
+}
+
+/// Extension experiment: job completion under core-switch oversubscription
+/// (all cross-node traffic shares one fabric). Shuffle-heavy terasort
+/// degrades as the switch tightens; map-local wordcount barely notices.
+pub fn ext_oversubscription(seed: u64) -> Vec<OversubRow> {
+    let policy = Policy::Carousel { n: 12, k: 6, d: 10, p: 12 };
+    [None, Some(2000.0), Some(500.0), Some(125.0)]
+        .into_iter()
+        .map(|switch| {
+            let spec = match switch {
+                None => ClusterSpec::r3_large_cluster(),
+                Some(mbps) => ClusterSpec::r3_large_cluster().with_core_switch(mbps),
+            };
+            let run = |profile: &WorkloadProfile| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut nn = Namenode::new(spec.nodes);
+                let file = nn.store("input", FILE_MB, BLOCK_MB, policy, &mut rng);
+                run_job(&spec, &file.map_splits(), profile).job_s
+            };
+            OversubRow {
+                switch: switch.map_or("non-blocking".into(), |m| format!("{m:.0} MB/s")),
+                terasort_s: run(&WorkloadProfile::terasort()),
+                wordcount_s: run(&WorkloadProfile::wordcount()),
+            }
+        })
+        .collect()
+}
+
+/// One row of the straggler extension experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StragglerRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Job completion on a uniform cluster, seconds.
+    pub uniform_s: f64,
+    /// Job completion with stragglers, seconds.
+    pub straggler_s: f64,
+}
+
+/// Extension experiment: job completion on a heterogeneous cluster. A
+/// third of the nodes run 2× slower (disk and CPU); smaller Carousel map
+/// tasks hedge the straggler penalty in absolute terms because every
+/// task — including the one stuck on a slow node — is `k/p` the size.
+pub fn ext_stragglers(seeds: &[u64]) -> Vec<StragglerRow> {
+    let uniform = ClusterSpec::r3_large_cluster();
+    let hetero = ClusterSpec::r3_large_cluster().with_stragglers(10, 2.0);
+    let profile = WorkloadProfile::wordcount();
+    [
+        ("RS(12,6)".to_string(), Policy::Rs { n: 12, k: 6 }),
+        (
+            "Carousel(12,6,10,12)".to_string(),
+            Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+        ),
+    ]
+    .into_iter()
+    .map(|(scheme, policy)| {
+        let mean = |spec: &ClusterSpec| {
+            let total: f64 = seeds
+                .iter()
+                .map(|&seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut nn = Namenode::new(spec.nodes);
+                    let file = nn.store("input", FILE_MB, BLOCK_MB, policy, &mut rng);
+                    run_job(spec, &file.map_splits(), &profile).job_s
+                })
+                .sum();
+            total / seeds.len() as f64
+        };
+        StragglerRow {
+            scheme,
+            uniform_s: mean(&uniform),
+            straggler_s: mean(&hetero),
+        }
+    })
+    .collect()
+}
+
+/// One row of the degraded-job extension experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedJobRow {
+    /// Scheme label.
+    pub scheme: String,
+    /// Job completion with all blocks healthy, seconds.
+    pub healthy_s: f64,
+    /// Job completion with one data-bearing block dead (its map task must
+    /// reconstruct its input), seconds.
+    pub degraded_s: f64,
+}
+
+/// Extension experiment: MapReduce under a block failure. One data-bearing
+/// block is removed before the job starts; the affected map task performs a
+/// degraded read (`k` blocks of fetch for RS, the `k/p` affected share of
+/// `k` blocks for Carousel). Related to the degraded-read literature the
+/// paper discusses in §III.
+pub fn ext_degraded_job(seed: u64) -> Vec<DegradedJobRow> {
+    let spec = ClusterSpec::r3_large_cluster();
+    let profile = WorkloadProfile::wordcount();
+    [
+        ("RS(12,6)".to_string(), Policy::Rs { n: 12, k: 6 }),
+        (
+            "Carousel(12,6,10,12)".to_string(),
+            Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+        ),
+    ]
+    .into_iter()
+    .map(|(scheme, policy)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut nn = Namenode::new(spec.nodes);
+        nn.store("input", FILE_MB, BLOCK_MB, policy, &mut rng);
+        let healthy_s = run_job(&spec, &nn.file("input").expect("stored").map_splits(), &profile).job_s;
+        nn.fail_block("input", 0, 0);
+        let degraded_s = run_job(&spec, &nn.file("input").expect("stored").map_splits(), &profile).job_s;
+        DegradedJobRow {
+            scheme,
+            healthy_s,
+            degraded_s,
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_carousel_halves_map_time_approximately() {
+        let rows = fig9(42);
+        assert_eq!(rows.len(), 4);
+        for w in ["terasort", "wordcount"] {
+            let rs = rows
+                .iter()
+                .find(|r| r.workload == w && r.code.starts_with("RS"))
+                .unwrap();
+            let ca = rows
+                .iter()
+                .find(|r| r.workload == w && r.code.starts_with("Carousel"))
+                .unwrap();
+            assert_eq!(rs.stats.map_tasks, 6);
+            assert_eq!(ca.stats.map_tasks, 12);
+            let saving = 1.0 - ca.stats.avg_map_s / rs.stats.avg_map_s;
+            // Paper: 39.7% (terasort) and 46.8% (wordcount); theory caps at 50%.
+            assert!(
+                (0.30..=0.50).contains(&saving),
+                "{w}: map saving {saving} out of expected band"
+            );
+            assert!(ca.stats.job_s < rs.stats.job_s, "{w}: job time improves");
+        }
+        // Wordcount's job-level saving exceeds terasort's (map-dominated).
+        let job_saving = |w: &str| {
+            let rs = rows
+                .iter()
+                .find(|r| r.workload == w && r.code.starts_with("RS"))
+                .unwrap();
+            let ca = rows
+                .iter()
+                .find(|r| r.workload == w && r.code.starts_with("Carousel"))
+                .unwrap();
+            1.0 - ca.stats.job_s / rs.stats.job_s
+        };
+        assert!(job_saving("wordcount") > job_saving("terasort"));
+    }
+
+    #[test]
+    fn fig10_job_time_decreases_with_p() {
+        let rows = fig10(7);
+        assert_eq!(rows.len(), 6);
+        let carousel: Vec<&Fig10Row> = rows
+            .iter()
+            .filter(|r| r.scheme.starts_with("Carousel"))
+            .collect();
+        for pair in carousel.windows(2) {
+            assert!(
+                pair[1].terasort_s <= pair[0].terasort_s + 1e-9,
+                "terasort should not get worse as p grows: {:?}",
+                rows
+            );
+            assert!(pair[1].wordcount_s <= pair[0].wordcount_s + 1e-9);
+        }
+        // p = 6 behaves like 1x replication; p = 12 approaches 2x replication.
+        let one_x = &rows[0];
+        let p6 = &rows[1];
+        let p12 = &rows[4];
+        let two_x = &rows[5];
+        assert!((p6.wordcount_s - one_x.wordcount_s).abs() / one_x.wordcount_s < 0.15);
+        assert!((p12.wordcount_s - two_x.wordcount_s).abs() / two_x.wordcount_s < 0.15);
+    }
+
+    #[test]
+    fn experiments_are_deterministic_given_a_seed() {
+        assert_eq!(fig9(123), fig9(123));
+        assert_eq!(fig10(9), fig10(9));
+        assert_eq!(fig11(4, CodingRates::default()), fig11(4, CodingRates::default()));
+    }
+
+    #[test]
+    fn oversubscription_hurts_shuffle_heavy_jobs_most() {
+        let rows = ext_oversubscription(5);
+        let free = &rows[0];
+        let tight = rows.last().unwrap();
+        // terasort (full-volume shuffle) degrades substantially...
+        assert!(tight.terasort_s > free.terasort_s * 1.2, "{rows:?}");
+        // ...while wordcount (tiny shuffle) is barely affected.
+        assert!(tight.wordcount_s < free.wordcount_s * 1.1, "{rows:?}");
+    }
+
+    #[test]
+    fn straggler_penalty_smaller_for_carousel_in_absolute_terms() {
+        let rows = ext_stragglers(&[1, 2, 3]);
+        let rs = &rows[0];
+        let ca = &rows[1];
+        assert!(rs.straggler_s > rs.uniform_s);
+        assert!(ca.straggler_s > ca.uniform_s);
+        let rs_penalty = rs.straggler_s - rs.uniform_s;
+        let ca_penalty = ca.straggler_s - ca.uniform_s;
+        assert!(
+            ca_penalty < rs_penalty,
+            "smaller tasks hedge stragglers: {ca_penalty} vs {rs_penalty}"
+        );
+        assert!(ca.straggler_s < rs.straggler_s);
+    }
+
+    #[test]
+    fn degraded_job_penalty_smaller_for_carousel() {
+        let rows = ext_degraded_job(11);
+        let rs = &rows[0];
+        let ca = &rows[1];
+        assert!(rs.degraded_s > rs.healthy_s, "failure must cost something");
+        assert!(ca.degraded_s >= ca.healthy_s);
+        let rs_penalty = rs.degraded_s - rs.healthy_s;
+        let ca_penalty = ca.degraded_s - ca.healthy_s;
+        assert!(
+            ca_penalty < rs_penalty,
+            "Carousel reconstructs a smaller share: {ca_penalty} vs {rs_penalty}"
+        );
+        assert!(ca.degraded_s < rs.degraded_s);
+    }
+
+    #[test]
+    fn fig11_ordering_matches_paper() {
+        let rows = fig11(3, CodingRates::default());
+        let rep = &rows[0];
+        let rs = &rows[1];
+        let ca = &rows[2];
+        assert_eq!(rs.servers, 6);
+        assert_eq!(ca.servers, 10);
+        // No failure: parallel beats sequential; Carousel beats RS.
+        assert!(rs.no_failure_s < rep.no_failure_s / 2.0);
+        assert!(ca.no_failure_s < rs.no_failure_s);
+        // One failure: everybody slower (except replication, which just uses
+        // another replica), ordering preserved.
+        assert!(ca.one_failure_s > ca.no_failure_s);
+        assert!(ca.one_failure_s < rs.one_failure_s);
+        // Carousel saves a large fraction vs the built-in sequential reader.
+        assert!(ca.one_failure_s < 0.4 * rep.one_failure_s);
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment drivers for the paper's evaluation section.
+//!
+//! Each public function regenerates the data behind one figure of the
+//! paper; the `carousel-bench` crate's binaries print them as tables, and
+//! the integration tests assert the qualitative claims (who wins, by
+//! roughly what factor).
+//!
+//! | Paper figure | Here |
+//! |---|---|
+//! | Fig. 5 (generating matrices)        | [`coding_bench::fig5_matrices`] |
+//! | Fig. 6 (encode/decode throughput)   | [`coding_bench::measure_encode`], [`coding_bench::measure_decode`] |
+//! | Fig. 7 (reconstruction traffic)     | [`coding_bench::repair_traffic_mb`] |
+//! | Fig. 8 (reconstruction time)        | [`coding_bench::measure_repair`] |
+//! | Fig. 9 (Hadoop jobs, RS vs Carousel)| [`experiments::fig9`] |
+//! | Fig. 10 (job time vs `p`, replication) | [`experiments::fig10`] |
+//! | Fig. 11 (3 GB retrieval)            | [`experiments::fig11`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod coding_bench;
+pub mod experiments;
+pub mod stats;

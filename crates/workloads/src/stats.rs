@@ -1,0 +1,74 @@
+//! Small statistics helpers: the paper reports "the mean with the 10th and
+//! 90th percentiles" over 20 repetitions; the simulator's randomness is
+//! block placement, driven by the seed.
+
+/// Mean and 10th/90th percentiles of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 10th percentile (nearest-rank).
+    pub p10: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+}
+
+impl Percentiles {
+    /// Computes the summary of a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "empty sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+        let rank = |p: f64| {
+            let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[idx - 1]
+        };
+        Percentiles {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p10: rank(0.10),
+            p90: rank(0.90),
+        }
+    }
+
+    /// Formats as `mean [p10, p90]` with one decimal.
+    pub fn display(&self) -> String {
+        format!("{:.1} [{:.1}, {:.1}]", self.mean, self.p10, self.p90)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let samples: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        let p = Percentiles::of(&samples);
+        assert!((p.mean - 5.5).abs() < 1e-12);
+        assert_eq!(p.p10, 1.0);
+        assert_eq!(p.p90, 9.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let p = Percentiles::of(&[3.0]);
+        assert_eq!((p.mean, p.p10, p.p90), (3.0, 3.0, 3.0));
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let p = Percentiles::of(&[9.0, 1.0, 5.0]);
+        assert_eq!(p.p10, 1.0);
+        assert_eq!(p.p90, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        let _ = Percentiles::of(&[]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Cluster-level reconstruction: a datanode dies and the cluster rebuilds
+//! every block it hosted — comparing the network cost and completion time
+//! of RS-coded and Carousel-coded storage (extension of paper Figs. 7–8).
+//!
+//! Run with: `cargo run --example cluster_repair`
+
+use dfs::repairer::repair_file;
+use dfs::{ClusterSpec, CodingRates, Namenode, Policy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = ClusterSpec::r3_large_cluster().with_nodes(14);
+    println!(
+        "cluster: {} nodes; storing 4 files x 3 GB, then killing node 0\n",
+        spec.nodes
+    );
+    for (label, policy) in [
+        ("RS(12,6)            ", Policy::Rs { n: 12, k: 6 }),
+        ("Carousel(12,6,10,12)", Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }),
+    ] {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut nn = Namenode::new(spec.nodes);
+        for f in 0..4 {
+            nn.store(&format!("file{f}"), 3072.0, 512.0, policy, &mut rng);
+        }
+        nn.fail_node(0);
+        let mut total_mb = 0.0;
+        let mut total_blocks = 0;
+        let mut worst_s: f64 = 0.0;
+        for f in 0..4 {
+            let file = nn.file(&format!("file{f}")).expect("stored");
+            let report = repair_file(&spec, file, CodingRates::default()).expect("repairable");
+            total_mb += report.network_mb;
+            total_blocks += report.blocks_repaired;
+            worst_s = worst_s.max(report.seconds);
+        }
+        println!(
+            "{label}: {total_blocks} blocks rebuilt, {total_mb:.0} MB of repair \
+             traffic, slowest file done in {worst_s:.1}s"
+        );
+    }
+    println!("\nCarousel codes (d = 10) ship 2 blocks per repair instead of 6 —");
+    println!("the optimal d/(d-k+1) bound — while also serving 12-way parallel reads.");
+}

@@ -1,0 +1,44 @@
+//! The paper's headline experiment in miniature: run wordcount and
+//! terasort on the simulated 30-node cluster with RS(12,6) vs
+//! Carousel(12,6,10,12) storage and compare job times (paper Fig. 9).
+//!
+//! Run with: `cargo run --example mapreduce_speedup`
+
+use dfs::{ClusterSpec, Namenode, Policy};
+use mapreduce::{run_job, WorkloadProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = ClusterSpec::r3_large_cluster();
+    println!(
+        "cluster: {} nodes x {} cores, 3 GB input in 512 MB blocks\n",
+        spec.nodes, spec.cores_per_node
+    );
+    for profile in [WorkloadProfile::wordcount(), WorkloadProfile::terasort()] {
+        println!("--- {} ---", profile.name);
+        let mut results = Vec::new();
+        for (label, policy) in [
+            ("RS(12,6)          ", Policy::Rs { n: 12, k: 6 }),
+            ("Carousel(12,6,10,12)", Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }),
+        ] {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut nn = Namenode::new(spec.nodes);
+            let file = nn.store("input", 3072.0, 512.0, policy, &mut rng);
+            let stats = run_job(&spec, &file.map_splits(), &profile);
+            println!(
+                "{label}: {:>2} map tasks, map {:>5.1}s, reduce {:>5.1}s, job {:>5.1}s (locality {:.0}%)",
+                stats.map_tasks,
+                stats.avg_map_s,
+                stats.avg_reduce_s,
+                stats.job_s,
+                100.0 * stats.locality
+            );
+            results.push(stats.job_s);
+        }
+        println!(
+            "job completion time saving: {:.1}%\n",
+            100.0 * (1.0 - results[1] / results[0])
+        );
+    }
+}

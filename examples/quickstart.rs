@@ -1,0 +1,78 @@
+//! Quickstart: encode a file with a Carousel code, read it in parallel,
+//! survive failures, and repair a lost block.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use carousel::Carousel;
+use erasure::ErasureCode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A (6, 4, 4, 6) Carousel code: 4 data blocks encoded into 6, data
+    // spread over all 6 blocks, RS-style repair (d = k = 4).
+    let code = Carousel::new(6, 4, 4, 6)?;
+    println!("code: {}", code.name());
+    println!(
+        "storage overhead: {:.2}x, data parallelism: {} blocks",
+        code.n() as f64 / code.k() as f64,
+        code.parallelism()
+    );
+
+    // Encode some data.
+    let file: Vec<u8> = (0..12_000u32).flat_map(u32::to_le_bytes).collect();
+    let stripe = code.linear().encode(&file)?;
+    println!(
+        "encoded {} bytes into {} blocks of {} bytes",
+        file.len(),
+        stripe.blocks.len(),
+        stripe.block_bytes()
+    );
+
+    // Every block's top 4/6 is original data — that's what map tasks and
+    // parallel readers consume without decoding.
+    let layout = code.data_layout();
+    for node in 0..code.n() {
+        let region = layout.data_byte_range(node, stripe.unit_bytes);
+        let file_range = layout.file_byte_range(node, stripe.unit_bytes);
+        println!(
+            "block {node}: {:>6} data bytes {}",
+            region.len(),
+            file_range.map_or("(parity only)".into(), |r| format!(
+                "= file[{}..{}]",
+                r.start, r.end
+            ))
+        );
+    }
+
+    // Read the whole file from all 6 blocks in parallel: no decoding.
+    let blocks: Vec<Option<&[u8]>> = stripe.blocks.iter().map(|b| Some(&b[..])).collect();
+    let plan = code.plan_read(&[0, 1, 2, 3, 4, 5])?;
+    println!(
+        "parallel read: mode {:?}, {} servers, {:.2} blocks of traffic",
+        plan.mode(),
+        plan.parallelism(),
+        plan.traffic_blocks()
+    );
+    let restored = code.read(&blocks)?;
+    assert_eq!(&restored[..file.len()], &file[..]);
+
+    // Lose two blocks (the maximum for n - k = 2) and still decode.
+    let mut degraded = blocks.clone();
+    degraded[0] = None;
+    degraded[3] = None;
+    let restored = code.read(&degraded)?;
+    assert_eq!(&restored[..file.len()], &file[..]);
+    println!("decoded successfully with blocks 0 and 3 missing");
+
+    // Repair block 0 from d = 4 helpers, byte-exactly.
+    let helpers = [1usize, 2, 4, 5];
+    let plan = code.repair_plan(0, &helpers)?;
+    let helper_blocks: Vec<&[u8]> = helpers.iter().map(|&i| &stripe.blocks[i][..]).collect();
+    let (rebuilt, traffic) = plan.run(&helper_blocks)?;
+    assert_eq!(rebuilt, stripe.blocks[0]);
+    println!(
+        "repaired block 0: {} bytes of network traffic ({:.1} blocks)",
+        traffic,
+        traffic as f64 / stripe.block_bytes() as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Repair-traffic explorer (paper Fig. 7 generalized): for a family of
+//! (n, k, d) parameters, execute real repairs and report the bytes that
+//! crossed the network, confirming the optimal `d/(d−k+1)` bound of
+//! Dimakis et al. for the MSR-based codes and `k` blocks for RS repair.
+//!
+//! Run with: `cargo run --example repair_traffic`
+
+use carousel::Carousel;
+use erasure::ErasureCode;
+use msr::{ProductMatrixMbr, ProductMatrixMsr};
+use rs_code::ReedSolomon;
+
+fn report(code: &dyn ErasureCode, block_kb: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let sub = code.linear().sub();
+    let data = vec![0xA5u8; code.linear().message_units() * (block_kb * 1024 / sub)];
+    let stripe = code.linear().encode(&data)?;
+    let helpers: Vec<usize> = (1..=code.d()).collect();
+    let plan = code.repair_plan(0, &helpers)?;
+    let blocks: Vec<&[u8]> = helpers.iter().map(|&i| &stripe.blocks[i][..]).collect();
+    let (rebuilt, traffic) = plan.run(&blocks)?;
+    assert_eq!(rebuilt, stripe.blocks[0], "repair must be byte-exact");
+    let blocks_moved = traffic as f64 / stripe.block_bytes() as f64;
+    let optimal = code.d() as f64 / (code.d() - code.k() + 1) as f64;
+    println!(
+        "{:<24} d={:>2}  traffic = {:>7} B = {:.3} blocks (optimal {:.3})",
+        code.name(),
+        code.d(),
+        traffic,
+        blocks_moved,
+        optimal
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("repairing block 0 of a stripe with 64 KiB blocks:\n");
+    for k in [3usize, 4, 6] {
+        let n = 2 * k;
+        report(&ReedSolomon::new(n, k)?, 64)?;
+        report(&ProductMatrixMsr::new(n, k, 2 * k - 2)?, 64)?;
+        report(&ProductMatrixMsr::new(n, k, 2 * k - 1)?, 64)?;
+        report(&Carousel::new(n, k, 2 * k - 1, n)?, 64)?;
+        report(&ProductMatrixMbr::new(n, k, 2 * k - 1)?, 64)?;
+        println!();
+    }
+    println!("RS repair always moves k blocks; MSR-based repair approaches 1");
+    println!("block as d grows — Carousel codes inherit the optimum while also");
+    println!("spreading data over all n blocks — and MBR codes reach exactly 1");
+    println!("block by storing extra data per node.");
+    Ok(())
+}

@@ -1,0 +1,209 @@
+//! End-to-end tests of the `carousel-tool` CLI binary: encode a real file,
+//! damage the directory on disk, verify, repair and decode.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_carousel-tool"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "carousel-cli-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn write_input(dir: &PathBuf, len: usize) -> PathBuf {
+    let path = dir.join("input.bin");
+    let data: Vec<u8> = (0..len).map(|i| (i * 131 + 7) as u8).collect();
+    std::fs::write(&path, data).expect("write input");
+    path
+}
+
+#[test]
+fn encode_damage_repair_decode_round_trip() {
+    let dir = temp_dir("roundtrip");
+    let input = write_input(&dir, 50_000);
+    let enc = dir.join("data.enc");
+    let out = dir.join("out.bin");
+
+    let status = tool()
+        .args([
+            "encode",
+            input.to_str().unwrap(),
+            enc.to_str().unwrap(),
+            "--code",
+            "carousel(6,4,4,6)",
+        ])
+        .status()
+        .expect("run encode");
+    assert!(status.success());
+
+    // Remove two block files (the code tolerates n - k = 2).
+    for (s, b) in [(0, 1), (0, 4)] {
+        let status = tool()
+            .args(["drop", enc.to_str().unwrap(), &s.to_string(), &b.to_string()])
+            .status()
+            .expect("run drop");
+        assert!(status.success());
+    }
+
+    // verify reports the damage but exits successfully (still recoverable).
+    let output = tool()
+        .args(["verify", enc.to_str().unwrap()])
+        .output()
+        .expect("run verify");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    assert!(text.contains("4/6 blocks healthy"), "{text}");
+
+    let status = tool()
+        .args(["repair", enc.to_str().unwrap()])
+        .status()
+        .expect("run repair");
+    assert!(status.success());
+
+    let status = tool()
+        .args(["decode", enc.to_str().unwrap(), out.to_str().unwrap()])
+        .status()
+        .expect("run decode");
+    assert!(status.success());
+    assert_eq!(
+        std::fs::read(&input).unwrap(),
+        std::fs::read(&out).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bitrot_is_quarantined_and_fatal_damage_reported() {
+    let dir = temp_dir("bitrot");
+    let input = write_input(&dir, 10_000);
+    let enc = dir.join("data.enc");
+    assert!(tool()
+        .args([
+            "encode",
+            input.to_str().unwrap(),
+            enc.to_str().unwrap(),
+            "--code",
+            "rs(4,2)",
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    // Corrupt one block in place: verify must quarantine it.
+    let victim = enc.join("s00000_b001.blk");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[3] ^= 0x80;
+    std::fs::write(&victim, bytes).unwrap();
+    let output = tool()
+        .args(["verify", enc.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("3/4 blocks healthy"));
+
+    // Destroy two more blocks: below k, verify must fail loudly.
+    std::fs::remove_file(enc.join("s00000_b000.blk")).unwrap();
+    std::fs::remove_file(enc.join("s00000_b002.blk")).unwrap();
+    let output = tool()
+        .args(["verify", enc.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("DATA LOSS"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn range_reads_bytes_to_stdout() {
+    let dir = temp_dir("range");
+    let input = write_input(&dir, 5_000);
+    let enc = dir.join("data.enc");
+    assert!(tool()
+        .args([
+            "encode",
+            input.to_str().unwrap(),
+            enc.to_str().unwrap(),
+            "--code",
+            "msr(6,3,4)",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    let output = tool()
+        .args(["range", enc.to_str().unwrap(), "1200", "64"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let expect = &std::fs::read(&input).unwrap()[1200..1264];
+    assert_eq!(output.stdout, expect);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn write_updates_in_place() {
+    let dir = temp_dir("write");
+    let input = write_input(&dir, 8_000);
+    let enc = dir.join("data.enc");
+    let out = dir.join("out.bin");
+    assert!(tool()
+        .args([
+            "encode",
+            input.to_str().unwrap(),
+            enc.to_str().unwrap(),
+            "--code",
+            "carousel(6,3,3,6)",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    // Patch 500 bytes at offset 1234.
+    let patch_path = dir.join("patch.bin");
+    let patch: Vec<u8> = (0..500).map(|i| (i * 7 + 99) as u8).collect();
+    std::fs::write(&patch_path, &patch).unwrap();
+    assert!(tool()
+        .args([
+            "write",
+            enc.to_str().unwrap(),
+            "1234",
+            patch_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    // Checksums were refreshed: verify is clean; decode reflects the patch
+    // even after losing blocks (parity was updated too).
+    assert!(tool()
+        .args(["verify", enc.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(tool()
+        .args(["drop", enc.to_str().unwrap(), "0", "0"])
+        .status()
+        .unwrap()
+        .success());
+    assert!(tool()
+        .args(["decode", enc.to_str().unwrap(), out.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let mut expect = std::fs::read(&input).unwrap();
+    expect[1234..1734].copy_from_slice(&patch);
+    assert_eq!(std::fs::read(&out).unwrap(), expect);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_commands_fail_with_usage() {
+    let output = tool().args(["frobnicate"]).output().unwrap();
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("usage"));
+}

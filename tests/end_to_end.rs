@@ -1,0 +1,115 @@
+//! End-to-end integration: the coding layer, the DFS metadata layer and
+//! the simulators agree with each other.
+
+use carousel::Carousel;
+use dfs::{ClusterSpec, CodingRates, Namenode, Policy};
+use erasure::ErasureCode;
+use mapreduce::{run_job, WorkloadProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn byte_level_lifecycle_encode_fail_repair_read() {
+    // Encode -> lose a block -> repair it -> parallel-read: byte exact at
+    // every step, across both repair regimes.
+    for (n, k, d, p) in [(12, 6, 10, 10), (6, 4, 4, 6)] {
+        let code = Carousel::new(n, k, d, p).unwrap();
+        let file: Vec<u8> = (0..code.linear().message_units() * 64)
+            .map(|i| (i * 131 + 17) as u8)
+            .collect();
+        let stripe = code.linear().encode(&file).unwrap();
+
+        // Fail block 1, repair it from d helpers.
+        let helpers: Vec<usize> = (0..n).filter(|&i| i != 1).take(d).collect();
+        let plan = code.repair_plan(1, &helpers).unwrap();
+        let blocks: Vec<&[u8]> = helpers.iter().map(|&i| &stripe.blocks[i][..]).collect();
+        let (rebuilt, _) = plan.run(&blocks).unwrap();
+        assert_eq!(rebuilt, stripe.blocks[1]);
+
+        // The repaired cluster serves parallel reads again.
+        let mut all: Vec<Option<&[u8]>> = stripe.blocks.iter().map(|b| Some(&b[..])).collect();
+        all[1] = Some(&rebuilt);
+        let out = code.read(&all).unwrap();
+        assert_eq!(&out[..file.len()], &file[..]);
+    }
+}
+
+#[test]
+fn read_plan_traffic_matches_dfs_policy_fractions() {
+    // The bytes-per-server the Carousel reader plans equal the data
+    // fractions the DFS policy layer assumes (k/p of a block per server).
+    let (n, k, d, p) = (12usize, 6usize, 10usize, 10usize);
+    let code = Carousel::new(n, k, d, p).unwrap();
+    let plan = code.plan_read(&(0..n).collect::<Vec<_>>()).unwrap();
+    let policy = Policy::Carousel { n, k, d, p };
+    let splits = policy.splits(512.0);
+    assert_eq!(plan.parallelism(), splits.len());
+    let per_server_blocks = plan.traffic_blocks() / plan.parallelism() as f64;
+    let per_split_blocks = splits[0].size_mb / 512.0;
+    assert!((per_server_blocks - per_split_blocks).abs() < 1e-9);
+}
+
+#[test]
+fn cluster_download_uses_exactly_the_planned_bytes() {
+    let spec = ClusterSpec::r3_large_cluster().with_disk_read_mbps(37.5);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut nn = Namenode::new(spec.nodes);
+    let file = nn
+        .store(
+            "f",
+            3072.0,
+            512.0,
+            Policy::Carousel { n: 12, k: 6, d: 10, p: 10 },
+            &mut rng,
+        )
+        .clone();
+    let r = dfs::reader::download_striped(&spec, &file, CodingRates::default()).unwrap();
+    // k blocks' worth of bytes cross the network regardless of p.
+    assert!((r.downloaded_mb - 6.0 * 512.0).abs() < 1e-6);
+    assert_eq!(r.servers, 10);
+}
+
+#[test]
+fn map_task_count_equals_code_parallelism() {
+    let spec = ClusterSpec::r3_large_cluster();
+    for (policy, expect) in [
+        (Policy::Rs { n: 12, k: 6 }, 6usize),
+        (Policy::Carousel { n: 12, k: 6, d: 10, p: 8 }, 8),
+        (Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }, 12),
+    ] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut nn = Namenode::new(spec.nodes);
+        let file = nn.store("input", 3072.0, 512.0, policy, &mut rng);
+        let splits = file.map_splits();
+        assert_eq!(splits.len(), expect);
+        let stats = run_job(&spec, &splits, &WorkloadProfile::wordcount());
+        assert_eq!(stats.map_tasks, expect);
+        assert_eq!(stats.locality, 1.0, "all tasks local on a 30-node cluster");
+    }
+}
+
+#[test]
+fn storage_overhead_equivalence_of_rs_and_carousel() {
+    // The paper's central claim: Carousel codes extend parallelism without
+    // extra storage or lost failure tolerance.
+    let rs = Policy::Rs { n: 12, k: 6 };
+    let ca = Policy::Carousel { n: 12, k: 6, d: 10, p: 12 };
+    let rep = Policy::Replication { copies: 2 };
+    assert_eq!(rs.storage_overhead(), ca.storage_overhead());
+    assert_eq!(rs.failures_tolerated(), ca.failures_tolerated());
+    assert!(ca.data_parallelism() > rs.data_parallelism());
+    // vs 2x replication: at the same 2.0x overhead the Carousel code
+    // tolerates 6 failures instead of 1 (paper §VIII-C's comparison).
+    assert_eq!(ca.data_parallelism(), 12);
+    assert_eq!(rep.data_parallelism(), 2);
+    assert_eq!(ca.storage_overhead(), rep.storage_overhead());
+    assert!(ca.failures_tolerated() > rep.failures_tolerated());
+}
+
+#[test]
+fn umbrella_crate_reexports_compile() {
+    // The root package re-exports every member crate.
+    let _ = carousel_repro::gf256::Gf256::ONE;
+    let code = carousel_repro::rs_code::ReedSolomon::new(4, 2).unwrap();
+    assert_eq!(code.n(), 4);
+}

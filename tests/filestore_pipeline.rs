@@ -1,0 +1,113 @@
+//! Integration: the file layer, the coding layer and the consistency
+//! machinery working together across code families.
+
+use carousel::Carousel;
+use erasure::consistency::StripeHealth;
+use erasure::ErasureCode;
+use filestore::{FileCodec, FileError};
+use msr::{ProductMatrixMbr, ProductMatrixMsr};
+use rs_code::ReedSolomon;
+
+fn sample(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 131 + 17) as u8).collect()
+}
+
+#[test]
+fn filestore_round_trips_every_code_family() {
+    let data = sample(6_000);
+    // RS, MSR, Carousel and MBR all behind the same FileCodec.
+    let rs = FileCodec::new(ReedSolomon::new(6, 4).unwrap(), 400).unwrap();
+    let msr = FileCodec::new(ProductMatrixMsr::new(6, 3, 5).unwrap(), 300).unwrap();
+    let ca = FileCodec::new(Carousel::new(6, 3, 5, 6).unwrap(), 300).unwrap();
+    let mbr = FileCodec::new(ProductMatrixMbr::new(6, 3, 4).unwrap(), 400).unwrap();
+
+    macro_rules! roundtrip {
+        ($codec:expr) => {{
+            let mut enc = $codec.encode(&data).unwrap();
+            // Lose one block per stripe.
+            for s in 0..enc.stripes() {
+                enc.drop_block(s, (s + 1) % 6);
+            }
+            assert_eq!(enc.decode().unwrap(), data);
+            // Range reads agree with the source.
+            assert_eq!(enc.read_range(1000, 500).unwrap(), &data[1000..1500]);
+        }};
+    }
+    roundtrip!(rs);
+    roundtrip!(msr);
+    roundtrip!(ca);
+    roundtrip!(mbr);
+}
+
+#[test]
+fn carousel_block_read_agrees_with_filestore_range_read() {
+    // The degraded single-block read of the core crate must produce the
+    // same bytes the file layer serves for that block's file range.
+    let code = Carousel::new(12, 6, 10, 12).unwrap();
+    let codec = FileCodec::new(code.clone(), 600).unwrap();
+    let data = sample(codec.stripe_data_bytes());
+    let enc = codec.encode(&data).unwrap();
+
+    let target = 3usize;
+    let layout = code.data_layout();
+    let w = 600 / code.sub();
+    let range = layout.file_byte_range(target, w).unwrap();
+
+    // Via the degraded block-read plan (block `target` treated as dead).
+    let available: Vec<usize> = (0..12).filter(|&i| i != target).collect();
+    let plan = code.plan_block_read(target, &available).unwrap();
+    let blocks: Vec<Option<&[u8]>> = (0..12)
+        .map(|i| (i != target).then(|| enc.block(0, i).unwrap()))
+        .collect();
+    let via_plan = plan.execute(&blocks).unwrap();
+
+    // Via the file layer (block present, straight copy).
+    let via_range = enc
+        .read_range(range.start as u64, (range.end - range.start) as u64)
+        .unwrap();
+    assert_eq!(via_plan, via_range);
+    assert_eq!(via_plan, &data[range.clone()]);
+}
+
+#[test]
+fn scrub_and_repair_interact_correctly() {
+    // Silent corruption -> deep scrub finds it -> drop + repair fixes it.
+    let codec = FileCodec::new(Carousel::new(6, 3, 3, 6).unwrap(), 300).unwrap();
+    let data = sample(1_800);
+    let mut enc = codec.encode(&data).unwrap();
+    let pristine = enc.block(0, 2).unwrap().to_vec();
+
+    let mut bad = pristine.clone();
+    bad[17] ^= 0x10;
+    enc.set_block(0, 2, bad);
+    assert_eq!(enc.scrub()[0], Some(StripeHealth::Corrupt(vec![2])));
+
+    enc.drop_block(0, 2);
+    enc.repair_block(0, 2).unwrap();
+    assert_eq!(enc.block(0, 2).unwrap(), &pristine[..]);
+    assert_eq!(enc.scrub()[0], Some(StripeHealth::Consistent));
+    assert_eq!(enc.decode().unwrap(), data);
+}
+
+#[test]
+fn mbr_files_tolerate_failures_with_one_block_repairs() {
+    let code = ProductMatrixMbr::new(10, 4, 7).unwrap();
+    let block_bytes = 7 * 64; // sub = d = 7 units
+    let codec = FileCodec::new(code.clone(), block_bytes).unwrap();
+    let data = sample(2 * codec.stripe_data_bytes() - 100);
+    let mut enc = codec.encode(&data).unwrap();
+    let original = enc.block(1, 5).unwrap().to_vec();
+    enc.drop_block(1, 5);
+    enc.repair_block(1, 5).unwrap();
+    assert_eq!(enc.block(1, 5).unwrap(), &original[..]);
+    assert_eq!(enc.decode().unwrap(), data);
+}
+
+#[test]
+fn geometry_errors_are_reported_not_panicked() {
+    let code = Carousel::new(6, 3, 3, 6).unwrap(); // sub = 2
+    match FileCodec::new(code, 301) {
+        Err(FileError::BadGeometry { reason }) => assert!(reason.contains("301")),
+        other => panic!("expected BadGeometry, got {other:?}"),
+    }
+}
