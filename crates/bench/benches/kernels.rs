@@ -56,5 +56,10 @@ fn bench_mbr_repair(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_slice_kernels, bench_wide_rs, bench_mbr_repair);
+criterion_group!(
+    benches,
+    bench_slice_kernels,
+    bench_wide_rs,
+    bench_mbr_repair
+);
 criterion_main!(benches);

@@ -18,7 +18,12 @@ fn bench_job(c: &mut Criterion) {
             "f",
             3072.0,
             512.0,
-            Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
             &mut rng,
         )
         .clone();
@@ -37,7 +42,12 @@ fn bench_download(c: &mut Criterion) {
             "f",
             3072.0,
             512.0,
-            Policy::Carousel { n: 12, k: 6, d: 10, p: 10 },
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 10,
+            },
             &mut rng,
         )
         .clone();

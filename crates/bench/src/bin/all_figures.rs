@@ -15,6 +15,7 @@ use workloads::coding_bench::{
 use workloads::experiments;
 
 fn main() -> std::io::Result<()> {
+    let _metrics = bench_support::init_metrics("all_figures");
     let mb = env_knob("BENCH_MB", 16);
     let reps = env_knob("BENCH_REPS", 2);
     let mut out = String::new();
@@ -52,7 +53,9 @@ fn main() -> std::io::Result<()> {
             enc.push(format!("{:.0}", measure_encode(code.as_ref(), &data, reps)));
             dec.push(format!("{:.0}", measure_decode(code.as_ref(), &data, reps)));
             tr.push(format!("{:.0}", repair_traffic_mb(code.as_ref(), 512.0)));
-            nc.push(fmt_secs(measure_repair(code.as_ref(), &data, reps).newcomer_s));
+            nc.push(fmt_secs(
+                measure_repair(code.as_ref(), &data, reps).newcomer_s,
+            ));
         }
         enc_rows.push(enc);
         dec_rows.push(dec);
@@ -96,7 +99,10 @@ fn main() -> std::io::Result<()> {
         .collect();
     section(
         "Figure 9: Hadoop jobs (simulated, mean [p10, p90] over 5 placements)",
-        render_table(&["workload", "code", "map (s)", "reduce (s)", "job (s)"], &table),
+        render_table(
+            &["workload", "code", "map (s)", "reduce (s)", "job (s)"],
+            &table,
+        ),
         &mut out,
     );
 
@@ -104,7 +110,13 @@ fn main() -> std::io::Result<()> {
     let rows = experiments::fig10(42);
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.scheme.clone(), fmt_secs(r.terasort_s), fmt_secs(r.wordcount_s)])
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                fmt_secs(r.terasort_s),
+                fmt_secs(r.wordcount_s),
+            ]
+        })
         .collect();
     section(
         "Figure 10: job completion vs data parallelism",
@@ -127,7 +139,10 @@ fn main() -> std::io::Result<()> {
         .collect();
     section(
         "Figure 11: 3 GB retrieval (simulated, 300 Mbps disk cap)",
-        render_table(&["scheme", "servers", "no failure (s)", "one failure (s)"], &table),
+        render_table(
+            &["scheme", "servers", "no failure (s)", "one failure (s)"],
+            &table,
+        ),
         &mut out,
     );
 
@@ -153,7 +168,13 @@ fn main() -> std::io::Result<()> {
     let rows = experiments::ext_stragglers(&(0..5).collect::<Vec<_>>());
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.scheme.clone(), fmt_secs(r.uniform_s), fmt_secs(r.straggler_s)])
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                fmt_secs(r.uniform_s),
+                fmt_secs(r.straggler_s),
+            ]
+        })
         .collect();
     section(
         "Extension: wordcount with 10 of 30 nodes 2x slower",
@@ -165,7 +186,13 @@ fn main() -> std::io::Result<()> {
     let rows = experiments::ext_oversubscription(42);
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.switch.clone(), fmt_secs(r.terasort_s), fmt_secs(r.wordcount_s)])
+        .map(|r| {
+            vec![
+                r.switch.clone(),
+                fmt_secs(r.terasort_s),
+                fmt_secs(r.wordcount_s),
+            ]
+        })
         .collect();
     section(
         "Extension: Carousel jobs vs core-switch bandwidth",
@@ -188,7 +215,12 @@ fn main() -> std::io::Result<()> {
             ("RS(12,6)", dfs::Policy::Rs { n: 12, k: 6 }),
             (
                 "Carousel(12,6,10,12)",
-                dfs::Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+                dfs::Policy::Carousel {
+                    n: 12,
+                    k: 6,
+                    d: 10,
+                    p: 12,
+                },
             ),
         ]
         .iter()

@@ -6,6 +6,7 @@
 use bench_support::env_knob;
 
 fn main() {
+    let _metrics = bench_support::init_metrics("calibrate");
     let mb = env_knob("BENCH_MB", 64);
     let reps = env_knob("BENCH_REPS", 3);
     let rates = workloads::calibration::measure(mb, reps);

@@ -10,6 +10,7 @@ use bench_support::{fmt_secs, render_table};
 use workloads::experiments::ext_degraded_job;
 
 fn main() {
+    let _metrics = bench_support::init_metrics("ext_degraded_job");
     let rows = ext_degraded_job(42);
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -11,6 +11,7 @@ use dfs::{Namenode, Policy};
 use rand::SeedableRng;
 
 fn main() {
+    let _metrics = bench_support::init_metrics("ext_durability");
     let trials = env_knob("BENCH_REPS", 10) as u64;
     let params = DurabilityParams {
         node_mtbf_hours: 50.0,
@@ -21,7 +22,15 @@ fn main() {
     let schemes = [
         ("3x replication", Policy::Replication { copies: 3 }),
         ("RS(12,6)", Policy::Rs { n: 12, k: 6 }),
-        ("Carousel(12,6,10,12)", Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }),
+        (
+            "Carousel(12,6,10,12)",
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
+        ),
     ];
     let rows: Vec<Vec<String>> = schemes
         .iter()

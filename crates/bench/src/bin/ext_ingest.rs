@@ -12,11 +12,20 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let _metrics = bench_support::init_metrics("ext_ingest");
     let spec = ClusterSpec::r3_large_cluster();
     let schemes = [
         ("3x replication", Policy::Replication { copies: 3 }),
         ("RS(12,6)", Policy::Rs { n: 12, k: 6 }),
-        ("Carousel(12,6,10,12)", Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }),
+        (
+            "Carousel(12,6,10,12)",
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
+        ),
     ];
     let rows: Vec<Vec<String>> = schemes
         .iter()

@@ -8,6 +8,7 @@ use bench_support::{fmt_secs, render_table};
 use workloads::experiments::ext_oversubscription;
 
 fn main() {
+    let _metrics = bench_support::init_metrics("ext_oversubscription");
     let rows = ext_oversubscription(42);
     let table: Vec<Vec<String>> = rows
         .iter()

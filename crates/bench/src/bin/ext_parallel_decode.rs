@@ -15,6 +15,7 @@ use carousel::Carousel;
 use workloads::coding_bench::{measure_decode, measure_parallel_read, payload};
 
 fn main() {
+    let _metrics = bench_support::init_metrics("ext_parallel_decode");
     let mb = env_knob("BENCH_MB", 64);
     let reps = env_knob("BENCH_REPS", 3);
     let code = Carousel::new(12, 6, 10, 12).expect("valid parameters");
@@ -30,9 +31,18 @@ fn main() {
         render_table(
             &["read path", "throughput (MB/s)"],
             &[
-                vec!["decode from k = 6 blocks (Fig 6b scenario)".into(), format!("{from_k:.0}")],
-                vec!["parallel read from p = 12 blocks".into(), format!("{from_p:.0}")],
-                vec!["parallel read, 1 block failed".into(), format!("{from_p_degraded:.0}")],
+                vec![
+                    "decode from k = 6 blocks (Fig 6b scenario)".into(),
+                    format!("{from_k:.0}")
+                ],
+                vec![
+                    "parallel read from p = 12 blocks".into(),
+                    format!("{from_p:.0}")
+                ],
+                vec![
+                    "parallel read, 1 block failed".into(),
+                    format!("{from_p_degraded:.0}")
+                ],
             ]
         )
     );

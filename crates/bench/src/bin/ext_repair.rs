@@ -25,10 +25,27 @@ fn run(policy: Policy, losses: usize) -> dfs::repairer::RepairReport {
 }
 
 fn main() {
+    let _metrics = bench_support::init_metrics("ext_repair");
     let schemes = [
         ("RS(12,6)", Policy::Rs { n: 12, k: 6 }),
-        ("Carousel(12,6,10,10)", Policy::Carousel { n: 12, k: 6, d: 10, p: 10 }),
-        ("Carousel(12,6,10,12)", Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }),
+        (
+            "Carousel(12,6,10,10)",
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 10,
+            },
+        ),
+        (
+            "Carousel(12,6,10,12)",
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
+        ),
     ];
     for losses in [1usize, 2] {
         let rows: Vec<Vec<String>> = schemes

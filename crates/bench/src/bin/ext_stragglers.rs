@@ -8,6 +8,7 @@ use bench_support::{fmt_secs, render_table};
 use workloads::experiments::ext_stragglers;
 
 fn main() {
+    let _metrics = bench_support::init_metrics("ext_stragglers");
     let rows = ext_stragglers(&(0..10).collect::<Vec<_>>());
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -25,13 +25,18 @@ fn code_row_with(code: &dyn ErasureCode, helpers: &[usize], mds: bool) -> Vec<St
     vec![
         code.name(),
         format!("{:.2}x", code.n() as f64 / code.k() as f64),
-        if mds { "n-k = ".to_string() + &(code.n() - code.k()).to_string() } else { "pattern-dependent".into() },
+        if mds {
+            "n-k = ".to_string() + &(code.n() - code.k()).to_string()
+        } else {
+            "pattern-dependent".into()
+        },
         format!("{traffic:.2} blocks"),
         code.parallelism().to_string(),
     ]
 }
 
 fn main() {
+    let _metrics = bench_support::init_metrics("ext_tradeoff");
     let rs = ReedSolomon::new(12, 6).expect("valid");
     let lrc = LocalRepairable::new(6, 2, 2).expect("valid");
     let msr = ProductMatrixMsr::new(12, 6, 10).expect("valid");

@@ -9,6 +9,7 @@ use bench_support::{fmt_secs, render_table};
 use workloads::experiments::fig10;
 
 fn main() {
+    let _metrics = bench_support::init_metrics("fig10");
     let rows = fig10(42);
     let table: Vec<Vec<String>> = rows
         .iter()

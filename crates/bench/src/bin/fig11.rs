@@ -10,6 +10,7 @@ use bench_support::{fmt_secs, render_table};
 use workloads::experiments::fig11;
 
 fn main() {
+    let _metrics = bench_support::init_metrics("fig11");
     let rates = if std::env::var("BENCH_CALIBRATE").is_ok() {
         let r = workloads::calibration::measure(32, 3);
         eprintln!(

@@ -6,6 +6,7 @@
 //! encoding costs the same per output byte as RS.
 
 fn main() {
+    let _metrics = bench_support::init_metrics("fig5");
     println!("== Figure 5: generating matrix comparison ==\n");
     print!("{}", workloads::coding_bench::fig5_matrices());
 }

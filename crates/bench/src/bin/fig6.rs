@@ -11,12 +11,16 @@ use bench_support::{env_knob, render_table};
 use workloads::coding_bench::{fig6_codes, measure_decode, measure_encode, payload};
 
 fn main() {
+    let _metrics = bench_support::init_metrics("fig6");
     let mb = env_knob("BENCH_MB", 64);
     let reps = env_knob("BENCH_REPS", 3);
     let ks = [2usize, 4, 6, 8, 10];
 
     for (title, measure) in [
-        ("(a) encoding", measure_encode as fn(&dyn erasure::ErasureCode, &[u8], usize) -> f64),
+        (
+            "(a) encoding",
+            measure_encode as fn(&dyn erasure::ErasureCode, &[u8], usize) -> f64,
+        ),
         ("(b) decoding", measure_decode),
     ] {
         let mut rows = Vec::new();

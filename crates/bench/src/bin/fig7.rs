@@ -9,6 +9,7 @@ use bench_support::render_table;
 use workloads::coding_bench::{fig6_codes, repair_traffic_mb, CodeFamily};
 
 fn main() {
+    let _metrics = bench_support::init_metrics("fig7");
     let block_mb = 512.0;
     let ks = [2usize, 4, 6, 8, 10];
     let mut rows = Vec::new();

@@ -11,6 +11,7 @@ use bench_support::{env_knob, fmt_secs, render_table};
 use workloads::coding_bench::{fig6_codes, measure_repair, payload, CodeFamily};
 
 fn main() {
+    let _metrics = bench_support::init_metrics("fig8");
     let block_mb = env_knob("BENCH_MB", 64);
     let reps = env_knob("BENCH_REPS", 3);
     let ks = [2usize, 4, 6, 8, 10];

@@ -51,6 +51,65 @@ pub fn env_knob(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Handles the `--metrics <out.jsonl>` flag shared by every figure binary.
+///
+/// Call once at the top of `main`. When the flag is present (also accepted
+/// as `--metrics=out.jsonl`), the file is created and installed as the
+/// process-wide telemetry event sink, so simulator schedules and span
+/// timings stream into it during the run; when the returned guard drops at
+/// exit, the sink is closed and a full registry snapshot (counters, gauges,
+/// histogram quantiles) is appended as JSON-lines. Without the flag this is
+/// a no-op; in a `--no-default-features` build the requested file is still
+/// written but holds only the `meta` line (the registry is empty).
+///
+/// See `docs/OBSERVABILITY.md` for the metric names and line schema.
+pub fn init_metrics(run: &'static str) -> MetricsGuard {
+    let mut path: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            path = args.next().map(Into::into);
+        } else if let Some(p) = arg.strip_prefix("--metrics=") {
+            path = Some(p.into());
+        }
+    }
+    if let Some(p) = &path {
+        match std::fs::File::create(p) {
+            Ok(f) => telemetry::set_event_sink(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("warning: cannot create metrics file {}: {e}", p.display());
+                path = None;
+            }
+        }
+    }
+    MetricsGuard { run, path }
+}
+
+/// Guard returned by [`init_metrics`]; appends the final metrics snapshot
+/// on drop.
+pub struct MetricsGuard {
+    run: &'static str,
+    path: Option<std::path::PathBuf>,
+}
+
+impl Drop for MetricsGuard {
+    fn drop(&mut self) {
+        let Some(path) = self.path.take() else { return };
+        // Close the streaming sink first so its buffer is flushed before the
+        // snapshot lines are appended.
+        telemetry::clear_event_sink();
+        let snap = telemetry::Registry::global().snapshot();
+        let result = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| snap.write_jsonl(self.run, &mut f));
+        match result {
+            Ok(()) => eprintln!("metrics written to {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write metrics to {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Formats seconds with adaptive precision.
 pub fn fmt_secs(s: f64) -> String {
     if s >= 100.0 {
@@ -70,10 +129,7 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["k", "value"],
-            &[
-                vec!["2".into(), "10".into()],
-                vec!["10".into(), "3".into()],
-            ],
+            &[vec!["2".into(), "10".into()], vec!["10".into(), "3".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -163,18 +163,15 @@ pub(crate) fn build(params: &CarouselParams, base_generator: &Matrix) -> Result<
     let g_new = &g_hat * &g0_inv;
 
     // Step 4: reordering — data units to the top of each block, file order.
-    let mut perms = Vec::with_capacity(n);
-    for i in 0..n {
-        let perm: Vec<usize> = if i < p {
-            let chosen = &chosen_per_node[i];
+    let mut perms: Vec<Vec<usize>> = chosen_per_node
+        .iter()
+        .map(|chosen| {
             let mut v = chosen.clone();
             v.extend((0..sub).filter(|r| !chosen.contains(r)));
             v
-        } else {
-            (0..sub).collect()
-        };
-        perms.push(perm);
-    }
+        })
+        .collect();
+    perms.resize_with(n, || (0..sub).collect());
     let global_perm: Vec<usize> = perms
         .iter()
         .enumerate()
@@ -249,9 +246,7 @@ mod tests {
         for (n, k, p) in [(3, 2, 3), (12, 6, 8), (12, 6, 10), (12, 6, 12), (10, 4, 10)] {
             let params = CarouselParams::validate(n, k, k, p).unwrap();
             for t in 0..params.n0 {
-                let count = (0..p)
-                    .filter(|&i| params.chosen_ts(i).contains(&t))
-                    .count();
+                let count = (0..p).filter(|&i| params.chosen_ts(i).contains(&t)).count();
                 assert_eq!(count, k, "(n={n},k={k},p={p}) row {t}");
             }
         }
@@ -275,12 +270,7 @@ mod tests {
         assert_eq!(rows.len(), 5);
         // One row in each segment.
         for s in 0..5 {
-            assert_eq!(
-                rows.iter()
-                    .filter(|&&r| r / params.n0 == s)
-                    .count(),
-                1
-            );
+            assert_eq!(rows.iter().filter(|&&r| r / params.n0 == s).count(), 1);
         }
     }
 

@@ -10,10 +10,17 @@
 //! available blocks. Total traffic: `k · αK₀` units `= k·(k/p)` block-sizes
 //! — proportionally cheaper than RS's `k` full blocks when `p > k`.
 
+use std::sync::LazyLock;
+
 use erasure::{CodeError, ErasureCode as _};
 use gf256::mul_acc_slice;
 
 use crate::Carousel;
+
+static BLOCK_READS: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("carousel.reads.block_degraded"));
+static DEGRADED_TRAFFIC: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("carousel.degraded.traffic_units"));
 
 /// A plan to reconstruct the data region of one (typically dead) block.
 #[derive(Debug, Clone)]
@@ -211,12 +218,17 @@ pub(crate) fn plan_block_read(
         }
         copies.push(CopyPlan { sources, outputs });
     }
-    Ok(BlockReadPlan {
+    let plan = BlockReadPlan {
         target,
         copies,
         data_units: alpha * k0,
         sub,
-    })
+    };
+    if telemetry::ENABLED {
+        BLOCK_READS.inc();
+        DEGRADED_TRAFFIC.record(plan.traffic_units() as u64);
+    }
+    Ok(plan)
 }
 
 #[cfg(test)]
@@ -227,7 +239,7 @@ mod tests {
     fn check(n: usize, k: usize, d: usize, p: usize) {
         let code = Carousel::new(n, k, d, p).unwrap();
         let b = code.linear().message_units();
-            let file: Vec<u8> = (0..b * 16).map(|i| (i * 37 + 11) as u8).collect();
+        let file: Vec<u8> = (0..b * 16).map(|i| (i * 37 + 11) as u8).collect();
         let stripe = code.linear().encode(&file).unwrap();
         let layout = code.data_layout();
         let w = stripe.unit_bytes;
@@ -296,13 +308,14 @@ mod tests {
     #[test]
     fn execute_detects_missing_sources() {
         let code = Carousel::new(6, 3, 3, 6).unwrap();
-        let file: Vec<u8> = (0..code.linear().message_units() * 4).map(|i| i as u8).collect();
+        let file: Vec<u8> = (0..code.linear().message_units() * 4)
+            .map(|i| i as u8)
+            .collect();
         let stripe = code.linear().encode(&file).unwrap();
         let plan = code
             .plan_block_read(0, &(1..6).collect::<Vec<_>>())
             .unwrap();
-        let mut blocks: Vec<Option<&[u8]>> =
-            stripe.blocks.iter().map(|b| Some(&b[..])).collect();
+        let mut blocks: Vec<Option<&[u8]>> = stripe.blocks.iter().map(|b| Some(&b[..])).collect();
         // Remove one of the planned sources.
         let (victim, _) = plan.units_per_node()[0];
         blocks[victim] = None;

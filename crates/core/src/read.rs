@@ -9,9 +9,20 @@
 //! selection always decodes. If even that is impossible (e.g. `p = n`), the
 //! reader falls back to a generic `k`-block MDS decode.
 
+use std::sync::LazyLock;
+
 use erasure::{CodeError, DecodePlan, ErasureCode as _};
 
 use crate::Carousel;
+
+static READS_DIRECT: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("carousel.reads.direct"));
+static READS_DEGRADED: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("carousel.reads.degraded"));
+static READS_FALLBACK: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("carousel.reads.fallback"));
+static READ_TRAFFIC: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("carousel.read.traffic_units"));
 
 /// How a [`ReadPlan`] will obtain the file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,7 +129,8 @@ pub(crate) fn plan(code: &Carousel, available: &[usize]) -> Result<ReadPlan, Cod
 
     if missing.is_empty() {
         // Direct parallel read: data regions of all p blocks.
-        let units: Vec<(usize, usize)> = (0..p).flat_map(|i| (0..dpb).map(move |u| (i, u))).collect();
+        let units: Vec<(usize, usize)> =
+            (0..p).flat_map(|i| (0..dpb).map(move |u| (i, u))).collect();
         let plan = DecodePlan::for_units(code.linear(), &units)?;
         return Ok(finish(code, plan, ReadMode::Direct));
     }
@@ -159,12 +171,21 @@ fn finish(code: &Carousel, plan: DecodePlan, mode: ReadMode) -> ReadPlan {
             None => per_node.push((node, 1)),
         }
     }
-    ReadPlan {
+    let plan = ReadPlan {
         plan,
         mode,
         units_per_node: per_node,
         sub: code.sub(),
+    };
+    if telemetry::ENABLED {
+        match mode {
+            ReadMode::Direct => READS_DIRECT.inc(),
+            ReadMode::Degraded => READS_DEGRADED.inc(),
+            ReadMode::Fallback => READS_FALLBACK.inc(),
+        }
+        READ_TRAFFIC.record(plan.traffic_units() as u64);
     }
+    plan
 }
 
 #[cfg(test)]

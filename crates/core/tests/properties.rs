@@ -36,7 +36,10 @@ fn mds_property_across_grid() {
     for (n, k, d, p) in grid() {
         let code = Carousel::new(n, k, d, p).unwrap();
         let report = verify_mds(code.linear(), 300);
-        assert!(report.is_mds(), "Carousel({n},{k},{d},{p}) not MDS: {report:?}");
+        assert!(
+            report.is_mds(),
+            "Carousel({n},{k},{d},{p}) not MDS: {report:?}"
+        );
     }
 }
 

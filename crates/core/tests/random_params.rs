@@ -16,12 +16,7 @@ fn params() -> impl Strategy<Value = (usize, usize, usize, usize)> {
                 let d_choices: Vec<usize> = std::iter::once(k)
                     .chain((2 * k - 2..n).filter(move |&d| d >= k))
                     .collect();
-                (
-                    Just(k),
-                    Just(n),
-                    proptest::sample::select(d_choices),
-                    k..=n,
-                )
+                (Just(k), Just(n), proptest::sample::select(d_choices), k..=n)
             })
         })
         .prop_map(|(k, n, d, p)| (n, k, d, p))

@@ -257,10 +257,18 @@ mod tests {
 
     #[test]
     fn repair_windows_match_traffic() {
-        assert_eq!(repair_traffic_blocks(Policy::Replication { copies: 3 }), 1.0);
+        assert_eq!(
+            repair_traffic_blocks(Policy::Replication { copies: 3 }),
+            1.0
+        );
         assert_eq!(repair_traffic_blocks(Policy::Rs { n: 12, k: 6 }), 6.0);
         assert_eq!(
-            repair_traffic_blocks(Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }),
+            repair_traffic_blocks(Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12
+            }),
             2.0
         );
     }
@@ -274,7 +282,17 @@ mod tests {
 
     #[test]
     fn failures_do_occur_and_get_repaired() {
-        let r = run(Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }, 500.0, 50.0, 7);
+        let r = run(
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
+            500.0,
+            50.0,
+            7,
+        );
         assert!(r.failures > 100, "a year at MTBF 500h should fail often");
         assert!(r.repairs > 0);
         assert!(r.repair_hours < 1.0);
@@ -291,8 +309,18 @@ mod tests {
         let mut ca_losses = 0;
         for seed in 0..8 {
             rs_losses += run(Policy::Rs { n: 12, k: 6 }, 50.0, 0.2, seed).stripes_lost;
-            ca_losses +=
-                run(Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }, 50.0, 0.2, seed).stripes_lost;
+            ca_losses += run(
+                Policy::Carousel {
+                    n: 12,
+                    k: 6,
+                    d: 10,
+                    p: 12,
+                },
+                50.0,
+                0.2,
+                seed,
+            )
+            .stripes_lost;
         }
         assert!(rs_losses > 0, "slow repairs must overwhelm RS eventually");
         assert!(

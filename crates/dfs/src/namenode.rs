@@ -68,9 +68,7 @@ impl StoredFile {
         let degraded_fetch = match self.policy {
             Policy::Replication { .. } => None,
             Policy::Rs { k, .. } => Some(k as f64 * self.block_mb),
-            Policy::Carousel { k, p, .. } => {
-                Some(k as f64 * self.block_mb * k as f64 / p as f64)
-            }
+            Policy::Carousel { k, p, .. } => Some(k as f64 * self.block_mb * k as f64 / p as f64),
         };
         let mut out = Vec::new();
         for stripe in &self.stripes {
@@ -282,7 +280,12 @@ mod tests {
             "f",
             3072.0,
             512.0,
-            Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
             &mut rng(),
         );
         assert_eq!(f.stripes.len(), 1, "3 GB / (6 x 512 MB) = 1 stripe");
@@ -297,7 +300,13 @@ mod tests {
     #[test]
     fn replication_stripes_per_block() {
         let mut nn = Namenode::new(10);
-        let f = nn.store("r", 3072.0, 512.0, Policy::Replication { copies: 3 }, &mut rng());
+        let f = nn.store(
+            "r",
+            3072.0,
+            512.0,
+            Policy::Replication { copies: 3 },
+            &mut rng(),
+        );
         assert_eq!(f.stripes.len(), 6, "one stripe per 512 MB block");
         assert_eq!(f.stripes[0].blocks.len(), 3);
         assert_eq!(f.stored_mb(), 3.0 * 3072.0);
@@ -311,7 +320,12 @@ mod tests {
             "ca",
             3072.0,
             512.0,
-            Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
             &mut rng(),
         );
         let rs = nn.file("rs").unwrap().map_splits();
@@ -332,7 +346,10 @@ mod tests {
         assert!(!f.stripes[0].blocks[0].alive);
         assert_eq!(f.stripes[0].alive_roles().len(), 11);
         let splits = f.map_splits();
-        assert!(splits[0].local_nodes.is_empty(), "split lost its local node");
+        assert!(
+            splits[0].local_nodes.is_empty(),
+            "split lost its local node"
+        );
     }
 
     #[test]

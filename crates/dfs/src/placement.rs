@@ -63,10 +63,7 @@ impl Placement {
                         }
                     }
                     round += 1;
-                    assert!(
-                        round <= nodes,
-                        "placement failed to fill the stripe (bug)"
-                    );
+                    assert!(round <= nodes, "placement failed to fill the stripe (bug)");
                 }
                 out
             }

@@ -161,7 +161,12 @@ mod tests {
     fn overhead_and_tolerance() {
         let r3 = Policy::Replication { copies: 3 };
         let rs = Policy::Rs { n: 6, k: 4 };
-        let ca = Policy::Carousel { n: 6, k: 4, d: 4, p: 6 };
+        let ca = Policy::Carousel {
+            n: 6,
+            k: 4,
+            d: 4,
+            p: 6,
+        };
         assert_eq!(r3.storage_overhead(), 3.0);
         assert_eq!(rs.storage_overhead(), 1.5);
         assert_eq!(ca.storage_overhead(), 1.5);
@@ -175,7 +180,12 @@ mod tests {
         // The paper's motivating comparison: RS caps parallelism at k;
         // Carousel reaches n at the same storage overhead.
         let rs = Policy::Rs { n: 12, k: 6 };
-        let ca = Policy::Carousel { n: 12, k: 6, d: 10, p: 12 };
+        let ca = Policy::Carousel {
+            n: 12,
+            k: 6,
+            d: 10,
+            p: 12,
+        };
         assert_eq!(rs.data_parallelism(), 6);
         assert_eq!(ca.data_parallelism(), 12);
         assert_eq!(rs.storage_overhead(), ca.storage_overhead());
@@ -183,10 +193,19 @@ mod tests {
 
     #[test]
     fn display_labels() {
-        assert_eq!(Policy::Replication { copies: 3 }.to_string(), "3x replication");
+        assert_eq!(
+            Policy::Replication { copies: 3 }.to_string(),
+            "3x replication"
+        );
         assert_eq!(Policy::Rs { n: 12, k: 6 }.to_string(), "RS(12,6)");
         assert_eq!(
-            Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }.to_string(),
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12
+            }
+            .to_string(),
             "Carousel(12,6,10,12)"
         );
     }
@@ -197,7 +216,13 @@ mod tests {
         assert_eq!(rs.len(), 6);
         assert_eq!(rs[0].size_mb, 512.0);
 
-        let ca = Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }.splits(512.0);
+        let ca = Policy::Carousel {
+            n: 12,
+            k: 6,
+            d: 10,
+            p: 12,
+        }
+        .splits(512.0);
         assert_eq!(ca.len(), 12);
         assert!((ca[0].size_mb - 256.0).abs() < 1e-9);
         // Total input covered is identical.

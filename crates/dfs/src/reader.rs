@@ -18,6 +18,8 @@
 //! full pass over the stripe's original data. This serialized-decode model
 //! is what reproduces the visible one-failure penalty in Fig. 11.
 
+use std::sync::LazyLock;
+
 use carousel::Carousel;
 use erasure::CodeError;
 use simcore::Engine;
@@ -25,6 +27,25 @@ use simcore::Engine;
 use crate::namenode::StoredFile;
 use crate::policy::{CodingRates, Policy};
 use crate::topology::{ClusterSpec, Topology};
+
+static DOWNLOADS: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("dfs.downloads"));
+static DOWNLOAD_MB: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("dfs.download.traffic_mb"));
+static DOWNLOAD_MS: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("dfs.download.ms"));
+static DECODE_MB: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("dfs.decode.mb"));
+
+/// Feeds one finished download into the per-download metrics.
+fn record_download(res: &DownloadResult) {
+    if telemetry::ENABLED {
+        DOWNLOADS.inc();
+        DOWNLOAD_MB.record_f64(res.downloaded_mb);
+        DOWNLOAD_MS.record_f64(res.seconds * 1e3);
+        DECODE_MB.add(res.decoded_mb.round() as u64);
+    }
+}
 
 /// Outcome of a simulated download.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,12 +103,14 @@ pub fn download_replicated(
     let mut servers: Vec<usize> = sources.clone();
     servers.sort_unstable();
     servers.dedup();
-    Ok(DownloadResult {
+    let res = DownloadResult {
         seconds: last_t,
         downloaded_mb: file.block_mb * sources.len() as f64,
         decoded_mb: 0.0,
         servers: servers.len(),
-    })
+    };
+    record_download(&res);
+    Ok(res)
 }
 
 /// Parallel striped download for RS and Carousel files, with degraded-read
@@ -169,12 +192,14 @@ pub fn download_striped(
     } else {
         0.0
     };
-    Ok(DownloadResult {
+    let res = DownloadResult {
         seconds: last_t + decode_s,
         downloaded_mb,
         decoded_mb,
         servers: servers.len(),
-    })
+    };
+    record_download(&res);
+    Ok(res)
 }
 
 #[cfg(test)]
@@ -197,11 +222,21 @@ mod tests {
         let spec = fig11_spec();
         let mut nn = Namenode::new(30);
         let f = nn
-            .store("f", 3072.0, 512.0, Policy::Replication { copies: 3 }, &mut rng())
+            .store(
+                "f",
+                3072.0,
+                512.0,
+                Policy::Replication { copies: 3 },
+                &mut rng(),
+            )
             .clone();
         let r = download_replicated(&spec, &f).unwrap();
         // 6 blocks x 512 MB at 37.5 MB/s, one at a time: ~81.9 s.
-        assert!((r.seconds - 6.0 * 512.0 / 37.5).abs() < 1e-6, "{}", r.seconds);
+        assert!(
+            (r.seconds - 6.0 * 512.0 / 37.5).abs() < 1e-6,
+            "{}",
+            r.seconds
+        );
         assert_eq!(r.decoded_mb, 0.0);
     }
 
@@ -210,7 +245,13 @@ mod tests {
         let spec = fig11_spec();
         let mut nn = Namenode::new(30);
         let rep = nn
-            .store("rep", 3072.0, 512.0, Policy::Replication { copies: 3 }, &mut rng())
+            .store(
+                "rep",
+                3072.0,
+                512.0,
+                Policy::Replication { copies: 3 },
+                &mut rng(),
+            )
             .clone();
         let rs = nn
             .store("rs", 3072.0, 512.0, Policy::Rs { n: 12, k: 6 }, &mut rng())
@@ -235,7 +276,12 @@ mod tests {
                 "ca",
                 3072.0,
                 512.0,
-                Policy::Carousel { n: 12, k: 6, d: 10, p: 10 },
+                Policy::Carousel {
+                    n: 12,
+                    k: 6,
+                    d: 10,
+                    p: 10,
+                },
                 &mut rng(),
             )
             .clone();
@@ -257,7 +303,12 @@ mod tests {
             "ca",
             3072.0,
             512.0,
-            Policy::Carousel { n: 12, k: 6, d: 10, p: 10 },
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 10,
+            },
             &mut rng(),
         );
         // Kill one data-bearing block of each file.
@@ -280,7 +331,13 @@ mod tests {
         let mut nn = Namenode::new(30);
         // 9 GB = 3 stripes of (12,6).
         let f = nn
-            .store("big", 3.0 * 3072.0, 512.0, Policy::Rs { n: 12, k: 6 }, &mut rng())
+            .store(
+                "big",
+                3.0 * 3072.0,
+                512.0,
+                Policy::Rs { n: 12, k: 6 },
+                &mut rng(),
+            )
             .clone();
         assert_eq!(f.stripes.len(), 3);
         let r = download_striped(&spec, &f, CodingRates::default()).unwrap();
@@ -311,7 +368,13 @@ mod tests {
         let spec = fig11_spec();
         let mut nn = Namenode::new(10);
         let rep = nn
-            .store("r", 512.0, 512.0, Policy::Replication { copies: 2 }, &mut rng())
+            .store(
+                "r",
+                512.0,
+                512.0,
+                Policy::Replication { copies: 2 },
+                &mut rng(),
+            )
             .clone();
         assert!(download_striped(&spec, &rep, CodingRates::default()).is_err());
         let rs = nn

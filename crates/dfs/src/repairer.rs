@@ -9,10 +9,19 @@
 //! trade-off: identical MDS storage, but `k` versus `d/(d−k+1)` blocks of
 //! repair traffic per loss.
 
+use std::sync::LazyLock;
+
 use carousel::Carousel;
 use erasure::{CodeError, ErasureCode};
 use rs_code::ReedSolomon;
 use simcore::Engine;
+
+static REPAIRED_BLOCKS: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("dfs.repair.blocks"));
+static REPAIR_MB: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("dfs.repair.traffic_mb"));
+static REPAIR_MS: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("dfs.repair.ms"));
 
 use crate::namenode::StoredFile;
 use crate::policy::{CodingRates, Policy};
@@ -29,11 +38,12 @@ pub struct RepairReport {
     pub blocks_repaired: usize,
 }
 
+/// Simulator events: each marks the completion of one repair stage.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Ev {
-    HelperDone(usize),
-    DecodeDone(usize),
-    WriteDone,
+    Helper(usize),
+    Decode(usize),
+    Write,
 }
 
 /// Repairs every dead block of `file` and reports time and traffic.
@@ -113,7 +123,12 @@ pub fn repair_file(
             });
             for &h in alive.iter().take(d) {
                 let src = stripe.blocks[h].node;
-                engine.start_flow(payload_mb, &topo.remote_read(src, newcomer), None, Ev::HelperDone(idx));
+                engine.start_flow(
+                    payload_mb,
+                    &topo.remote_read(src, newcomer),
+                    None,
+                    Ev::Helper(idx),
+                );
             }
         }
     }
@@ -124,7 +139,7 @@ pub fn repair_file(
     while let Some((t, ev)) = engine.next_event() {
         last_t = t;
         match ev {
-            Ev::HelperDone(idx) => {
+            Ev::Helper(idx) => {
                 repairs[idx].helpers_left -= 1;
                 if repairs[idx].helpers_left == 0 {
                     // Combine at the newcomer (one core), then write.
@@ -133,20 +148,25 @@ pub fn repair_file(
                         cpu,
                         &[topo.cpu(repairs[idx].newcomer)],
                         Some(1.0),
-                        Ev::DecodeDone(idx),
+                        Ev::Decode(idx),
                     );
                 }
             }
-            Ev::DecodeDone(idx) => {
+            Ev::Decode(idx) => {
                 engine.start_flow(
                     file.block_mb,
                     &topo.local_write(repairs[idx].newcomer),
                     None,
-                    Ev::WriteDone,
+                    Ev::Write,
                 );
             }
-            Ev::WriteDone => {}
+            Ev::Write => {}
         }
+    }
+    if telemetry::ENABLED && blocks_repaired > 0 {
+        REPAIRED_BLOCKS.add(blocks_repaired as u64);
+        REPAIR_MB.record_f64(network_mb);
+        REPAIR_MS.record_f64(last_t * 1e3);
     }
     Ok(RepairReport {
         seconds: last_t,
@@ -176,7 +196,12 @@ mod tests {
     fn carousel_repair_moves_less_data_and_finishes_faster() {
         let (spec, mut nn_rs) = setup(Policy::Rs { n: 12, k: 6 });
         nn_rs.fail_block("f", 0, 2);
-        let (_, mut nn_ca) = setup(Policy::Carousel { n: 12, k: 6, d: 10, p: 12 });
+        let (_, mut nn_ca) = setup(Policy::Carousel {
+            n: 12,
+            k: 6,
+            d: 10,
+            p: 12,
+        });
         nn_ca.fail_block("f", 0, 2);
         let r_rs = repair_file(&spec, nn_rs.file("f").unwrap(), CodingRates::default()).unwrap();
         let r_ca = repair_file(&spec, nn_ca.file("f").unwrap(), CodingRates::default()).unwrap();
@@ -197,7 +222,12 @@ mod tests {
             "f",
             6144.0,
             512.0,
-            Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
             &mut rng(),
         );
         // With 13 nodes and 12-wide stripes, some node hosts blocks of both
@@ -226,7 +256,12 @@ mod tests {
 
     #[test]
     fn insufficient_helpers_detected() {
-        let (spec, mut nn) = setup(Policy::Carousel { n: 12, k: 6, d: 10, p: 12 });
+        let (spec, mut nn) = setup(Policy::Carousel {
+            n: 12,
+            k: 6,
+            d: 10,
+            p: 12,
+        });
         for r in 0..4 {
             nn.fail_block("f", 0, r);
         }

@@ -137,9 +137,8 @@ impl Topology {
                 1.0
             };
             disk.push(engine.add_resource(&format!("disk[{i}]"), spec.disk_read_mbps / slow));
-            write_disk.push(
-                engine.add_resource(&format!("wdisk[{i}]"), spec.disk_write_mbps / slow),
-            );
+            write_disk
+                .push(engine.add_resource(&format!("wdisk[{i}]"), spec.disk_write_mbps / slow));
             up.push(engine.add_resource(&format!("up[{i}]"), spec.nic_mbps));
             down.push(engine.add_resource(&format!("down[{i}]"), spec.nic_mbps));
             cpu.push(engine.add_resource(&format!("cpu[{i}]"), spec.cores_per_node / slow));

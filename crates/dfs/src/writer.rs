@@ -8,11 +8,20 @@
 //! datanode, which writes it to disk. Replication ships `copies` replicas
 //! of each block instead.
 
+use std::sync::LazyLock;
+
 use simcore::Engine;
 
 use crate::namenode::StoredFile;
 use crate::policy::Policy;
 use crate::topology::{ClusterSpec, Topology};
+
+static INGESTS: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("dfs.ingests"));
+static INGEST_MB: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("dfs.ingest.network_mb"));
+static INGEST_ENCODED_MB: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("dfs.ingest.encoded_mb"));
 
 /// Coding CPU throughputs for ingestion, MB of original data per second.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,8 +112,18 @@ pub fn ingest_file(
         // Encode modeled as CPU-capped flow; completion fires when both the
         // disk read and the CPU work are done — approximated by chaining
         // the slower one via two flows and counting completions.
-        engine.start_flow(read, &topo.local_read(writer_node), None, Ev::StripeEncoded(s));
-        engine.start_flow(cpu_s, &[topo.cpu(writer_node)], Some(1.0), Ev::StripeEncoded(s));
+        engine.start_flow(
+            read,
+            &topo.local_read(writer_node),
+            None,
+            Ev::StripeEncoded(s),
+        );
+        engine.start_flow(
+            cpu_s,
+            &[topo.cpu(writer_node)],
+            Some(1.0),
+            Ev::StripeEncoded(s),
+        );
     };
     start_stripe(&mut engine, 0);
 
@@ -139,10 +158,20 @@ pub fn ingest_file(
                 }
             }
             Ev::BlockArrived(dst) => {
-                engine.start_flow(file.block_mb, &topo.local_write(dst), None, Ev::BlockWritten);
+                engine.start_flow(
+                    file.block_mb,
+                    &topo.local_write(dst),
+                    None,
+                    Ev::BlockWritten,
+                );
             }
             Ev::BlockWritten => {}
         }
+    }
+    if telemetry::ENABLED {
+        INGESTS.inc();
+        INGEST_MB.record_f64(network_mb);
+        INGEST_ENCODED_MB.add(encoded_mb.round() as u64);
     }
     IngestReport {
         seconds: last_t,
@@ -173,7 +202,12 @@ mod tests {
         // Paper Fig. 6a: Carousel encoding throughput ≈ RS, so ingestion
         // time is comparable.
         let (spec, rs) = stored(Policy::Rs { n: 12, k: 6 });
-        let (_, ca) = stored(Policy::Carousel { n: 12, k: 6, d: 10, p: 12 });
+        let (_, ca) = stored(Policy::Carousel {
+            n: 12,
+            k: 6,
+            d: 10,
+            p: 12,
+        });
         let r_rs = ingest_file(&spec, &rs, 0, EncodeRates::default());
         let r_ca = ingest_file(&spec, &ca, 0, EncodeRates::default());
         assert!(r_rs.seconds > 0.0 && r_ca.seconds > 0.0);
@@ -187,7 +221,12 @@ mod tests {
     #[test]
     fn replication_ships_more_bytes_than_coding() {
         let (spec, rep) = stored(Policy::Replication { copies: 3 });
-        let (_, ca) = stored(Policy::Carousel { n: 12, k: 6, d: 10, p: 12 });
+        let (_, ca) = stored(Policy::Carousel {
+            n: 12,
+            k: 6,
+            d: 10,
+            p: 12,
+        });
         let r_rep = ingest_file(&spec, &rep, 0, EncodeRates::default());
         let r_ca = ingest_file(&spec, &ca, 0, EncodeRates::default());
         // 3x replication ships 3 copies = 9216 MB; (12,6) coding ships

@@ -8,10 +8,17 @@
 //! skipping zero coefficients keeps the per-output-byte cost identical to
 //! the RS/MSR code the Carousel code was constructed from.
 
+use std::sync::LazyLock;
+
 use gf256::{mul_acc_slice, Gf256};
 
 use crate::error::CodeError;
 use crate::linear::LinearCode;
+
+static ENCODE_STRIPES: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("erasure.encode.stripes"));
+static ENCODE_BYTES: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("erasure.encode.bytes"));
 
 /// The result of encoding one stripe.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,17 +106,19 @@ impl SparseEncoder {
     /// Returns [`CodeError::InsufficientData`] if `data` is empty.
     pub fn encode(&self, data: &[u8]) -> Result<EncodedStripe, CodeError> {
         if data.is_empty() {
-            return Err(CodeError::InsufficientData {
-                needed: 1,
-                got: 0,
-            });
+            return Err(CodeError::InsufficientData { needed: 1, got: 0 });
         }
         let (padded, w) = pad_message(data, self.units);
         Ok(self.encode_padded(&padded, w, data.len()))
     }
 
     /// Encodes an already-padded message of exactly `units · w` bytes.
-    pub(crate) fn encode_padded(&self, padded: &[u8], w: usize, original_len: usize) -> EncodedStripe {
+    pub(crate) fn encode_padded(
+        &self,
+        padded: &[u8],
+        w: usize,
+        original_len: usize,
+    ) -> EncodedStripe {
         let mut stripe = EncodedStripe {
             blocks: vec![vec![0u8; self.sub * w]; self.n],
             unit_bytes: w,
@@ -121,6 +130,13 @@ impl SparseEncoder {
 
     fn encode_padded_into(&self, padded: &[u8], w: usize, stripe: &mut EncodedStripe) {
         debug_assert_eq!(padded.len(), self.units * w);
+        let _timer = if telemetry::ENABLED {
+            ENCODE_STRIPES.inc();
+            ENCODE_BYTES.add((self.n * self.sub * w) as u64);
+            Some(telemetry::span("erasure.encode.ns"))
+        } else {
+            None
+        };
         for (node, block) in stripe.blocks.iter_mut().enumerate() {
             block.fill(0);
             for unit in 0..self.sub {
@@ -231,12 +247,7 @@ impl ColumnUpdater {
     /// Returns [`CodeError::NodeOutOfRange`] for a bad unit index and
     /// [`CodeError::BlockSizeMismatch`] if `delta` does not match the
     /// blocks' unit width.
-    pub fn apply(
-        &self,
-        j: usize,
-        delta: &[u8],
-        blocks: &mut [Vec<u8>],
-    ) -> Result<(), CodeError> {
+    pub fn apply(&self, j: usize, delta: &[u8], blocks: &mut [Vec<u8>]) -> Result<(), CodeError> {
         if j >= self.cols.len() {
             return Err(CodeError::NodeOutOfRange {
                 node: j,
@@ -244,7 +255,7 @@ impl ColumnUpdater {
             });
         }
         let block_len = blocks.first().map_or(0, Vec::len);
-        if block_len % self.sub != 0 || delta.len() != block_len / self.sub {
+        if !block_len.is_multiple_of(self.sub) || delta.len() != block_len / self.sub {
             return Err(CodeError::BlockSizeMismatch {
                 expected: block_len / self.sub.max(1),
                 actual: delta.len(),
@@ -343,8 +354,8 @@ mod tests {
         for col in 0..w {
             let msg: Vec<Gf256> = (0..4).map(|u| Gf256::new(padded[u * w + col])).collect();
             let units = code.encode_symbols(&msg).unwrap();
-            for node in 0..6 {
-                assert_eq!(stripe.blocks[node][col], units[node][0].value());
+            for (block, unit) in stripe.blocks.iter().zip(&units) {
+                assert_eq!(block[col], unit[0].value());
             }
         }
     }

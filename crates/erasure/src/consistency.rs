@@ -85,7 +85,7 @@ pub fn check_stripe(code: &LinearCode, blocks: &[&[u8]]) -> Result<StripeHealth,
             vote(&nodes, &mut candidates)?;
         }
     }
-    candidates.sort_by(|a, b| b.1.cmp(&a.1));
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.1));
     let (consensus, votes) = &candidates[0];
     if *votes <= 1 && candidates.len() > 1 {
         return Ok(StripeHealth::Undecidable);
@@ -93,9 +93,7 @@ pub fn check_stripe(code: &LinearCode, blocks: &[&[u8]]) -> Result<StripeHealth,
 
     // Re-encode the consensus and diff against the stored blocks.
     let stripe = SparseEncoder::new(code).encode(consensus)?;
-    let corrupt: Vec<usize> = (0..n)
-        .filter(|&i| stripe.blocks[i] != blocks[i])
-        .collect();
+    let corrupt: Vec<usize> = (0..n).filter(|&i| stripe.blocks[i] != blocks[i]).collect();
     if corrupt.is_empty() {
         Ok(StripeHealth::Consistent)
     } else if corrupt.len() <= n - k {
@@ -125,7 +123,10 @@ mod tests {
         let code = code(8, 4);
         let blocks = stripe(&code, 64);
         let refs: Vec<&[u8]> = blocks.iter().map(|b| &b[..]).collect();
-        assert_eq!(check_stripe(&code, &refs).unwrap(), StripeHealth::Consistent);
+        assert_eq!(
+            check_stripe(&code, &refs).unwrap(),
+            StripeHealth::Consistent
+        );
     }
 
     #[test]

@@ -5,11 +5,18 @@
 //! inverse so that decoding many stripes (or many byte columns) pays the
 //! Gauss-Jordan cost once.
 
+use std::sync::LazyLock;
+
 use gf256::{mul_acc_slice, Matrix};
 
 use crate::error::CodeError;
 use crate::linear::LinearCode;
 use crate::{check_indices, stack_node_rows};
+
+static DECODE_OPS: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("erasure.decode.ops"));
+static DECODE_BYTES: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("erasure.decode.bytes"));
 
 /// A precomputed decoding: `message = inverse · selected units`.
 ///
@@ -66,10 +73,7 @@ impl DecodePlan {
         };
         let inverse = system.inverse().ok_or(CodeError::SingularSelection)?;
         let sub = code.sub();
-        let sources = rows
-            .iter()
-            .map(|&r| (nodes[r / sub], r % sub))
-            .collect();
+        let sources = rows.iter().map(|&r| (nodes[r / sub], r % sub)).collect();
         Ok(DecodePlan {
             sources,
             nodes: nodes.to_vec(),
@@ -99,10 +103,7 @@ impl DecodePlan {
         let mut rows = Vec::with_capacity(b);
         for (i, &(node, unit)) in units.iter().enumerate() {
             if node >= code.n() || unit >= code.sub() {
-                return Err(CodeError::NodeOutOfRange {
-                    node,
-                    n: code.n(),
-                });
+                return Err(CodeError::NodeOutOfRange { node, n: code.n() });
             }
             if units[i + 1..].contains(&(node, unit)) {
                 return Err(CodeError::DuplicateNode { node });
@@ -140,7 +141,7 @@ impl DecodePlan {
             });
         }
         let block_len = blocks[0].len();
-        if block_len % self.sub != 0 {
+        if !block_len.is_multiple_of(self.sub) {
             return Err(CodeError::BlockSizeMismatch {
                 expected: block_len.next_multiple_of(self.sub),
                 actual: block_len,
@@ -193,6 +194,13 @@ impl DecodePlan {
     }
 
     fn combine(&self, unit_slices: &[&[u8]], w: usize) -> Vec<u8> {
+        let _timer = if telemetry::ENABLED {
+            DECODE_OPS.inc();
+            DECODE_BYTES.add((self.message_units * w) as u64);
+            Some(telemetry::span("erasure.decode.ns"))
+        } else {
+            None
+        };
         let mut out = vec![0u8; self.message_units * w];
         for (r, chunk) in out.chunks_exact_mut(w).enumerate() {
             let row = self.inverse.row(r);
@@ -311,10 +319,7 @@ mod tests {
         let blocks: Vec<&[u8]> = nodes.iter().map(|&i| &stripe.blocks[i][..]).collect();
         let by_blocks = code.decode_nodes(&nodes, &blocks).unwrap();
 
-        let units: Vec<(usize, usize)> = nodes
-            .iter()
-            .flat_map(|&nd| [(nd, 0), (nd, 1)])
-            .collect();
+        let units: Vec<(usize, usize)> = nodes.iter().flat_map(|&nd| [(nd, 0), (nd, 1)]).collect();
         let plan = DecodePlan::for_units(&code, &units).unwrap();
         let w = stripe.unit_bytes;
         let unit_slices: Vec<&[u8]> = plan
@@ -384,8 +389,7 @@ mod tests {
             let mut sorted = nodes;
             sorted.sort_unstable();
             let plan = cache.plan(&code, &nodes).unwrap();
-            let blocks: Vec<&[u8]> =
-                sorted.iter().map(|&i| &stripe.blocks[i][..]).collect();
+            let blocks: Vec<&[u8]> = sorted.iter().map(|&i| &stripe.blocks[i][..]).collect();
             let out = plan.decode(&blocks).unwrap();
             assert_eq!(&out[..data.len()], &data[..]);
         }

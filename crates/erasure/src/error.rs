@@ -72,13 +72,19 @@ impl fmt::Display for CodeError {
                 write!(f, "block index {node} supplied more than once")
             }
             CodeError::InsufficientData { needed, got } => {
-                write!(f, "insufficient data to decode: need {needed} units, got {got}")
+                write!(
+                    f,
+                    "insufficient data to decode: need {needed} units, got {got}"
+                )
             }
             CodeError::SingularSelection => {
                 write!(f, "selected units do not span the message space")
             }
             CodeError::BlockSizeMismatch { expected, actual } => {
-                write!(f, "block size mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "block size mismatch: expected {expected} bytes, got {actual}"
+                )
             }
             CodeError::BadHelperSet { reason } => write!(f, "bad helper set: {reason}"),
         }

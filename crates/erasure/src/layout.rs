@@ -153,7 +153,11 @@ impl DataLayout {
 
     /// The byte range in the *file* covered by `node`'s data region (valid
     /// when the layout is contiguous per node and this node is non-empty).
-    pub fn file_byte_range(&self, node: usize, unit_bytes: usize) -> Option<core::ops::Range<usize>> {
+    pub fn file_byte_range(
+        &self,
+        node: usize,
+        unit_bytes: usize,
+    ) -> Option<core::ops::Range<usize>> {
         let units = &self.node_data[node];
         let first = *units.first()?;
         Some(first * unit_bytes..(first + units.len()) * unit_bytes)

@@ -115,9 +115,6 @@ pub(crate) fn check_indices(n: usize, indices: &[usize]) -> Result<(), CodeError
 /// Stacks the per-node generator submatrices of the given nodes.
 pub(crate) fn stack_node_rows(code: &LinearCode, nodes: &[usize]) -> Matrix {
     let sub = code.sub();
-    let rows: Vec<usize> = nodes
-        .iter()
-        .flat_map(|&i| i * sub..(i + 1) * sub)
-        .collect();
+    let rows: Vec<usize> = nodes.iter().flat_map(|&i| i * sub..(i + 1) * sub).collect();
     code.generator().select_rows(&rows)
 }

@@ -87,10 +87,7 @@ impl LinearCode {
         }
         if message_units == 0 || message_units > k * sub {
             return Err(CodeError::InvalidParameters {
-                reason: format!(
-                    "message_units = {message_units} must be in 1..={}",
-                    k * sub
-                ),
+                reason: format!("message_units = {message_units} must be in 1..={}", k * sub),
             });
         }
         let expected = (n * sub, message_units);
@@ -200,7 +197,6 @@ impl LinearCode {
         }
         stack_node_rows(self, nodes).rank() == self.message_units()
     }
-
 }
 
 #[cfg(test)]
@@ -281,8 +277,8 @@ mod tests {
         let stripe = code.encode(&data).unwrap();
         let msg: Vec<Gf256> = data.iter().map(|&b| Gf256::new(b)).collect();
         let sym = code.encode_symbols(&msg).unwrap();
-        for i in 0..5 {
-            assert_eq!(stripe.blocks[i], vec![sym[i][0].value()]);
+        for (block, s) in stripe.blocks.iter().zip(&sym) {
+            assert_eq!(*block, vec![s[0].value()]);
         }
     }
 

@@ -46,7 +46,7 @@ pub fn verify_mds(code: &LinearCode, max_subsets: usize) -> MdsReport {
     let n = code.n();
     let k = code.k();
     let total = binomial(n, k);
-    if total.map_or(false, |t| t <= max_subsets) {
+    if total.is_some_and(|t| t <= max_subsets) {
         let mut checked = 0;
         let mut subset: Vec<usize> = (0..k).collect();
         loop {
@@ -85,7 +85,9 @@ pub fn verify_mds(code: &LinearCode, max_subsets: usize) -> MdsReport {
             subset.clear();
             let mut pool: Vec<usize> = (0..n).collect();
             for i in 0..k {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let j = i + (state >> 33) as usize % (n - i);
                 pool.swap(i, j);
                 subset.push(pool[i]);

@@ -8,9 +8,16 @@
 //! repair network traffic is measured by counting the bytes that actually
 //! cross the helper→newcomer boundary, not asserted from a formula.
 
+use std::sync::LazyLock;
+
 use gf256::{mul_acc_slice, Matrix};
 
 use crate::error::CodeError;
+
+static REPAIRS: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("erasure.repair.ops"));
+static REPAIR_TRAFFIC: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("erasure.repair.traffic_bytes"));
 
 /// One helper's part of a repair: read the local block, compress it to `β`
 /// units with `coeffs`, send the result.
@@ -37,7 +44,7 @@ impl HelperTask {
     /// multiple of `sub`.
     pub fn run(&self, block: &[u8]) -> Result<Vec<u8>, CodeError> {
         let sub = self.coeffs.cols();
-        if block.len() % sub != 0 {
+        if !block.len().is_multiple_of(sub) {
             return Err(CodeError::BlockSizeMismatch {
                 expected: block.len().next_multiple_of(sub),
                 actual: block.len(),
@@ -122,7 +129,7 @@ impl RepairPlan {
         }
         // Infer w from the first helper.
         let beta0 = self.helpers[0].beta();
-        if beta0 == 0 || payloads[0].len() % beta0 != 0 {
+        if beta0 == 0 || !payloads[0].len().is_multiple_of(beta0) {
             return Err(CodeError::BlockSizeMismatch {
                 expected: beta0,
                 actual: payloads[0].len(),
@@ -168,6 +175,11 @@ impl RepairPlan {
                 got: helper_blocks.len(),
             });
         }
+        let _timer = if telemetry::ENABLED {
+            Some(telemetry::span("erasure.repair.ns"))
+        } else {
+            None
+        };
         let payloads: Vec<Vec<u8>> = self
             .helpers
             .iter()
@@ -176,6 +188,10 @@ impl RepairPlan {
             .collect::<Result<_, _>>()?;
         let traffic = payloads.iter().map(Vec::len).sum();
         let block = self.combine_payloads(&payloads)?;
+        if telemetry::ENABLED {
+            REPAIRS.inc();
+            REPAIR_TRAFFIC.add(traffic as u64);
+        }
         Ok((block, traffic))
     }
 }

@@ -34,7 +34,7 @@ pub fn stats(m: &Matrix) -> MatrixStats {
     for r in 0..rows {
         let w = m.row_weight(r);
         max_row_weight = max_row_weight.max(w);
-        if w == 1 && m.row(r).iter().any(|v| *v == gf256::Gf256::ONE) {
+        if w == 1 && m.row(r).contains(&gf256::Gf256::ONE) {
             identity_rows += 1;
         }
     }

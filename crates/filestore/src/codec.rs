@@ -48,7 +48,7 @@ impl<C: ErasureCode> FileCodec<C> {
     /// has a whole number of bytes.
     pub fn new(code: C, block_bytes: usize) -> Result<Self, FileError> {
         let sub = code.linear().sub();
-        if block_bytes == 0 || block_bytes % sub != 0 {
+        if block_bytes == 0 || !block_bytes.is_multiple_of(sub) {
             return Err(FileError::BadGeometry {
                 reason: format!(
                     "block size {block_bytes} must be a positive multiple of sub = {sub}"
@@ -366,8 +366,7 @@ impl<C: ErasureCode> EncodedFile<C> {
             let start = loc.unit * w + in_unit;
             let old = self.stripes[stripe][loc.node]
                 .as_ref()
-                .expect("checked live")
-                [start..start + chunk]
+                .expect("checked live")[start..start + chunk]
                 .to_vec();
             // Unit-wide delta (zero outside the written span).
             let mut delta = vec![0u8; w];
@@ -397,8 +396,7 @@ impl<C: ErasureCode> EncodedFile<C> {
         self.stripes
             .iter()
             .map(|blocks| {
-                let refs: Option<Vec<&[u8]>> =
-                    blocks.iter().map(|b| b.as_deref()).collect();
+                let refs: Option<Vec<&[u8]>> = blocks.iter().map(|b| b.as_deref()).collect();
                 refs.and_then(|refs| {
                     erasure::consistency::check_stripe(self.codec.code.linear(), &refs).ok()
                 })
@@ -507,7 +505,11 @@ mod tests {
             enc.drop_block(2, b);
         }
         match enc.decode() {
-            Err(FileError::StripeUnrecoverable { stripe, live, needed }) => {
+            Err(FileError::StripeUnrecoverable {
+                stripe,
+                live,
+                needed,
+            }) => {
                 assert_eq!((stripe, live, needed), (2, 1, 2));
             }
             other => panic!("expected StripeUnrecoverable, got {other:?}"),
@@ -519,9 +521,20 @@ mod tests {
         let codec = FileCodec::new(Carousel::new(5, 3, 3, 5).unwrap(), 120).unwrap();
         let file = data(2500);
         let enc = codec.encode(&file).unwrap();
-        for (off, len) in [(0u64, 1u64), (359, 2), (0, 2500), (1000, 720), (2499, 1), (123, 456)] {
+        for (off, len) in [
+            (0u64, 1u64),
+            (359, 2),
+            (0, 2500),
+            (1000, 720),
+            (2499, 1),
+            (123, 456),
+        ] {
             let got = enc.read_range(off, len).unwrap();
-            assert_eq!(got, &file[off as usize..(off + len) as usize], "({off},{len})");
+            assert_eq!(
+                got,
+                &file[off as usize..(off + len) as usize],
+                "({off},{len})"
+            );
         }
         assert!(enc.read_range(2400, 200).is_err());
     }

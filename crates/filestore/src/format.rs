@@ -90,7 +90,7 @@ impl CodeSpec {
             reason: format!("unparseable code spec: {s:?}"),
         };
         let (kind, rest) = s.split_once('(').ok_or_else(bad)?;
-        let rest = rest.strip_suffix(')').ok_or_else(|| bad())?;
+        let rest = rest.strip_suffix(')').ok_or_else(bad)?;
         let nums: Vec<usize> = rest
             .split(',')
             .map(|v| v.trim().parse().map_err(|_| bad()))
@@ -103,8 +103,16 @@ impl CodeSpec {
                 d: *d,
                 p: *p,
             }),
-            ("msr", [n, k, d]) => Ok(CodeSpec::Msr { n: *n, k: *k, d: *d }),
-            ("mbr", [n, k, d]) => Ok(CodeSpec::Mbr { n: *n, k: *k, d: *d }),
+            ("msr", [n, k, d]) => Ok(CodeSpec::Msr {
+                n: *n,
+                k: *k,
+                d: *d,
+            }),
+            ("mbr", [n, k, d]) => Ok(CodeSpec::Mbr {
+                n: *n,
+                k: *k,
+                d: *d,
+            }),
             _ => Err(bad()),
         }
     }
@@ -341,7 +349,12 @@ mod tests {
     fn code_spec_round_trip() {
         for spec in [
             CodeSpec::Rs { n: 12, k: 6 },
-            CodeSpec::Carousel { n: 12, k: 6, d: 10, p: 12 },
+            CodeSpec::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
             CodeSpec::Msr { n: 12, k: 6, d: 10 },
             CodeSpec::Mbr { n: 12, k: 6, d: 10 },
         ] {
@@ -356,7 +369,12 @@ mod tests {
     fn save_load_round_trip() {
         let dir = std::env::temp_dir().join(format!("filestore-test-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
-        let spec = CodeSpec::Carousel { n: 6, k: 3, d: 3, p: 6 };
+        let spec = CodeSpec::Carousel {
+            n: 6,
+            k: 3,
+            d: 3,
+            p: 6,
+        };
         let codec = FileCodec::new(spec.build().unwrap(), 120).unwrap();
         let data: Vec<u8> = (0..777).map(|i| (i * 31 + 1) as u8).collect();
         let enc = codec.encode(&data).unwrap();
@@ -373,8 +391,7 @@ mod tests {
 
     #[test]
     fn corrupt_blocks_are_quarantined_and_recovered() {
-        let dir =
-            std::env::temp_dir().join(format!("filestore-corrupt-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("filestore-corrupt-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let spec = CodeSpec::Rs { n: 5, k: 3 };
         let codec = FileCodec::new(spec.build().unwrap(), 90).unwrap();

@@ -84,13 +84,11 @@ pub fn decode_stream<C: ErasureCode, W: Write>(
     for s in 0..meta.stripes {
         let blocks = source(s)?;
         let data = codec.decode_stripe(&blocks).map_err(|e| match e {
-            FileError::StripeUnrecoverable { live, needed, .. } => {
-                FileError::StripeUnrecoverable {
-                    stripe: s,
-                    live,
-                    needed,
-                }
-            }
+            FileError::StripeUnrecoverable { live, needed, .. } => FileError::StripeUnrecoverable {
+                stripe: s,
+                live,
+                needed,
+            },
             other => other,
         })?;
         let take = remaining.min(sdb) as usize;
@@ -169,7 +167,7 @@ mod tests {
     #[test]
     fn unrecoverable_stream_stripe_reported() {
         let codec = FileCodec::new(Carousel::new(4, 2, 2, 4).unwrap(), 16).unwrap();
-        let file = vec![9u8; 100];
+        let file = [9u8; 100];
         let mut store: Vec<Vec<Vec<u8>>> = Vec::new();
         let meta = encode_stream(&codec, &file[..], |_, b| {
             store.push(b);

@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn symmetric_layout_round_trip() {
         let m = 4;
-        let symbols: Vec<Gf256> = (1..=10).map(|v| Gf256::new(v)).collect();
+        let symbols: Vec<Gf256> = (1..=10).map(Gf256::new).collect();
         let s = symmetric_from_upper(m, &symbols);
         assert_eq!(s, s.transpose());
         for r in 0..m {
@@ -175,8 +175,8 @@ mod tests {
 
     #[test]
     fn cauchy_is_mds() {
-        let x: Vec<Gf256> = (0..6).map(|i| Gf256::new(i)).collect();
-        let y: Vec<Gf256> = (6..9).map(|i| Gf256::new(i)).collect();
+        let x: Vec<Gf256> = (0..6).map(Gf256::new).collect();
+        let y: Vec<Gf256> = (6..9).map(Gf256::new).collect();
         let m = cauchy(&x, &y);
         for a in 0..6 {
             for b in (a + 1)..6 {

@@ -80,6 +80,8 @@ mod tests {
     use super::*;
     use crate::Gf256;
 
+    // a - a == 0 is the axiom under test, not a typo.
+    #[allow(clippy::eq_op)]
     fn field_axioms<F: Field>(samples: &[F]) {
         for &a in samples {
             assert_eq!(a + F::ZERO, a);
@@ -101,7 +103,10 @@ mod tests {
 
     #[test]
     fn gf256_satisfies_axioms() {
-        let samples: Vec<Gf256> = [0u8, 1, 2, 7, 0x53, 0xFF].iter().map(|&v| Gf256::new(v)).collect();
+        let samples: Vec<Gf256> = [0u8, 1, 2, 7, 0x53, 0xFF]
+            .iter()
+            .map(|&v| Gf256::new(v))
+            .collect();
         field_axioms(&samples);
     }
 

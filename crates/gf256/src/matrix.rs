@@ -60,9 +60,6 @@ impl<F: Field> MatrixOf<F> {
         MatrixOf { rows, cols, data }
     }
 
-
-
-
     /// An `n × k` Vandermonde matrix with evaluation points `x_i = g^i`
     /// for the field generator `g` (distinct while `n < ORDER − 1` …
     /// `n ≤ 255` over GF(2⁸), `n ≤ 65535` over GF(2¹⁶)): entry
@@ -360,9 +357,7 @@ impl<F: Field> MatrixOf<F> {
     pub fn is_identity(&self) -> bool {
         self.rows == self.cols
             && (0..self.rows).all(|r| {
-                (0..self.cols).all(|c| {
-                    self.get(r, c) == if r == c { F::ONE } else { F::ZERO }
-                })
+                (0..self.cols).all(|c| self.get(r, c) == if r == c { F::ONE } else { F::ZERO })
             })
     }
 
@@ -404,7 +399,6 @@ impl<F: Field> MatrixOf<F> {
         }
     }
 }
-
 
 impl Matrix {
     /// Builds a matrix from rows of raw bytes.
@@ -678,8 +672,8 @@ mod tests {
         let got = m.mul_vec(&v);
         let col = Matrix::from_fn(3, 1, |r, _| v[r]);
         let want = &m * &col;
-        for r in 0..4 {
-            assert_eq!(got[r], want.get(r, 0));
+        for (r, g) in got.iter().enumerate() {
+            assert_eq!(*g, want.get(r, 0));
         }
     }
 

@@ -7,8 +7,19 @@
 //! [`crate::tables`], processing 8 bytes per iteration to give the optimizer
 //! room to unroll and vectorize.
 
+use std::sync::LazyLock;
+
 use crate::tables::SPLIT;
 use crate::Gf256;
+
+/// Bytes pushed through the split-table multiply loops. Cached `&'static`
+/// handles keep the hot path to one relaxed atomic add; with the
+/// `telemetry` feature off the guard below is dead code.
+static MUL_BYTES: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("gf256.mul_bytes"));
+/// Bytes pushed through the pure-XOR path (coefficient-1 terms).
+static XOR_BYTES: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("gf256.xor_bytes"));
 
 /// `dst[i] ^= src[i]` — adds `src` into `dst` over GF(2⁸).
 ///
@@ -17,6 +28,9 @@ use crate::Gf256;
 /// Panics if the two slices have different lengths.
 pub fn add_assign_slice(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    if telemetry::ENABLED {
+        XOR_BYTES.add(dst.len() as u64);
+    }
     // XOR eight bytes at a time; this is the hot path for coefficient-1
     // terms (all of replication-style copying and the XOR parts of sparse
     // rows), and the u64 lanes let the optimizer vectorize further.
@@ -51,6 +65,9 @@ pub fn mul_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
         dst.copy_from_slice(src);
         return;
     }
+    if telemetry::ENABLED {
+        MUL_BYTES.add(dst.len() as u64);
+    }
     let lo = &SPLIT.lo[c.value() as usize];
     let hi = &SPLIT.hi[c.value() as usize];
     for (d, s) in dst.iter_mut().zip(src) {
@@ -66,6 +83,9 @@ pub fn mul_slice_in_place(c: Gf256, buf: &mut [u8]) {
     }
     if c == Gf256::ONE {
         return;
+    }
+    if telemetry::ENABLED {
+        MUL_BYTES.add(buf.len() as u64);
     }
     let lo = &SPLIT.lo[c.value() as usize];
     let hi = &SPLIT.hi[c.value() as usize];
@@ -91,6 +111,9 @@ pub fn mul_acc_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
     if c == Gf256::ONE {
         add_assign_slice(dst, src);
         return;
+    }
+    if telemetry::ENABLED {
+        MUL_BYTES.add(dst.len() as u64);
     }
     let lo = &SPLIT.lo[c.value() as usize];
     let hi = &SPLIT.hi[c.value() as usize];

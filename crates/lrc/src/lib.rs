@@ -52,7 +52,7 @@ impl LocalRepairable {
     /// Returns [`CodeError::InvalidParameters`] unless `l` divides `k`,
     /// `g ≥ 1`, and `k + l + g ≤ 255`.
     pub fn new(k: usize, l: usize, g: usize) -> Result<Self, CodeError> {
-        if k == 0 || l == 0 || k % l != 0 {
+        if k == 0 || l == 0 || !k.is_multiple_of(l) {
             return Err(CodeError::InvalidParameters {
                 reason: format!("l = {l} must divide k = {k} (both positive)"),
             });
@@ -128,7 +128,9 @@ impl LocalRepairable {
         let m = self.group_size();
         if failed < self.k {
             let group = failed / m;
-            let mut v: Vec<usize> = (group * m..(group + 1) * m).filter(|&i| i != failed).collect();
+            let mut v: Vec<usize> = (group * m..(group + 1) * m)
+                .filter(|&i| i != failed)
+                .collect();
             v.push(self.k + group);
             v
         } else if failed < self.k + self.l {

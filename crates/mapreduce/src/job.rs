@@ -165,41 +165,39 @@ pub fn run_job(spec: &ClusterSpec, splits: &[MapSplit], profile: &WorkloadProfil
     // Shuffle overlaps the map phase (Hadoop's slow-start): each finished
     // map immediately ships its partitions to the reducers. Returns the
     // number of network flows started for this one map.
-    let shuffle_map_output = |engine: &mut Engine<Ev>,
-                              task: &MapTask,
-                              reduce_in_mb: &mut Vec<f64>|
-     -> usize {
-        if reducers == 0 {
-            return 0;
-        }
-        let out_mb = task.size_mb * profile.map_output_ratio;
-        if out_mb <= 0.0 {
-            return 0;
-        }
-        let mut flows = 0;
-        // Partition skew: reducer 0 takes `skew x` the mean share; the rest
-        // split the remainder evenly (totals conserved).
-        let mean = out_mb / reducers as f64;
-        let skew = profile.reduce_skew.max(1.0).min(reducers as f64);
-        let rest = if reducers > 1 {
-            (out_mb - skew * mean) / (reducers - 1) as f64
-        } else {
-            0.0
+    let shuffle_map_output =
+        |engine: &mut Engine<Ev>, task: &MapTask, reduce_in_mb: &mut Vec<f64>| -> usize {
+            if reducers == 0 {
+                return 0;
+            }
+            let out_mb = task.size_mb * profile.map_output_ratio;
+            if out_mb <= 0.0 {
+                return 0;
+            }
+            let mut flows = 0;
+            // Partition skew: reducer 0 takes `skew x` the mean share; the rest
+            // split the remainder evenly (totals conserved).
+            let mean = out_mb / reducers as f64;
+            let skew = profile.reduce_skew.max(1.0).min(reducers as f64);
+            let rest = if reducers > 1 {
+                (out_mb - skew * mean) / (reducers - 1) as f64
+            } else {
+                0.0
+            };
+            let src = task.node.expect("finished map has a node");
+            for (r, &dst) in reducer_nodes.iter().enumerate() {
+                let share = if r == 0 { skew * mean } else { rest };
+                if share <= 0.0 {
+                    continue;
+                }
+                reduce_in_mb[r] += share;
+                if let Some(path) = topo.transfer(src, dst) {
+                    engine.start_flow(share, &path, None, Ev::ShuffleDone);
+                    flows += 1;
+                }
+            }
+            flows
         };
-        let src = task.node.expect("finished map has a node");
-        for (r, &dst) in reducer_nodes.iter().enumerate() {
-            let share = if r == 0 { skew * mean } else { rest };
-            if share <= 0.0 {
-                continue;
-            }
-            reduce_in_mb[r] += share;
-            if let Some(path) = topo.transfer(src, dst) {
-                engine.start_flow(share, &path, None, Ev::ShuffleDone);
-                flows += 1;
-            }
-        }
-        flows
-    };
 
     let start_reducers = |engine: &mut Engine<Ev>| {
         for r in 0..reducers {
@@ -282,7 +280,12 @@ pub fn run_job(spec: &ClusterSpec, splits: &[MapSplit], profile: &WorkloadProfil
                     Some(topo.core_rate(nd)),
                     Ev::ReducePart(r),
                 );
-                engine.start_flow(write_mb.max(0.0), &topo.local_write(nd), None, Ev::ReducePart(r));
+                engine.start_flow(
+                    write_mb.max(0.0),
+                    &topo.local_write(nd),
+                    None,
+                    Ev::ReducePart(r),
+                );
             }
             Ev::ReducePart(r) => {
                 reduce_parts[r] -= 1;
@@ -305,8 +308,7 @@ pub fn run_job(spec: &ClusterSpec, splits: &[MapSplit], profile: &WorkloadProfil
     } else {
         0.0
     };
-    let locality =
-        tasks.iter().filter(|t| t.local).count() as f64 / tasks.len() as f64;
+    let locality = tasks.iter().filter(|t| t.local).count() as f64 / tasks.len() as f64;
     JobStats {
         avg_map_s,
         avg_reduce_s,

@@ -83,8 +83,14 @@ mod tests {
     fn presets_have_expected_shapes() {
         let wc = WorkloadProfile::wordcount();
         let ts = WorkloadProfile::terasort();
-        assert!(wc.map_cpu_s_per_mb > ts.map_cpu_s_per_mb, "wordcount maps are heavier");
-        assert!(ts.map_output_ratio > wc.map_output_ratio, "terasort shuffles everything");
+        assert!(
+            wc.map_cpu_s_per_mb > ts.map_cpu_s_per_mb,
+            "wordcount maps are heavier"
+        );
+        assert!(
+            ts.map_output_ratio > wc.map_output_ratio,
+            "terasort shuffles everything"
+        );
         assert_eq!(WorkloadProfile::map_only(0.1).reducers, 0);
         assert!(ts.reduce_skew > wc.reduce_skew, "terasort partitions skew");
     }

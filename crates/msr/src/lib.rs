@@ -211,10 +211,12 @@ mod tests {
                 pool.shuffle(&mut rng);
                 let helpers: Vec<usize> = pool.into_iter().take(d).collect();
                 let plan = code.repair_plan(failed, &helpers).unwrap();
-                let blocks: Vec<&[u8]> =
-                    helpers.iter().map(|&i| &stripe.blocks[i][..]).collect();
+                let blocks: Vec<&[u8]> = helpers.iter().map(|&i| &stripe.blocks[i][..]).collect();
                 let (rebuilt, traffic) = plan.run(&blocks).unwrap();
-                assert_eq!(rebuilt, stripe.blocks[failed], "({n},{k},{d}) block {failed}");
+                assert_eq!(
+                    rebuilt, stripe.blocks[failed],
+                    "({n},{k},{d}) block {failed}"
+                );
                 // Optimal: d segments of block_bytes / alpha each.
                 assert_eq!(traffic, d * stripe.block_bytes() / alpha);
                 let expect = d as f64 / alpha as f64;

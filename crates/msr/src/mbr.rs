@@ -319,8 +319,7 @@ mod tests {
                 pool.shuffle(&mut rng);
                 let helpers: Vec<usize> = pool.into_iter().take(d).collect();
                 let plan = code.repair_plan(failed, &helpers).unwrap();
-                let blocks: Vec<&[u8]> =
-                    helpers.iter().map(|&i| &stripe.blocks[i][..]).collect();
+                let blocks: Vec<&[u8]> = helpers.iter().map(|&i| &stripe.blocks[i][..]).collect();
                 let (rebuilt, traffic) = plan.run(&blocks).unwrap();
                 assert_eq!(rebuilt, stripe.blocks[failed], "({n},{k},{d}) f={failed}");
                 assert_eq!(

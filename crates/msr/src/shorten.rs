@@ -53,9 +53,7 @@ impl ShortenedMsr {
         }
         if d < 2 * k - 2 {
             return Err(CodeError::InvalidParameters {
-                reason: format!(
-                    "product-matrix MSR requires d >= 2k - 2 (got d = {d}, k = {k})"
-                ),
+                reason: format!("product-matrix MSR requires d >= 2k - 2 (got d = {d}, k = {k})"),
             });
         }
         if d >= n {
@@ -73,12 +71,13 @@ impl ShortenedMsr {
         // Systematic remapping: G_sys = G_aux · (top (k+i)·α rows)⁻¹.
         let g_aux = raw.generator();
         let top_rows: Vec<usize> = (0..kb * alpha).collect();
-        let top_inv = g_aux
-            .select_rows(&top_rows)
-            .inverse()
-            .ok_or_else(|| CodeError::InvalidParameters {
-                reason: "auxiliary MSR generator's systematic block is singular".into(),
-            })?;
+        let top_inv =
+            g_aux
+                .select_rows(&top_rows)
+                .inverse()
+                .ok_or_else(|| CodeError::InvalidParameters {
+                    reason: "auxiliary MSR generator's systematic block is singular".into(),
+                })?;
         let g_sys = &g_aux * &top_inv;
 
         // Shorten: drop the first i blocks (rows) and their zeroed message

@@ -97,7 +97,7 @@ impl WideReedSolomon {
                 }
                 let src = &padded[j * w..(j + 1) * w];
                 for (dst, &s) in block.iter_mut().zip(src) {
-                    *dst = *dst + coeff * s;
+                    *dst += coeff * s;
                 }
             }
         }
@@ -119,7 +119,10 @@ impl WideReedSolomon {
         }
         for (i, &nd) in nodes.iter().enumerate() {
             if nd >= self.n {
-                return Err(CodeError::NodeOutOfRange { node: nd, n: self.n });
+                return Err(CodeError::NodeOutOfRange {
+                    node: nd,
+                    n: self.n,
+                });
             }
             if nodes[i + 1..].contains(&nd) {
                 return Err(CodeError::DuplicateNode { node: nd });
@@ -127,7 +130,7 @@ impl WideReedSolomon {
         }
         let len = blocks[0].len();
         for b in blocks {
-            if b.len() != len || len % 2 != 0 {
+            if b.len() != len || !len.is_multiple_of(2) {
                 return Err(CodeError::BlockSizeMismatch {
                     expected: len,
                     actual: b.len(),
@@ -150,7 +153,7 @@ impl WideReedSolomon {
                     continue;
                 }
                 for (d, &s) in dst.iter_mut().zip(src) {
-                    *d = *d + *coeff * s;
+                    *d += *coeff * s;
                 }
             }
         }

@@ -2,11 +2,25 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::LazyLock;
 
 use crate::flownet::{FlowNet, FlowSpec, ResourceId};
 
+static FLOWS_STARTED: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("simcore.flows_started"));
+static FLOWS_COMPLETED: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("simcore.flows_completed"));
+static TIMERS_FIRED: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("simcore.timers_fired"));
+static ACTIVE_FLOWS: LazyLock<&'static telemetry::Gauge> =
+    LazyLock::new(|| telemetry::gauge("simcore.active_flows"));
+static FLOW_DURATION: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("simcore.flow_duration_us"));
+static FLOW_WORK: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("simcore.flow_work"));
+
 /// One recorded simulation event (see [`Engine::enable_trace`]).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Virtual time of the event.
     pub at: f64,
@@ -14,18 +28,30 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
-/// The kinds of events a trace records.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The kinds of events a trace records. Each carries the identity of the
+/// flow or timer involved so traces can be correlated with the handles
+/// returned by [`Engine::start_flow`] / [`Engine::schedule`].
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceKind {
-    /// A flow was started with this much work.
+    /// A flow was started.
     FlowStarted {
+        /// The handle [`Engine::start_flow`] returned.
+        id: FlowId,
         /// Work in MB or core-seconds.
         work: f64,
+        /// The resources the flow traverses, in path order.
+        path: Vec<ResourceId>,
     },
     /// A flow drained.
-    FlowCompleted,
+    FlowCompleted {
+        /// The completed flow.
+        id: FlowId,
+    },
     /// A timer fired.
-    TimerFired,
+    TimerFired {
+        /// The handle [`Engine::schedule`] returned.
+        id: TimerId,
+    },
 }
 
 /// Identifies a flow started on an [`Engine`].
@@ -82,6 +108,9 @@ pub struct Engine<E> {
     bytes_completed: f64,
     trace: Option<Vec<TraceEvent>>,
     resource_work: Vec<f64>,
+    /// Virtual start time of each in-flight flow, indexed by flow slot —
+    /// feeds the `simcore.flow_duration_us` histogram on completion.
+    flow_started_at: Vec<f64>,
 }
 
 impl<E> Default for Engine<E> {
@@ -104,6 +133,7 @@ impl<E> Engine<E> {
             bytes_completed: 0.0,
             trace: None,
             resource_work: Vec::new(),
+            flow_started_at: Vec::new(),
         }
     }
 
@@ -122,6 +152,34 @@ impl<E> Engine<E> {
 
     fn record(&mut self, kind: TraceKind) {
         let at = self.now;
+        // Stream to the shared telemetry sink (when one is installed) so
+        // simulator schedules land in the same JSON-lines file as metric
+        // snapshots and spans; the in-memory trace stays available for
+        // in-test assertions.
+        if telemetry::ENABLED && telemetry::event_sink_installed() {
+            let obj = telemetry::json::Obj::new().str("type", "sim").f64("at", at);
+            let obj = match &kind {
+                TraceKind::FlowStarted { id, work, path } => {
+                    let mut ids = String::from("[");
+                    for (i, r) in path.iter().enumerate() {
+                        if i > 0 {
+                            ids.push(',');
+                        }
+                        ids.push_str(&r.index().to_string());
+                    }
+                    ids.push(']');
+                    obj.str("kind", "flow_started")
+                        .u64("flow", id.0 as u64)
+                        .f64("work", *work)
+                        .raw("path", &ids)
+                }
+                TraceKind::FlowCompleted { id } => {
+                    obj.str("kind", "flow_completed").u64("flow", id.0 as u64)
+                }
+                TraceKind::TimerFired { id } => obj.str("kind", "timer_fired").u64("timer", id.0),
+            };
+            telemetry::emit_event(obj);
+        }
         if let Some(tr) = self.trace.as_mut() {
             tr.push(TraceEvent { at, kind });
         }
@@ -215,9 +273,22 @@ impl<E> Engine<E> {
         if slot >= self.completions.len() {
             self.completions.resize_with(slot + 1, || None);
         }
+        if slot >= self.flow_started_at.len() {
+            self.flow_started_at.resize(slot + 1, 0.0);
+        }
         self.completions[slot] = Some(on_complete);
+        self.flow_started_at[slot] = self.now;
         self.flows_started += 1;
-        self.record(TraceKind::FlowStarted { work: work.max(0.0) });
+        if telemetry::ENABLED {
+            FLOWS_STARTED.inc();
+            ACTIVE_FLOWS.add(1);
+            FLOW_WORK.record_f64(work.max(0.0));
+        }
+        self.record(TraceKind::FlowStarted {
+            id: FlowId(slot),
+            work: work.max(0.0),
+            path: path.to_vec(),
+        });
         FlowId(slot)
     }
 
@@ -225,6 +296,9 @@ impl<E> Engine<E> {
     /// still active.
     pub fn cancel_flow(&mut self, id: FlowId) -> Option<E> {
         self.net.remove(id.0)?;
+        if telemetry::ENABLED {
+            ACTIVE_FLOWS.add(-1);
+        }
         self.completions[id.0].take()
     }
 
@@ -241,40 +315,47 @@ impl<E> Engine<E> {
     /// Advances virtual time to the next timer firing or flow completion
     /// and returns `(time, event)`; `None` when the simulation has drained.
     pub fn next_event(&mut self) -> Option<(f64, E)> {
-        loop {
-            // Drop cancelled timers at the head.
-            while let Some(top) = self.timers.peek() {
-                if let Some(pos) = self.cancelled.iter().position(|c| *c == top.id) {
-                    self.cancelled.swap_remove(pos);
-                    self.timers.pop();
-                } else {
-                    break;
-                }
+        // Drop cancelled timers at the head.
+        while let Some(top) = self.timers.peek() {
+            if let Some(pos) = self.cancelled.iter().position(|c| *c == top.id) {
+                self.cancelled.swap_remove(pos);
+                self.timers.pop();
+            } else {
+                break;
             }
-            let timer_at = self.timers.peek().map(|t| t.at);
-            let flow_eta = self.net.next_completion().map(|(dt, slot)| (self.now + dt, slot));
-            match (timer_at, flow_eta) {
-                (None, None) => return None,
-                (Some(t), None) => {
-                    self.advance_to(t);
+        }
+        let timer_at = self.timers.peek().map(|t| t.at);
+        let flow_eta = self
+            .net
+            .next_completion()
+            .map(|(dt, slot)| (self.now + dt, slot));
+        match (timer_at, flow_eta) {
+            (None, None) => None,
+            (Some(t), None) => {
+                self.advance_to(t);
+                let timer = self.timers.pop().expect("peeked");
+                if telemetry::ENABLED {
+                    TIMERS_FIRED.inc();
+                }
+                self.record(TraceKind::TimerFired { id: timer.id });
+                Some((self.now, timer.event))
+            }
+            (None, Some((t, slot))) => {
+                self.advance_to(t);
+                Some((self.now, self.finish_flow(slot)))
+            }
+            (Some(tt), Some((ft, slot))) => {
+                if tt <= ft {
+                    self.advance_to(tt);
                     let timer = self.timers.pop().expect("peeked");
-                    self.record(TraceKind::TimerFired);
+                    if telemetry::ENABLED {
+                        TIMERS_FIRED.inc();
+                    }
+                    self.record(TraceKind::TimerFired { id: timer.id });
                     return Some((self.now, timer.event));
                 }
-                (None, Some((t, slot))) => {
-                    self.advance_to(t);
-                    return Some((self.now, self.finish_flow(slot)));
-                }
-                (Some(tt), Some((ft, slot))) => {
-                    if tt <= ft {
-                        self.advance_to(tt);
-                        let timer = self.timers.pop().expect("peeked");
-                        self.record(TraceKind::TimerFired);
-                        return Some((self.now, timer.event));
-                    }
-                    self.advance_to(ft);
-                    return Some((self.now, self.finish_flow(slot)));
-                }
+                self.advance_to(ft);
+                Some((self.now, self.finish_flow(slot)))
             }
         }
     }
@@ -319,7 +400,13 @@ impl<E> Engine<E> {
 
     fn finish_flow(&mut self, slot: usize) -> E {
         let spec = self.net.remove(slot).expect("completing flow exists");
-        self.record(TraceKind::FlowCompleted);
+        if telemetry::ENABLED {
+            FLOWS_COMPLETED.inc();
+            ACTIVE_FLOWS.add(-1);
+            let dur_us = (self.now - self.flow_started_at[slot]).max(0.0) * 1e6;
+            FLOW_DURATION.record_f64(dur_us);
+        }
+        self.record(TraceKind::FlowCompleted { id: FlowId(slot) });
         self.bytes_completed += spec.remaining.max(0.0); // ~0 at completion
         self.completions[slot]
             .take()
@@ -445,16 +532,20 @@ mod tests {
         let mut e: Engine<Ev> = Engine::new();
         e.enable_trace();
         let link = e.add_resource("link", 10.0);
-        e.start_flow(20.0, &[link], None, Ev::Flow(1));
-        e.schedule(1.0, Ev::Timer(1));
+        let flow = e.start_flow(20.0, &[link], None, Ev::Flow(1));
+        let timer = e.schedule(1.0, Ev::Timer(1));
         while e.next_event().is_some() {}
-        let kinds: Vec<_> = e.trace().iter().map(|ev| ev.kind).collect();
+        let kinds: Vec<_> = e.trace().iter().map(|ev| ev.kind.clone()).collect();
         assert_eq!(
             kinds,
             vec![
-                TraceKind::FlowStarted { work: 20.0 },
-                TraceKind::TimerFired,
-                TraceKind::FlowCompleted
+                TraceKind::FlowStarted {
+                    id: flow,
+                    work: 20.0,
+                    path: vec![link],
+                },
+                TraceKind::TimerFired { id: timer },
+                TraceKind::FlowCompleted { id: flow },
             ]
         );
         assert!((e.trace()[2].at - 2.0).abs() < 1e-9);

@@ -1,0 +1,164 @@
+//! Hand-rolled JSON encoding (no serde — the build is offline and the
+//! schema is small enough to write by hand).
+//!
+//! [`Obj`] builds one JSON object as a `String`; callers append the result
+//! to a JSON-lines stream, one object per line.
+
+/// Escapes `s` into `out` per RFC 8259 (without surrounding quotes).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an `f64` as a JSON number (`null` for NaN/infinity, which JSON
+/// cannot represent).
+pub fn number(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{}` on f64 prints the shortest representation that round-trips.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An incremental JSON object builder.
+#[derive(Debug)]
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(k, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(v, &mut self.buf);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(mut self, k: &str, v: i64) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` if not finite).
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        number(v, &mut self.buf);
+        self
+    }
+
+    /// Adds a pre-encoded JSON value verbatim (caller guarantees validity).
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Closes the object and returns the JSON text (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+/// Encodes `[[a, b], ...]` pairs as a JSON array of two-element arrays.
+pub fn u64_pairs(pairs: &[(u64, u64)]) -> String {
+    let mut out = String::from("[");
+    for (i, (a, b)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{a},{b}]"));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quotes() {
+        let mut s = String::new();
+        escape_into("a\"b\\c\nd\u{1}", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn object_round_trip_shape() {
+        let o = Obj::new()
+            .str("type", "counter")
+            .u64("value", 42)
+            .i64("delta", -3)
+            .f64("rate", 1.5)
+            .raw("buckets", "[[1,2]]")
+            .finish();
+        assert_eq!(
+            o,
+            r#"{"type":"counter","value":42,"delta":-3,"rate":1.5,"buckets":[[1,2]]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let o = Obj::new()
+            .f64("x", f64::NAN)
+            .f64("y", f64::INFINITY)
+            .finish();
+        assert_eq!(o, r#"{"x":null,"y":null}"#);
+    }
+
+    #[test]
+    fn pair_array_encoding() {
+        assert_eq!(u64_pairs(&[(1, 2), (3, 4)]), "[[1,2],[3,4]]");
+        assert_eq!(u64_pairs(&[]), "[]");
+    }
+}

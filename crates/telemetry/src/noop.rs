@@ -1,0 +1,180 @@
+//! Zero-sized no-op twins, compiled when the `telemetry` feature is off.
+//!
+//! Every type here is a unit struct and every method an empty inline body,
+//! so instrumentation in dependent crates compiles down to nothing. The
+//! test `zero_sized_when_disabled` in `lib.rs` pins this property.
+
+use std::io::Write;
+
+use crate::json::Obj;
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+
+/// No-op stand-in for the atomic counter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Counter;
+
+impl Counter {
+    /// A fresh counter.
+    pub const fn new() -> Self {
+        Counter
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn inc(&self) {}
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn reset(&self) {}
+}
+
+/// No-op stand-in for the atomic gauge.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Gauge;
+
+impl Gauge {
+    /// A fresh gauge.
+    pub const fn new() -> Self {
+        Gauge
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set(&self, _v: i64) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _delta: i64) {}
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> i64 {
+        0
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn reset(&self) {}
+}
+
+/// No-op stand-in for the histogram.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Histogram;
+
+impl Histogram {
+    /// A fresh histogram.
+    pub const fn new() -> Self {
+        Histogram
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record_f64(&self, _v: f64) {}
+    /// Always zero.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+    /// Always empty.
+    #[inline(always)]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::new()
+    }
+    /// Does nothing.
+    #[inline(always)]
+    pub fn reset(&self) {}
+}
+
+/// No-op stand-in for the registry.
+#[derive(Debug, Default)]
+pub struct Registry;
+
+impl Registry {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Registry
+    }
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: Registry = Registry;
+        &GLOBAL
+    }
+    /// A shared no-op counter.
+    pub fn counter(&self, _name: &'static str) -> &'static Counter {
+        static NOOP: Counter = Counter;
+        &NOOP
+    }
+    /// A shared no-op gauge.
+    pub fn gauge(&self, _name: &'static str) -> &'static Gauge {
+        static NOOP: Gauge = Gauge;
+        &NOOP
+    }
+    /// A shared no-op histogram.
+    pub fn histogram(&self, _name: &'static str) -> &'static Histogram {
+        static NOOP: Histogram = Histogram;
+        &NOOP
+    }
+    /// Always empty.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::new()
+    }
+    /// Does nothing.
+    pub fn reset(&self) {}
+}
+
+/// A shared no-op counter.
+pub fn counter(_name: &'static str) -> &'static Counter {
+    Registry::global().counter(_name)
+}
+
+/// A shared no-op gauge.
+pub fn gauge(_name: &'static str) -> &'static Gauge {
+    Registry::global().gauge(_name)
+}
+
+/// A shared no-op histogram.
+pub fn histogram(_name: &'static str) -> &'static Histogram {
+    Registry::global().histogram(_name)
+}
+
+/// Accepts and drops the sink: no events are produced in this build.
+pub fn set_event_sink(_w: impl Write + Send + 'static) {}
+
+/// Does nothing.
+pub fn clear_event_sink() {}
+
+/// Always false.
+pub fn event_sink_installed() -> bool {
+    false
+}
+
+/// Drops the object unwritten.
+pub fn emit_event(_obj: Obj) {}
+
+/// No-op stand-in for the RAII span timer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Span;
+
+impl Span {
+    /// Opens a no-op span.
+    pub fn enter(_name: &'static str) -> Span {
+        Span
+    }
+    /// Always the empty string.
+    pub fn name(&self) -> &'static str {
+        ""
+    }
+    /// Always zero.
+    pub fn elapsed_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// Opens a no-op span.
+pub fn span(_name: &'static str) -> Span {
+    Span
+}

@@ -1,0 +1,331 @@
+//! Point-in-time views of metrics: histogram snapshots with quantile
+//! estimation, and whole-registry snapshots serializable to JSON-lines.
+//!
+//! These types are real in **both** feature configurations — a build with
+//! telemetry disabled still compiles code that writes snapshots; the
+//! snapshots are simply empty.
+
+use std::io::{self, Write};
+
+use crate::json::{u64_pairs, Obj};
+
+/// Log-linear bucketing scheme shared by [`crate::Histogram`] and
+/// [`HistogramSnapshot`]:
+///
+/// * values `0..16` land in their own exact bucket;
+/// * every power-of-two range `[2^e, 2^(e+1))` with `e >= 4` is split into
+///   16 equal sub-buckets, bounding the relative quantile error by 1/16.
+pub const BUCKETS: usize = 16 + (64 - 4) * 16;
+
+/// The bucket index a value lands in.
+pub fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // 2^exp <= v < 2^(exp+1)
+        let sub = ((v >> (exp - 4)) & 15) as usize;
+        16 + (exp - 4) * 16 + sub
+    }
+}
+
+/// The smallest value that lands in bucket `i`.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i < 16 {
+        i as u64
+    } else {
+        let exp = 4 + (i - 16) / 16;
+        let sub = ((i - 16) % 16) as u64;
+        (1u64 << exp) + sub * (1u64 << (exp - 4))
+    }
+}
+
+/// The midpoint of bucket `i`, used as its representative value in
+/// quantile estimates.
+fn bucket_midpoint(i: usize) -> u64 {
+    let lo = bucket_lower_bound(i);
+    if i < 16 {
+        lo
+    } else {
+        let width = 1u64 << (4 + (i - 16) / 16 - 4);
+        lo + width / 2
+    }
+}
+
+/// An immutable copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts as `(bucket_index, count)`, nonzero entries only,
+    /// sorted by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the buckets.
+    ///
+    /// The estimate is the midpoint of the bucket holding the rank-`⌈q·n⌉`
+    /// value, clamped to the observed `[min, max]`, so the relative error
+    /// is bounded by the bucket width (≤ 1/16 above 16).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return bucket_midpoint(i as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges two snapshots (e.g. from different shards or runs). This is
+    /// associative and commutative, with [`HistogramSnapshot::new`] as the
+    /// identity.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: Vec<(u32, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (None, None) => break,
+                (Some(&&(i, c)), None) => {
+                    buckets.push((i, c));
+                    a.next();
+                }
+                (None, Some(&&(i, c))) => {
+                    buckets.push((i, c));
+                    b.next();
+                }
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        buckets.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        buckets.push((ib, cb));
+                        b.next();
+                    } else {
+                        buckets.push((ia, ca.saturating_add(cb)));
+                        a.next();
+                        b.next();
+                    }
+                }
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            buckets,
+        }
+    }
+
+    /// Encodes this snapshot's fields into an [`Obj`] under way.
+    fn encode_into(&self, obj: Obj) -> Obj {
+        let pairs: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .map(|&(i, c)| (bucket_lower_bound(i as usize), c))
+            .collect();
+        obj.u64("count", self.count)
+            .u64("sum", self.sum)
+            .u64("min", if self.count == 0 { 0 } else { self.min })
+            .u64("max", self.max)
+            .f64("mean", self.mean())
+            .u64("p50", self.p50())
+            .u64("p95", self.p95())
+            .u64("p99", self.p99())
+            .raw("buckets", &u64_pairs(&pairs))
+    }
+}
+
+/// A point-in-time copy of every metric in a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Named counters.
+    pub counters: Vec<(String, u64)>,
+    /// Named gauges.
+    pub gauges: Vec<(String, i64)>,
+    /// Named histograms.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// Looks up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Counter deltas of `self` relative to `baseline` (counters absent
+    /// from the baseline count from zero). Gauges and histograms are taken
+    /// from `self` unchanged; histogram *counts* cannot be subtracted
+    /// bucket-wise without losing min/max, so diffing histograms means
+    /// comparing two snapshot files side by side.
+    pub fn counters_since(&self, baseline: &Snapshot) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(n, v)| {
+                let before = baseline.counter(n).unwrap_or(0);
+                (n.clone(), v.saturating_sub(before))
+            })
+            .collect()
+    }
+
+    /// Writes the snapshot as JSON-lines: one `meta` line, then one line
+    /// per metric. `run` labels the emitting program (e.g. `"fig9"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl(&self, run: &str, w: &mut impl Write) -> io::Result<()> {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let meta = Obj::new()
+            .str("type", "meta")
+            .str("run", run)
+            .u64("schema", 1)
+            .u64("ts_unix", ts)
+            .u64(
+                "metrics",
+                (self.counters.len() + self.gauges.len() + self.histograms.len()) as u64,
+            )
+            .finish();
+        writeln!(w, "{meta}")?;
+        for (name, v) in &self.counters {
+            let line = Obj::new()
+                .str("type", "counter")
+                .str("name", name)
+                .u64("value", *v)
+                .finish();
+            writeln!(w, "{line}")?;
+        }
+        for (name, v) in &self.gauges {
+            let line = Obj::new()
+                .str("type", "gauge")
+                .str("name", name)
+                .i64("value", *v)
+                .finish();
+            writeln!(w, "{line}")?;
+        }
+        for (name, h) in &self.histograms {
+            let obj = Obj::new().str("type", "histogram").str("name", name);
+            writeln!(w, "{}", h.encode_into(obj).finish())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_exhaustive_and_monotone() {
+        // Exact buckets below 16.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+        // Lower bounds are the first value mapping into each bucket, and
+        // indices are monotone in the value.
+        let mut prev = 0;
+        for i in 0..BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert!(i == 0 || lo > prev);
+            prev = lo;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn boundary_values_fall_in_the_right_bucket() {
+        // 2^e boundaries open a new bucket; 2^e - 1 closes the previous one.
+        for e in 5..63 {
+            let at = bucket_index(1u64 << e);
+            let below = bucket_index((1u64 << e) - 1);
+            assert_eq!(at, below + 1, "boundary at 2^{e}");
+            assert_eq!(bucket_lower_bound(at), 1u64 << e);
+        }
+        // Sub-bucket boundaries within [32, 64): width 2.
+        assert_eq!(bucket_index(32), bucket_index(33));
+        assert_ne!(bucket_index(33), bucket_index(34));
+    }
+}

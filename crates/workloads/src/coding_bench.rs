@@ -62,12 +62,15 @@ impl CodeFamily {
     }
 }
 
+/// One labelled code instance, as built for a figure's comparison set.
+pub type LabelledCode = (CodeFamily, Box<dyn ErasureCode>);
+
 /// Builds all four Fig. 6 codes for one `k`.
 ///
 /// # Errors
 ///
 /// Propagates construction failures (e.g. `k = 1` has no MSR variant).
-pub fn fig6_codes(k: usize) -> Result<Vec<(CodeFamily, Box<dyn ErasureCode>)>, CodeError> {
+pub fn fig6_codes(k: usize) -> Result<Vec<LabelledCode>, CodeError> {
     CodeFamily::all()
         .into_iter()
         .map(|f| Ok((f, f.build(k)?)))
@@ -171,7 +174,10 @@ pub fn measure_repair(code: &dyn ErasureCode, data: &[u8], reps: usize) -> Repai
     let traffic_mb = mb(payloads.iter().map(Vec::len).sum::<usize>());
     let t1 = Instant::now();
     for _ in 0..reps {
-        std::hint::black_box(plan.combine_payloads(std::hint::black_box(&payloads)).expect("combine"));
+        std::hint::black_box(
+            plan.combine_payloads(std::hint::black_box(&payloads))
+                .expect("combine"),
+        );
     }
     let newcomer_s = t1.elapsed().as_secs_f64() / reps as f64;
 
@@ -193,7 +199,12 @@ pub fn measure_repair(code: &dyn ErasureCode, data: &[u8], reps: usize) -> Repai
 /// # Panics
 ///
 /// Panics if `reps` is zero or the read plan cannot be built.
-pub fn measure_parallel_read(code: &carousel::Carousel, data: &[u8], reps: usize, failures: usize) -> f64 {
+pub fn measure_parallel_read(
+    code: &carousel::Carousel,
+    data: &[u8],
+    reps: usize,
+    failures: usize,
+) -> f64 {
     use erasure::ErasureCode as _;
     assert!(reps > 0);
     let stripe = code.linear().encode(data).expect("encode");
@@ -234,7 +245,10 @@ pub fn fig5_matrices() -> String {
     let rs = ReedSolomon::new(3, 2).expect("valid");
     let ca = Carousel::new(3, 2, 2, 3).expect("valid");
     let mut out = String::new();
-    for (name, code) in [("(3,2) RS", rs.linear()), ("(3,2,2,3) Carousel", ca.linear())] {
+    for (name, code) in [
+        ("(3,2) RS", rs.linear()),
+        ("(3,2,2,3) Carousel", ca.linear()),
+    ] {
         let g = code.generator();
         let s = stats(g);
         out.push_str(&format!(

@@ -34,7 +34,12 @@ pub fn fig9(seed: u64) -> Vec<Fig9Row> {
             ("RS(12,6)".to_string(), Policy::Rs { n: 12, k: 6 }),
             (
                 "Carousel(12,6,10,12)".to_string(),
-                Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+                Policy::Carousel {
+                    n: 12,
+                    k: 6,
+                    d: 10,
+                    p: 12,
+                },
             ),
         ] {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -73,7 +78,12 @@ pub fn fig10(seed: u64) -> Vec<Fig10Row> {
     .chain([6usize, 8, 10, 12].into_iter().map(|p| {
         (
             format!("Carousel p = {p}"),
-            Policy::Carousel { n: 12, k: 6, d: 10, p },
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p,
+            },
         )
     }))
     .chain(std::iter::once((
@@ -122,7 +132,15 @@ pub fn fig11(seed: u64, rates: CodingRates) -> Vec<Fig11Row> {
     let schemes: [(&str, Policy); 3] = [
         ("HDFS (3x replication)", Policy::Replication { copies: 3 }),
         ("RS(12,6)", Policy::Rs { n: 12, k: 6 }),
-        ("Carousel(12,6,10,10)", Policy::Carousel { n: 12, k: 6, d: 10, p: 10 }),
+        (
+            "Carousel(12,6,10,10)",
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 10,
+            },
+        ),
     ];
     for (label, policy) in schemes {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -158,7 +176,9 @@ pub fn fig11(seed: u64, rates: CodingRates) -> Vec<Fig11Row> {
 pub fn fig9_repeated(seeds: &[u64]) -> Vec<Fig9StatRow> {
     use crate::stats::Percentiles;
     assert!(!seeds.is_empty(), "need at least one seed");
-    let mut acc: Vec<(String, String, Vec<f64>, Vec<f64>, Vec<f64>)> = Vec::new();
+    // (workload, code, map-time, reduce-time, job-time samples)
+    type Acc = (String, String, Vec<f64>, Vec<f64>, Vec<f64>);
+    let mut acc: Vec<Acc> = Vec::new();
     for &seed in seeds {
         for row in fig9(seed) {
             let entry = acc
@@ -167,7 +187,13 @@ pub fn fig9_repeated(seeds: &[u64]) -> Vec<Fig9StatRow> {
             let entry = match entry {
                 Some(e) => e,
                 None => {
-                    acc.push((row.workload.clone(), row.code.clone(), vec![], vec![], vec![]));
+                    acc.push((
+                        row.workload.clone(),
+                        row.code.clone(),
+                        vec![],
+                        vec![],
+                        vec![],
+                    ));
                     acc.last_mut().expect("just pushed")
                 }
             };
@@ -217,7 +243,12 @@ pub struct OversubRow {
 /// (all cross-node traffic shares one fabric). Shuffle-heavy terasort
 /// degrades as the switch tightens; map-local wordcount barely notices.
 pub fn ext_oversubscription(seed: u64) -> Vec<OversubRow> {
-    let policy = Policy::Carousel { n: 12, k: 6, d: 10, p: 12 };
+    let policy = Policy::Carousel {
+        n: 12,
+        k: 6,
+        d: 10,
+        p: 12,
+    };
     [None, Some(2000.0), Some(500.0), Some(125.0)]
         .into_iter()
         .map(|switch| {
@@ -263,7 +294,12 @@ pub fn ext_stragglers(seeds: &[u64]) -> Vec<StragglerRow> {
         ("RS(12,6)".to_string(), Policy::Rs { n: 12, k: 6 }),
         (
             "Carousel(12,6,10,12)".to_string(),
-            Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
         ),
     ]
     .into_iter()
@@ -313,7 +349,12 @@ pub fn ext_degraded_job(seed: u64) -> Vec<DegradedJobRow> {
         ("RS(12,6)".to_string(), Policy::Rs { n: 12, k: 6 }),
         (
             "Carousel(12,6,10,12)".to_string(),
-            Policy::Carousel { n: 12, k: 6, d: 10, p: 12 },
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
         ),
     ]
     .into_iter()
@@ -321,9 +362,19 @@ pub fn ext_degraded_job(seed: u64) -> Vec<DegradedJobRow> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut nn = Namenode::new(spec.nodes);
         nn.store("input", FILE_MB, BLOCK_MB, policy, &mut rng);
-        let healthy_s = run_job(&spec, &nn.file("input").expect("stored").map_splits(), &profile).job_s;
+        let healthy_s = run_job(
+            &spec,
+            &nn.file("input").expect("stored").map_splits(),
+            &profile,
+        )
+        .job_s;
         nn.fail_block("input", 0, 0);
-        let degraded_s = run_job(&spec, &nn.file("input").expect("stored").map_splits(), &profile).job_s;
+        let degraded_s = run_job(
+            &spec,
+            &nn.file("input").expect("stored").map_splits(),
+            &profile,
+        )
+        .job_s;
         DegradedJobRow {
             scheme,
             healthy_s,
@@ -404,7 +455,10 @@ mod tests {
     fn experiments_are_deterministic_given_a_seed() {
         assert_eq!(fig9(123), fig9(123));
         assert_eq!(fig10(9), fig10(9));
-        assert_eq!(fig11(4, CodingRates::default()), fig11(4, CodingRates::default()));
+        assert_eq!(
+            fig11(4, CodingRates::default()),
+            fig11(4, CodingRates::default())
+        );
     }
 
     #[test]

@@ -17,7 +17,15 @@ fn main() {
     );
     for (label, policy) in [
         ("RS(12,6)            ", Policy::Rs { n: 12, k: 6 }),
-        ("Carousel(12,6,10,12)", Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }),
+        (
+            "Carousel(12,6,10,12)",
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
+        ),
     ] {
         let mut rng = StdRng::seed_from_u64(2024);
         let mut nn = Namenode::new(spec.nodes);

@@ -20,7 +20,15 @@ fn main() {
         let mut results = Vec::new();
         for (label, policy) in [
             ("RS(12,6)          ", Policy::Rs { n: 12, k: 6 }),
-            ("Carousel(12,6,10,12)", Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }),
+            (
+                "Carousel(12,6,10,12)",
+                Policy::Carousel {
+                    n: 12,
+                    k: 6,
+                    d: 10,
+                    p: 12,
+                },
+            ),
         ] {
             let mut rng = StdRng::seed_from_u64(42);
             let mut nn = Namenode::new(spec.nodes);

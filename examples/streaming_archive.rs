@@ -11,10 +11,8 @@ use filestore::FileCodec;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let codec = FileCodec::new(Carousel::new(12, 6, 10, 12)?, 6000)?;
     println!(
-        "streaming with {} / stripe: {} data bytes per stripe, {} blocks of {} bytes",
-        "Carousel(12,6,10,12)",
+        "streaming with Carousel(12,6,10,12) / stripe: {} data bytes per stripe, 12 blocks of {} bytes",
         codec.stripe_data_bytes(),
-        12,
         codec.block_bytes()
     );
 
@@ -48,6 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut output = Vec::with_capacity(input.len());
     decode_stream(&codec, &meta, |s| Ok(store[s].clone()), &mut output)?;
     assert_eq!(output, input);
-    println!("streamed decode recovered all {} bytes exactly", output.len());
+    println!(
+        "streamed decode recovered all {} bytes exactly",
+        output.len()
+    );
     Ok(())
 }

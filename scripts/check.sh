@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, and the full test suite in
+# both telemetry configurations. Run from anywhere inside the repo.
+#
+#   scripts/check.sh          # everything (fmt, clippy, tests x2)
+#   scripts/check.sh fast     # skip the --no-default-features test pass
+#
+# Everything runs --offline: this workspace vendors its few dependencies
+# under crates/vendor/ and must build without network access.
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+mode="${1:-full}"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (default features, -D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+step "cargo clippy (--no-default-features, -D warnings)"
+cargo clippy --workspace --all-targets --no-default-features --offline -- -D warnings
+
+step "cargo test (default features: telemetry on)"
+cargo test --workspace --offline -q
+
+if [ "$mode" != "fast" ]; then
+  step "cargo test (--no-default-features: telemetry compiled out)"
+  cargo test --workspace --no-default-features --offline -q
+fi
+
+step "all checks passed"

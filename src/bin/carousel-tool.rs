@@ -63,7 +63,12 @@ fn err_str(e: impl std::fmt::Display) -> String {
 fn encode(args: &[String]) -> Result<(), String> {
     let input = args.first().ok_or("encode: missing <input>")?;
     let dir = args.get(1).ok_or("encode: missing <dir>")?;
-    let mut spec = CodeSpec::Carousel { n: 12, k: 6, d: 10, p: 12 };
+    let mut spec = CodeSpec::Carousel {
+        n: 12,
+        k: 6,
+        d: 10,
+        p: 12,
+    };
     let mut block_bytes: Option<usize> = None;
     let mut i = 2;
     while i < args.len() {

@@ -70,11 +70,10 @@ fn parallel_encode_across_threads() {
                 let stripe = code.linear().encode(&data).unwrap();
                 let out = code
                     .linear()
-                    .decode_nodes(&[1, 3, 5], &[
-                        &stripe.blocks[1],
-                        &stripe.blocks[3],
-                        &stripe.blocks[5],
-                    ])
+                    .decode_nodes(
+                        &[1, 3, 5],
+                        &[&stripe.blocks[1], &stripe.blocks[3], &stripe.blocks[5]],
+                    )
                     .unwrap();
                 assert_eq!(&out[..data.len()], &data[..]);
             })

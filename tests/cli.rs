@@ -1,7 +1,7 @@
 //! End-to-end tests of the `carousel-tool` CLI binary: encode a real file,
 //! damage the directory on disk, verify, repair and decode.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 
 fn tool() -> Command {
@@ -9,16 +9,13 @@ fn tool() -> Command {
 }
 
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "carousel-cli-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("carousel-cli-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create temp dir");
     dir
 }
 
-fn write_input(dir: &PathBuf, len: usize) -> PathBuf {
+fn write_input(dir: &Path, len: usize) -> PathBuf {
     let path = dir.join("input.bin");
     let data: Vec<u8> = (0..len).map(|i| (i * 131 + 7) as u8).collect();
     std::fs::write(&path, data).expect("write input");
@@ -47,7 +44,12 @@ fn encode_damage_repair_decode_round_trip() {
     // Remove two block files (the code tolerates n - k = 2).
     for (s, b) in [(0, 1), (0, 4)] {
         let status = tool()
-            .args(["drop", enc.to_str().unwrap(), &s.to_string(), &b.to_string()])
+            .args([
+                "drop",
+                enc.to_str().unwrap(),
+                &s.to_string(),
+                &b.to_string(),
+            ])
             .status()
             .expect("run drop");
         assert!(status.success());
@@ -73,10 +75,7 @@ fn encode_damage_repair_decode_round_trip() {
         .status()
         .expect("run decode");
     assert!(status.success());
-    assert_eq!(
-        std::fs::read(&input).unwrap(),
-        std::fs::read(&out).unwrap()
-    );
+    assert_eq!(std::fs::read(&input).unwrap(), std::fs::read(&out).unwrap());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -59,7 +59,12 @@ fn cluster_download_uses_exactly_the_planned_bytes() {
             "f",
             3072.0,
             512.0,
-            Policy::Carousel { n: 12, k: 6, d: 10, p: 10 },
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 10,
+            },
             &mut rng,
         )
         .clone();
@@ -74,8 +79,24 @@ fn map_task_count_equals_code_parallelism() {
     let spec = ClusterSpec::r3_large_cluster();
     for (policy, expect) in [
         (Policy::Rs { n: 12, k: 6 }, 6usize),
-        (Policy::Carousel { n: 12, k: 6, d: 10, p: 8 }, 8),
-        (Policy::Carousel { n: 12, k: 6, d: 10, p: 12 }, 12),
+        (
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 8,
+            },
+            8,
+        ),
+        (
+            Policy::Carousel {
+                n: 12,
+                k: 6,
+                d: 10,
+                p: 12,
+            },
+            12,
+        ),
     ] {
         let mut rng = StdRng::seed_from_u64(9);
         let mut nn = Namenode::new(spec.nodes);
@@ -93,7 +114,12 @@ fn storage_overhead_equivalence_of_rs_and_carousel() {
     // The paper's central claim: Carousel codes extend parallelism without
     // extra storage or lost failure tolerance.
     let rs = Policy::Rs { n: 12, k: 6 };
-    let ca = Policy::Carousel { n: 12, k: 6, d: 10, p: 12 };
+    let ca = Policy::Carousel {
+        n: 12,
+        k: 6,
+        d: 10,
+        p: 12,
+    };
     let rep = Policy::Replication { copies: 2 };
     assert_eq!(rs.storage_overhead(), ca.storage_overhead());
     assert_eq!(rs.failures_tolerated(), ca.failures_tolerated());

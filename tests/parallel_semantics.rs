@@ -38,7 +38,7 @@ fn split_processing_equals_whole_file_processing() {
     for (n, k, d, p) in [(12, 6, 10, 12), (12, 6, 10, 8), (6, 4, 4, 6)] {
         let code = Carousel::new(n, k, d, p).unwrap();
         let b = code.linear().message_units();
-        let file: Vec<u8> = (0..b * 64).map(|i| (i * 1103 + 251 >> 3) as u8).collect();
+        let file: Vec<u8> = (0..b * 64).map(|i| ((i * 1103 + 251) >> 3) as u8).collect();
         let stripe = code.linear().encode(&file).unwrap();
         let layout = code.data_layout();
         let w = stripe.unit_bytes;
@@ -58,9 +58,9 @@ fn split_processing_equals_whole_file_processing() {
         // And the splits are the file, in order, exactly.
         assert_eq!(concat(&splits), file, "({n},{k},{d},{p})");
         // Each split is the contiguous range the layout advertises.
-        for i in 0..p {
+        for (i, split) in splits.iter().enumerate() {
             let range = layout.file_byte_range(i, w).unwrap();
-            assert_eq!(splits[i], &file[range], "block {i}");
+            assert_eq!(*split, &file[range], "block {i}");
         }
     }
 }
