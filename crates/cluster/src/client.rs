@@ -1,0 +1,524 @@
+//! The cluster client: encode-and-place writes, parallel/degraded reads,
+//! and optimal-traffic repair, all over real TCP.
+//!
+//! The client executes the paper's three read paths against live
+//! datanodes:
+//!
+//! * **direct parallel read** — with all `p` data-bearing blocks
+//!   reachable, fetch only the data regions (`k/p` of each block) from
+//!   `p` servers via [`Request::GetUnits`];
+//! * **degraded read** — when a datanode dies (even mid-read), the
+//!   failure is reported to the coordinator, the stripe is *replanned*
+//!   against the surviving blocks, and parity units fill the gap;
+//! * **repair** — a lost block is rebuilt by shipping each helper its
+//!   `β × sub` coefficient matrix ([`Request::RepairRead`]) so only
+//!   `d/(d−k+1)` block-sizes cross the network in the MSR regime.
+//!
+//! Every byte in and out of the client is counted (and exported through
+//! `carousel-telemetry` when the `telemetry` feature is on), so repair
+//! and read traffic are *measured*, not asserted.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::{Arc, LazyLock};
+use std::time::Duration;
+
+use dfs::Placement;
+use erasure::{DecodePlan, ErasureCode as _};
+use filestore::format::{AnyCode, CodeSpec};
+use filestore::FileCodec;
+use rand::Rng;
+
+use crate::coordinator::{Coordinator, FilePlacement};
+use crate::error::ClusterError;
+use crate::protocol::{self, BlockId, Request, Response};
+
+static CLIENT_TX: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("cluster.client.tx_bytes"));
+static CLIENT_RX: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("cluster.client.rx_bytes"));
+static READS: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("cluster.reads"));
+static READS_DEGRADED: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("cluster.reads.degraded"));
+static REPAIR_BLOCKS: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("cluster.repair.blocks"));
+static REPAIR_WIRE: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("cluster.repair.wire_bytes"));
+
+/// What a [`ClusterClient::repair_file`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Blocks reconstructed and re-stored.
+    pub blocks_repaired: usize,
+    /// Helper payload bytes that crossed the network (the quantity the
+    /// paper bounds by `d/(d−k+1)` block-sizes per repaired block).
+    pub helper_payload_bytes: u64,
+    /// Total bytes received from helpers including protocol framing.
+    pub wire_bytes: u64,
+}
+
+/// A client session against one [`Coordinator`]'s cluster. Connections to
+/// datanodes are cached and transparently re-opened; a node that cannot
+/// be reached is reported dead to the coordinator so subsequent plans
+/// avoid it.
+#[derive(Debug)]
+pub struct ClusterClient {
+    coord: Arc<Coordinator>,
+    conns: HashMap<usize, TcpStream>,
+    timeout: Duration,
+    tx_bytes: u64,
+    rx_bytes: u64,
+}
+
+impl ClusterClient {
+    /// Creates a client with a 10-second I/O timeout.
+    pub fn new(coord: Arc<Coordinator>) -> Self {
+        ClusterClient {
+            coord,
+            conns: HashMap::new(),
+            timeout: Duration::from_secs(10),
+            tx_bytes: 0,
+            rx_bytes: 0,
+        }
+    }
+
+    /// Overrides the per-operation socket timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The coordinator this client plans against.
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        &self.coord
+    }
+
+    /// Total `(sent, received)` bytes over this client's lifetime,
+    /// including framing — the measured network traffic.
+    pub fn wire_counters(&self) -> (u64, u64) {
+        (self.tx_bytes, self.rx_bytes)
+    }
+
+    /// One request/response exchange with a datanode, reusing a cached
+    /// connection when possible and retrying once on a fresh connection
+    /// if the cached one failed (it may simply have idled out).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NodeDown`] when the node cannot be
+    /// reached; the node is also reported dead to the coordinator.
+    fn call(&mut self, node: usize, request: &Request) -> Result<Response, ClusterError> {
+        let addr = self
+            .coord
+            .node_addr(node)
+            .ok_or(ClusterError::NodeDown { node })?;
+        let down = |client: &mut Self| {
+            client.conns.remove(&node);
+            client.coord.mark_dead(node);
+            ClusterError::NodeDown { node }
+        };
+        for attempt in 0..2u8 {
+            let had_cached = self.conns.contains_key(&node);
+            if !had_cached {
+                match TcpStream::connect_timeout(&addr, self.timeout) {
+                    Ok(stream) => {
+                        let _ = stream.set_read_timeout(Some(self.timeout));
+                        let _ = stream.set_write_timeout(Some(self.timeout));
+                        let _ = stream.set_nodelay(true);
+                        self.conns.insert(node, stream);
+                    }
+                    Err(_) => return Err(down(self)),
+                }
+            }
+            let stream = self.conns.get_mut(&node).expect("just ensured");
+            let exchange = protocol::write_request(stream, request)
+                .and_then(|tx| Ok((tx, protocol::read_response(stream)?)));
+            match exchange {
+                Ok((tx, Some((response, rx)))) => {
+                    self.tx_bytes += tx as u64;
+                    self.rx_bytes += rx as u64;
+                    if telemetry::ENABLED {
+                        CLIENT_TX.add(tx as u64);
+                        CLIENT_RX.add(rx as u64);
+                    }
+                    return Ok(response);
+                }
+                // EOF or transport/framing failure: drop the connection;
+                // retry once only if a stale cached connection was used.
+                Ok((_, None)) | Err(_) => {
+                    self.conns.remove(&node);
+                    if !had_cached || attempt == 1 {
+                        return Err(down(self));
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on every path")
+    }
+
+    /// Encodes `data` with `spec` (fanning stripes out over `threads`
+    /// encoder threads), places it across the alive nodes, and uploads
+    /// every block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors, placement failures (too few alive
+    /// nodes, duplicate name) and upload failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_file(
+        &mut self,
+        name: &str,
+        data: &[u8],
+        spec: CodeSpec,
+        block_bytes: usize,
+        threads: usize,
+        placement: Placement,
+        rng: &mut impl Rng,
+    ) -> Result<FilePlacement, ClusterError> {
+        let code = spec.build()?;
+        let codec = FileCodec::new(code, block_bytes)?;
+        let encoded = workloads::parallel::encode_file(&codec, data, threads)?;
+        let fp = self.coord.place_file(
+            name,
+            spec,
+            data.len() as u64,
+            block_bytes,
+            encoded.stripes(),
+            placement,
+            rng,
+        )?;
+        for (s, row) in fp.nodes.iter().enumerate() {
+            for (role, &node) in row.iter().enumerate() {
+                let bytes = encoded
+                    .block(s, role)
+                    .expect("freshly encoded file has every block")
+                    .to_vec();
+                let request = Request::PutBlock {
+                    id: block_id(name, s, role),
+                    data: bytes,
+                };
+                match self.call(node, &request)? {
+                    Response::Done => {}
+                    Response::Error(message) => {
+                        return Err(ClusterError::Remote { message });
+                    }
+                    other => {
+                        return Err(ClusterError::Protocol {
+                            reason: format!("unexpected reply to PutBlock: {other:?}"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(fp)
+    }
+
+    /// Reads a whole file back, byte-identical to what was stored.
+    ///
+    /// Per stripe the client plans against the roles whose nodes the
+    /// coordinator believes alive, fetches, and — if any fetch fails
+    /// mid-read — excludes the failed role and *replans*, degrading from
+    /// the direct parallel path to the degraded/fallback paths without
+    /// surfacing the failure to the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownFile`] for unknown names and
+    /// [`ClusterError::Unavailable`] when a stripe has fewer than `k`
+    /// reachable blocks.
+    pub fn get_file(&mut self, name: &str) -> Result<Vec<u8>, ClusterError> {
+        let _timer = if telemetry::ENABLED {
+            READS.inc();
+            Some(telemetry::span("cluster.read.ns"))
+        } else {
+            None
+        };
+        let fp = self
+            .coord
+            .file(name)
+            .ok_or_else(|| ClusterError::UnknownFile { name: name.into() })?;
+        let code = fp.spec.build()?;
+        let codec = FileCodec::new(code.clone(), fp.block_bytes)?;
+        let sdb = codec.stripe_data_bytes();
+        let mut data = Vec::with_capacity(fp.stripes * sdb);
+        let mut degraded = false;
+        for (s, row) in fp.nodes.iter().enumerate() {
+            let w = fp.block_bytes / code.linear().sub();
+            let stripe = match &code {
+                AnyCode::Carousel(c) => {
+                    self.read_stripe_carousel(name, s, row, c, w, &mut degraded)?
+                }
+                _ => self.read_stripe_generic(name, s, row, &code, &mut degraded)?,
+            };
+            let take = sdb.min(stripe.len());
+            data.extend_from_slice(&stripe[..take]);
+        }
+        data.truncate(fp.file_len as usize);
+        if degraded && telemetry::ENABLED {
+            READS_DEGRADED.inc();
+        }
+        Ok(data)
+    }
+
+    /// One stripe via the Carousel read planner: direct `p`-way parallel
+    /// read when possible, unit-level degraded read otherwise.
+    fn read_stripe_carousel(
+        &mut self,
+        name: &str,
+        stripe: usize,
+        row: &[usize],
+        code: &carousel::Carousel,
+        w: usize,
+        degraded: &mut bool,
+    ) -> Result<Vec<u8>, ClusterError> {
+        let sub = code.sub();
+        let mut excluded: Vec<usize> = Vec::new();
+        'replan: loop {
+            let available: Vec<usize> = (0..row.len())
+                .filter(|&r| !excluded.contains(&r) && self.coord.is_alive(row[r]))
+                .collect();
+            let plan = code
+                .plan_read(&available)
+                .map_err(|_| unreadable(name, stripe))?;
+            if plan.mode() != carousel::ReadMode::Direct {
+                *degraded = true;
+            }
+            // Group the planned (role, unit) sources per role so each node
+            // serves one GetUnits request.
+            let sources = plan.sources();
+            let mut groups: Vec<(usize, Vec<u32>, Vec<usize>)> = Vec::new();
+            for (pos, &(role, unit)) in sources.iter().enumerate() {
+                match groups.iter_mut().find(|(r, _, _)| *r == role) {
+                    Some((_, units, positions)) => {
+                        units.push(unit as u32);
+                        positions.push(pos);
+                    }
+                    None => groups.push((role, vec![unit as u32], vec![pos])),
+                }
+            }
+            let mut payloads: Vec<(Vec<usize>, usize, Vec<u8>)> = Vec::new();
+            for (role, units, positions) in groups {
+                let request = Request::GetUnits {
+                    id: block_id(name, stripe, role),
+                    sub: sub as u32,
+                    units: units.clone(),
+                };
+                match self.call(row[role], &request) {
+                    Ok(Response::Data(bytes)) if bytes.len() == units.len() * w => {
+                        payloads.push((positions, units.len(), bytes));
+                    }
+                    // Missing/corrupt block, bad payload, or dead node:
+                    // exclude this role and replan the stripe.
+                    Ok(_) | Err(ClusterError::NodeDown { .. }) => {
+                        excluded.push(role);
+                        *degraded = true;
+                        continue 'replan;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let mut slices: Vec<&[u8]> = vec![&[]; sources.len()];
+            for (positions, count, bytes) in &payloads {
+                let w = bytes.len() / count;
+                for (i, &pos) in positions.iter().enumerate() {
+                    slices[pos] = &bytes[i * w..(i + 1) * w];
+                }
+            }
+            return plan
+                .decode_units(&slices)
+                .map_err(|_| unreadable(name, stripe));
+        }
+    }
+
+    /// One stripe via a generic any-`k`-blocks MDS decode (RS/MSR/MBR).
+    fn read_stripe_generic(
+        &mut self,
+        name: &str,
+        stripe: usize,
+        row: &[usize],
+        code: &AnyCode,
+        degraded: &mut bool,
+    ) -> Result<Vec<u8>, ClusterError> {
+        let k = code.k();
+        let mut excluded: Vec<usize> = Vec::new();
+        'replan: loop {
+            let roles: Vec<usize> = (0..row.len())
+                .filter(|&r| !excluded.contains(&r) && self.coord.is_alive(row[r]))
+                .take(k)
+                .collect();
+            if roles.len() < k {
+                return Err(unreadable(name, stripe));
+            }
+            if roles.iter().any(|&r| r >= k) {
+                *degraded = true; // a parity block substitutes for data
+            }
+            let plan = DecodePlan::for_nodes(code.linear(), &roles)
+                .map_err(|_| unreadable(name, stripe))?;
+            let mut blocks: Vec<Vec<u8>> = Vec::with_capacity(k);
+            for &role in &roles {
+                let request = Request::GetBlock {
+                    id: block_id(name, stripe, role),
+                };
+                match self.call(row[role], &request) {
+                    Ok(Response::Data(bytes)) => blocks.push(bytes),
+                    Ok(_) | Err(ClusterError::NodeDown { .. }) => {
+                        excluded.push(role);
+                        *degraded = true;
+                        continue 'replan;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let refs: Vec<&[u8]> = blocks.iter().map(Vec::as_slice).collect();
+            return plan.decode(&refs).map_err(|_| unreadable(name, stripe));
+        }
+    }
+
+    /// Finds and rebuilds every missing block of `name`, executing the
+    /// code's [`erasure::RepairPlan`] over the network: each helper node
+    /// compresses its block locally with the shipped coefficients and
+    /// returns `β/sub` of a block, so MSR-regime repair moves
+    /// `d/(d−k+1)` block-sizes instead of `k`.
+    ///
+    /// The rebuilt block goes back to its original node if that node is
+    /// reachable (e.g. after a quarantined corruption), otherwise to an
+    /// alive node not already hosting a block of the stripe; the
+    /// coordinator's placement is updated either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownFile`] for unknown names and
+    /// [`ClusterError::Unavailable`] when fewer than `d` helpers or no
+    /// target node can be found for some block.
+    pub fn repair_file(&mut self, name: &str) -> Result<RepairReport, ClusterError> {
+        let fp = self
+            .coord
+            .file(name)
+            .ok_or_else(|| ClusterError::UnknownFile { name: name.into() })?;
+        let code = fp.spec.build()?;
+        let sub = code.linear().sub();
+        let w = fp.block_bytes / sub;
+        let d = code.d();
+        let mut report = RepairReport::default();
+        for (s, row) in fp.nodes.iter().enumerate() {
+            // Keep a local copy so a block re-homed during this stripe's
+            // repair can serve as a helper for the next one.
+            let mut row = row.clone();
+            // Probe which roles are actually present (node up AND block
+            // stored uncorrupted).
+            let mut present = Vec::new();
+            let mut missing = Vec::new();
+            for (role, &node) in row.iter().enumerate() {
+                let ok = self.coord.is_alive(node)
+                    && matches!(
+                        self.call(
+                            node,
+                            &Request::Stat {
+                                id: block_id(name, s, role)
+                            }
+                        ),
+                        Ok(Response::Data(_))
+                    );
+                if ok {
+                    present.push(role);
+                } else {
+                    missing.push(role);
+                }
+            }
+            for failed in missing {
+                if present.len() < d {
+                    return Err(ClusterError::Unavailable {
+                        reason: format!(
+                            "stripe {s} of {name:?}: repair needs {d} helpers, {} present",
+                            present.len()
+                        ),
+                    });
+                }
+                let helpers: Vec<usize> = present.iter().copied().take(d).collect();
+                let plan = code.repair_plan(failed, &helpers)?;
+                let mut payloads = Vec::with_capacity(plan.helpers.len());
+                for task in &plan.helpers {
+                    let beta = task.beta();
+                    let mut coeffs = Vec::with_capacity(beta * sub);
+                    for r in 0..beta {
+                        for c in 0..sub {
+                            coeffs.push(task.coeffs.get(r, c).value());
+                        }
+                    }
+                    let rx_before = self.rx_bytes;
+                    let request = Request::RepairRead {
+                        id: block_id(name, s, task.node),
+                        rows: beta as u32,
+                        cols: sub as u32,
+                        coeffs,
+                    };
+                    let payload = match self.call(row[task.node], &request)? {
+                        Response::Data(bytes) if bytes.len() == beta * w => bytes,
+                        Response::Error(message) => return Err(ClusterError::Remote { message }),
+                        other => {
+                            return Err(ClusterError::Protocol {
+                                reason: format!("unexpected RepairRead reply: {other:?}"),
+                            });
+                        }
+                    };
+                    report.helper_payload_bytes += payload.len() as u64;
+                    report.wire_bytes += self.rx_bytes - rx_before;
+                    payloads.push(payload);
+                }
+                let rebuilt = plan.combine_payloads(&payloads)?;
+                let target = if self.coord.is_alive(row[failed]) {
+                    row[failed]
+                } else {
+                    self.coord
+                        .alive_nodes()
+                        .into_iter()
+                        .find(|node| !row.contains(node))
+                        .ok_or_else(|| ClusterError::Unavailable {
+                            reason: format!(
+                                "stripe {s} of {name:?}: no spare node for block {failed}"
+                            ),
+                        })?
+                };
+                match self.call(
+                    target,
+                    &Request::PutBlock {
+                        id: block_id(name, s, failed),
+                        data: rebuilt,
+                    },
+                )? {
+                    Response::Done => {}
+                    other => {
+                        return Err(ClusterError::Protocol {
+                            reason: format!("unexpected PutBlock reply: {other:?}"),
+                        });
+                    }
+                }
+                self.coord.set_block_node(name, s, failed, target);
+                row[failed] = target;
+                present.push(failed);
+                report.blocks_repaired += 1;
+            }
+        }
+        if telemetry::ENABLED {
+            REPAIR_BLOCKS.add(report.blocks_repaired as u64);
+            REPAIR_WIRE.add(report.wire_bytes);
+        }
+        Ok(report)
+    }
+}
+
+fn block_id(name: &str, stripe: usize, role: usize) -> BlockId {
+    BlockId {
+        file: name.to_string(),
+        stripe: stripe as u32,
+        block: role as u32,
+    }
+}
+
+fn unreadable(name: &str, stripe: usize) -> ClusterError {
+    ClusterError::Unavailable {
+        reason: format!("stripe {stripe} of {name:?} has too few reachable blocks"),
+    }
+}

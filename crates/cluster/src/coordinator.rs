@@ -1,0 +1,479 @@
+//! The coordinator: node registry, heartbeats, and file → stripe → block
+//! → node placement.
+//!
+//! Mirrors the namenode of the paper's Hadoop testbed, but against *live*
+//! TCP datanodes: nodes register on startup and heartbeat periodically;
+//! placement reuses [`dfs::Placement`] (random or rack-aware) against the
+//! currently-alive node set. The client consults the coordinator for
+//! addresses and placement and reports nodes it finds unreachable, which
+//! is how a mid-read failure becomes a degraded read on the next plan.
+//!
+//! The whole cluster state serializes to a small `key=value` *manifest*
+//! (same idiom as `filestore::format`'s `meta` file) so the
+//! `carousel-tool` CLI can run `put`/`get`/`repair` against datanodes
+//! spawned as separate processes.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dfs::Placement;
+use filestore::format::CodeSpec;
+use rand::Rng;
+
+use crate::error::ClusterError;
+
+/// One registered datanode.
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    /// The node's cluster-wide id.
+    pub id: usize,
+    /// Where its datanode server listens.
+    pub addr: SocketAddr,
+    /// Whether the coordinator currently believes the node is up.
+    pub alive: bool,
+}
+
+#[derive(Debug, Clone)]
+struct NodeEntry {
+    info: NodeInfo,
+    last_seen: Instant,
+}
+
+/// Placement of one file: which node holds each block of each stripe.
+#[derive(Debug, Clone)]
+pub struct FilePlacement {
+    /// File name (the key for reads and repair).
+    pub name: String,
+    /// The erasure code protecting the file.
+    pub spec: CodeSpec,
+    /// Original file length in bytes.
+    pub file_len: u64,
+    /// Bytes per encoded block.
+    pub block_bytes: usize,
+    /// Number of stripes.
+    pub stripes: usize,
+    /// `nodes[stripe][block-role]` → node id.
+    pub nodes: Vec<Vec<usize>>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    nodes: BTreeMap<usize, NodeEntry>,
+    files: BTreeMap<String, FilePlacement>,
+}
+
+/// The cluster's metadata service. Cheap to share: all methods take
+/// `&self` behind an internal lock, so an `Arc<Coordinator>` serves the
+/// client, the datanodes' heartbeat threads, and tests concurrently.
+#[derive(Debug, Default)]
+pub struct Coordinator {
+    state: Mutex<State>,
+}
+
+impl Coordinator {
+    /// Creates an empty coordinator.
+    pub fn new() -> Self {
+        Coordinator::default()
+    }
+
+    /// Registers (or re-registers) a datanode, marking it alive.
+    pub fn register(&self, id: usize, addr: SocketAddr) {
+        let mut st = self.state.lock().expect("coordinator lock");
+        st.nodes.insert(
+            id,
+            NodeEntry {
+                info: NodeInfo {
+                    id,
+                    addr,
+                    alive: true,
+                },
+                last_seen: Instant::now(),
+            },
+        );
+    }
+
+    /// Records a heartbeat from a node, reviving it if it was marked dead.
+    pub fn heartbeat(&self, id: usize) {
+        let mut st = self.state.lock().expect("coordinator lock");
+        if let Some(entry) = st.nodes.get_mut(&id) {
+            entry.last_seen = Instant::now();
+            entry.info.alive = true;
+        }
+    }
+
+    /// Marks a node dead (reported by a client that failed to reach it, or
+    /// by [`Coordinator::expire_stale`]).
+    pub fn mark_dead(&self, id: usize) {
+        let mut st = self.state.lock().expect("coordinator lock");
+        if let Some(entry) = st.nodes.get_mut(&id) {
+            entry.info.alive = false;
+        }
+    }
+
+    /// Marks dead every alive node whose last heartbeat is older than
+    /// `ttl`, returning the ids it expired.
+    pub fn expire_stale(&self, ttl: Duration) -> Vec<usize> {
+        let mut st = self.state.lock().expect("coordinator lock");
+        let now = Instant::now();
+        let mut expired = Vec::new();
+        for entry in st.nodes.values_mut() {
+            if entry.info.alive && now.duration_since(entry.last_seen) > ttl {
+                entry.info.alive = false;
+                expired.push(entry.info.id);
+            }
+        }
+        expired
+    }
+
+    /// Whether the coordinator currently believes `id` is alive.
+    pub fn is_alive(&self, id: usize) -> bool {
+        let st = self.state.lock().expect("coordinator lock");
+        st.nodes.get(&id).is_some_and(|e| e.info.alive)
+    }
+
+    /// A node's address, if registered.
+    pub fn node_addr(&self, id: usize) -> Option<SocketAddr> {
+        let st = self.state.lock().expect("coordinator lock");
+        st.nodes.get(&id).map(|e| e.info.addr)
+    }
+
+    /// Snapshot of every registered node.
+    pub fn nodes(&self) -> Vec<NodeInfo> {
+        let st = self.state.lock().expect("coordinator lock");
+        st.nodes.values().map(|e| e.info.clone()).collect()
+    }
+
+    /// Ids of the currently-alive nodes, ascending.
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        let st = self.state.lock().expect("coordinator lock");
+        st.nodes
+            .values()
+            .filter(|e| e.info.alive)
+            .map(|e| e.info.id)
+            .collect()
+    }
+
+    /// Places a new file across the alive nodes with the given
+    /// [`Placement`] policy and records it. Every stripe gets `n` distinct
+    /// nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Unavailable`] with fewer alive nodes than
+    /// blocks per stripe, and [`ClusterError::Protocol`] when the name is
+    /// already taken.
+    #[allow(clippy::too_many_arguments)]
+    pub fn place_file(
+        &self,
+        name: &str,
+        spec: CodeSpec,
+        file_len: u64,
+        block_bytes: usize,
+        stripes: usize,
+        placement: Placement,
+        rng: &mut impl Rng,
+    ) -> Result<FilePlacement, ClusterError> {
+        let n = match spec {
+            CodeSpec::Rs { n, .. }
+            | CodeSpec::Carousel { n, .. }
+            | CodeSpec::Msr { n, .. }
+            | CodeSpec::Mbr { n, .. } => n,
+        };
+        let alive = self.alive_nodes();
+        if alive.len() < n {
+            return Err(ClusterError::Unavailable {
+                reason: format!(
+                    "placing {n}-wide stripes needs {n} alive nodes, have {}",
+                    alive.len()
+                ),
+            });
+        }
+        let mut st = self.state.lock().expect("coordinator lock");
+        if st.files.contains_key(name) {
+            return Err(ClusterError::Protocol {
+                reason: format!("file {name:?} already exists"),
+            });
+        }
+        let nodes = (0..stripes)
+            .map(|_| {
+                placement
+                    .place(alive.len(), n, rng)
+                    .into_iter()
+                    .map(|slot| alive[slot])
+                    .collect()
+            })
+            .collect();
+        let fp = FilePlacement {
+            name: name.to_string(),
+            spec,
+            file_len,
+            block_bytes,
+            stripes,
+            nodes,
+        };
+        st.files.insert(name.to_string(), fp.clone());
+        Ok(fp)
+    }
+
+    /// Looks up a file's placement.
+    pub fn file(&self, name: &str) -> Option<FilePlacement> {
+        let st = self.state.lock().expect("coordinator lock");
+        st.files.get(name).cloned()
+    }
+
+    /// Names of all placed files, ascending.
+    pub fn files(&self) -> Vec<String> {
+        let st = self.state.lock().expect("coordinator lock");
+        st.files.keys().cloned().collect()
+    }
+
+    /// Re-homes one block after repair wrote it to a different node.
+    pub fn set_block_node(&self, name: &str, stripe: usize, role: usize, node: usize) {
+        let mut st = self.state.lock().expect("coordinator lock");
+        if let Some(fp) = st.files.get_mut(name) {
+            if let Some(row) = fp.nodes.get_mut(stripe) {
+                if let Some(slot) = row.get_mut(role) {
+                    *slot = node;
+                }
+            }
+        }
+    }
+
+    /// Serializes nodes and file placements to a manifest file — the
+    /// `key=value` format documented in `docs/CLUSTER.md`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save_manifest(&self, path: &Path) -> Result<(), ClusterError> {
+        let st = self.state.lock().expect("coordinator lock");
+        let mut text = String::from("format=carousel-cluster-v1\n");
+        for entry in st.nodes.values() {
+            text.push_str(&format!("node_{}={}\n", entry.info.id, entry.info.addr));
+        }
+        for (i, fp) in st.files.values().enumerate() {
+            text.push_str(&format!("file_{i}={}\n", fp.name));
+            text.push_str(&format!("code_{i}={}\n", fp.spec));
+            text.push_str(&format!("len_{i}={}\n", fp.file_len));
+            text.push_str(&format!("block_bytes_{i}={}\n", fp.block_bytes));
+            text.push_str(&format!("stripes_{i}={}\n", fp.stripes));
+            for (s, row) in fp.nodes.iter().enumerate() {
+                let ids: Vec<String> = row.iter().map(|n| n.to_string()).collect();
+                text.push_str(&format!("place_{i}_{s}={}\n", ids.join(",")));
+            }
+        }
+        std::fs::write(path, text)?;
+        Ok(())
+    }
+
+    /// Loads a coordinator from a manifest written by
+    /// [`Coordinator::save_manifest`]. All listed nodes start out alive;
+    /// the client discovers and reports dead ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Protocol`] on malformed manifests and
+    /// [`ClusterError::Io`] on filesystem failures.
+    pub fn load_manifest(path: &Path) -> Result<Self, ClusterError> {
+        let text = std::fs::read_to_string(path)?;
+        let bad = |why: String| ClusterError::Protocol {
+            reason: format!("manifest {}: {why}", path.display()),
+        };
+        let mut kv = BTreeMap::new();
+        for line in text.lines() {
+            if let Some((key, value)) = line.split_once('=') {
+                kv.insert(key.trim().to_string(), value.trim().to_string());
+            }
+        }
+        if kv.get("format").map(String::as_str) != Some("carousel-cluster-v1") {
+            return Err(bad("missing or unsupported format line".into()));
+        }
+        let coord = Coordinator::new();
+        for (key, value) in &kv {
+            if let Some(id) = key.strip_prefix("node_") {
+                let id: usize = id.parse().map_err(|_| bad(format!("bad node key {key}")))?;
+                let addr: SocketAddr = value
+                    .parse()
+                    .map_err(|_| bad(format!("bad address {value:?}")))?;
+                coord.register(id, addr);
+            }
+        }
+        let mut i = 0usize;
+        while let Some(name) = kv.get(&format!("file_{i}")) {
+            let field = |suffix: &str| {
+                kv.get(&format!("{suffix}_{i}"))
+                    .ok_or_else(|| bad(format!("missing {suffix}_{i}")))
+            };
+            let spec = CodeSpec::parse(field("code")?).map_err(|e| bad(e.to_string()))?;
+            let file_len: u64 = field("len")?
+                .parse()
+                .map_err(|_| bad(format!("bad len_{i}")))?;
+            let block_bytes: usize = field("block_bytes")?
+                .parse()
+                .map_err(|_| bad(format!("bad block_bytes_{i}")))?;
+            let stripes: usize = field("stripes")?
+                .parse()
+                .map_err(|_| bad(format!("bad stripes_{i}")))?;
+            let mut nodes = Vec::with_capacity(stripes);
+            for s in 0..stripes {
+                let row = kv
+                    .get(&format!("place_{i}_{s}"))
+                    .ok_or_else(|| bad(format!("missing place_{i}_{s}")))?;
+                let row: Vec<usize> = row
+                    .split(',')
+                    .map(|v| v.trim().parse())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| bad(format!("bad place_{i}_{s}")))?;
+                nodes.push(row);
+            }
+            let fp = FilePlacement {
+                name: name.clone(),
+                spec,
+                file_len,
+                block_bytes,
+                stripes,
+                nodes,
+            };
+            coord
+                .state
+                .lock()
+                .expect("coordinator lock")
+                .files
+                .insert(name.clone(), fp);
+            i += 1;
+        }
+        Ok(coord)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn registration_liveness_and_expiry() {
+        let c = Coordinator::new();
+        c.register(0, addr(9000));
+        c.register(1, addr(9001));
+        assert!(c.is_alive(0) && c.is_alive(1));
+        c.mark_dead(1);
+        assert_eq!(c.alive_nodes(), vec![0]);
+        c.heartbeat(1); // heartbeat revives
+        assert_eq!(c.alive_nodes(), vec![0, 1]);
+        // Nothing is stale yet with a generous TTL…
+        assert!(c.expire_stale(Duration::from_secs(60)).is_empty());
+        // …but a zero TTL expires everything.
+        let expired = c.expire_stale(Duration::from_nanos(0));
+        assert_eq!(expired, vec![0, 1]);
+        assert!(c.alive_nodes().is_empty());
+    }
+
+    #[test]
+    fn placement_uses_distinct_alive_nodes() {
+        let c = Coordinator::new();
+        for i in 0..6 {
+            c.register(i, addr(9100 + i as u16));
+        }
+        c.mark_dead(2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let fp = c
+            .place_file(
+                "f",
+                CodeSpec::Rs { n: 5, k: 3 },
+                1000,
+                100,
+                4,
+                Placement::Random,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(fp.nodes.len(), 4);
+        for row in &fp.nodes {
+            assert_eq!(row.len(), 5);
+            let mut sorted = row.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "nodes distinct within a stripe");
+            assert!(!row.contains(&2), "dead node not placed on");
+        }
+        // Too-wide stripes and duplicate names are rejected.
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(matches!(
+            c.place_file(
+                "g",
+                CodeSpec::Rs { n: 6, k: 3 },
+                1,
+                1,
+                1,
+                Placement::Random,
+                &mut rng
+            ),
+            Err(ClusterError::Unavailable { .. })
+        ));
+        assert!(c
+            .place_file(
+                "f",
+                CodeSpec::Rs { n: 2, k: 1 },
+                1,
+                1,
+                1,
+                Placement::Random,
+                &mut rng
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let c = Coordinator::new();
+        for i in 0..4 {
+            c.register(i, addr(9200 + i as u16));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        c.place_file(
+            "data.bin",
+            CodeSpec::Carousel {
+                n: 4,
+                k: 2,
+                d: 2,
+                p: 4,
+            },
+            5000,
+            300,
+            3,
+            Placement::Random,
+            &mut rng,
+        )
+        .unwrap();
+        let path =
+            std::env::temp_dir().join(format!("cluster-manifest-{}.txt", std::process::id()));
+        c.save_manifest(&path).unwrap();
+        let loaded = Coordinator::load_manifest(&path).unwrap();
+        assert_eq!(loaded.nodes().len(), 4);
+        assert_eq!(loaded.node_addr(3), Some(addr(9203)));
+        let fp = loaded.file("data.bin").unwrap();
+        assert_eq!(fp.file_len, 5000);
+        assert_eq!(fp.block_bytes, 300);
+        assert_eq!(fp.nodes, c.file("data.bin").unwrap().nodes);
+        assert_eq!(
+            fp.spec,
+            CodeSpec::Carousel {
+                n: 4,
+                k: 2,
+                d: 2,
+                p: 4
+            }
+        );
+        let _ = std::fs::remove_file(&path);
+        assert!(Coordinator::load_manifest(Path::new("/nonexistent/x")).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! **carousel-cluster** — a real networked storage cluster serving
+//! Carousel-coded blocks over TCP.
+//!
+//! Everything else in this repository measures the paper's claims in
+//! simulation or in-process; this crate executes them across sockets:
+//!
+//! * [`protocol`] — a length-prefixed, checksummed binary wire protocol
+//!   (pure encode/decode, testable without a network);
+//! * [`DataNode`] — a multi-threaded block server over a CRC-trailed
+//!   [`BlockStore`], including the *helper side* of MSR repair:
+//!   [`protocol::Request::RepairRead`] ships the `β × sub` coefficient
+//!   matrix and the node returns only `β/sub` of its block;
+//! * [`Coordinator`] — the namenode analogue: registrations,
+//!   heartbeats, and file → stripe → block → node placement via
+//!   [`dfs::Placement`], serializable to a small manifest;
+//! * [`ClusterClient`] — the paper's three read paths (direct `p`-way
+//!   parallel, degraded with mid-read replanning, generic `k`-block
+//!   fallback) plus optimal-traffic repair, with every wire byte
+//!   counted.
+//!
+//! The crate is std-only, like the rest of the workspace. The
+//! [`testing::LocalCluster`] harness spins up `n` real datanodes on
+//! loopback ports for integration tests and the `ext_cluster`
+//! experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use cluster::testing::LocalCluster;
+//! use dfs::Placement;
+//! use filestore::format::CodeSpec;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut cluster = LocalCluster::start(6)?;
+//! let mut client = cluster.client();
+//! let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+//! let spec = CodeSpec::Carousel { n: 6, k: 3, d: 3, p: 6 };
+//! let mut rng = StdRng::seed_from_u64(42);
+//! client.put_file("demo", &data, spec, 120, 2, Placement::Random, &mut rng)?;
+//! assert_eq!(client.get_file("demo")?, data);
+//! // Kill a node silently: the client degrades mid-read and still
+//! // returns identical bytes.
+//! cluster.kill(2);
+//! assert_eq!(client.get_file("demo")?, data);
+//! # Ok::<(), cluster::ClusterError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod coordinator;
+mod datanode;
+mod error;
+pub mod protocol;
+mod store;
+pub mod testing;
+
+pub use client::{ClusterClient, RepairReport};
+pub use coordinator::{Coordinator, FilePlacement, NodeInfo};
+pub use datanode::{serve_forever, DataNode, DataNodeConfig};
+pub use error::ClusterError;
+pub use protocol::{BlockId, Request, Response};
+pub use store::BlockStore;
+pub use testing::LocalCluster;

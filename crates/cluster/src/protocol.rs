@@ -1,0 +1,740 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "CRSL"
+//! 4       1     version (currently 1)
+//! 5       4     payload length `len`, little-endian (1 ..= MAX_PAYLOAD)
+//! 9       len   payload: tag byte + body
+//! 9+len   4     CRC-32 (IEEE) of the payload, little-endian
+//! ```
+//!
+//! The tag byte lives *inside* the checksummed payload, so a flipped tag
+//! cannot silently turn one valid message into another. Integers are
+//! little-endian; strings are length-prefixed UTF-8. Encode and decode are
+//! pure functions over byte slices ([`Request::encode`] /
+//! [`Request::decode`]) with thin [`std::io`] adapters for sockets
+//! ([`write_request`] / [`read_request`]); the property tests exercise the
+//! pure layer without ever opening a socket.
+
+use std::io::{Read, Write};
+
+use filestore::checksum::crc32;
+
+use crate::error::ClusterError;
+
+/// Leading frame bytes identifying this protocol.
+pub const MAGIC: [u8; 4] = *b"CRSL";
+/// Current protocol version; bumped on any incompatible layout change.
+pub const VERSION: u8 = 1;
+/// Upper bound on a payload, rejecting absurd length prefixes before
+/// allocation (a 256 MiB block is far beyond anything this workspace
+/// stripes).
+pub const MAX_PAYLOAD: usize = 256 << 20;
+/// Fixed per-frame cost: magic + version + length + trailing CRC.
+pub const FRAME_OVERHEAD: usize = 4 + 1 + 4 + 4;
+
+/// Bytes a payload of `payload_len` occupies on the wire.
+pub fn frame_bytes(payload_len: usize) -> usize {
+    payload_len + FRAME_OVERHEAD
+}
+
+// Request tags (0x01..) and response tags (0x81..) share the payload's
+// first byte; the two decoders each reject the other family.
+const TAG_PING: u8 = 0x01;
+const TAG_PUT_BLOCK: u8 = 0x02;
+const TAG_GET_BLOCK: u8 = 0x03;
+const TAG_GET_UNITS: u8 = 0x04;
+const TAG_REPAIR_READ: u8 = 0x05;
+const TAG_STAT: u8 = 0x06;
+const TAG_PONG: u8 = 0x81;
+const TAG_DONE: u8 = 0x82;
+const TAG_DATA: u8 = 0x83;
+const TAG_ERROR: u8 = 0xEE;
+
+/// Addresses one stored block: `(file, stripe, block-in-stripe)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BlockId {
+    /// File name (no path separators; at most 255 bytes).
+    pub file: String,
+    /// Stripe index within the file.
+    pub stripe: u32,
+    /// Block index within the stripe.
+    pub block: u32,
+}
+
+impl BlockId {
+    /// Validates the file-name component: non-empty, at most 255 bytes,
+    /// and free of path separators, NUL, and dot-dot — a `BlockId` becomes
+    /// part of an on-disk file name on the datanode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Protocol`] describing the violation.
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        let f = &self.file;
+        let bad = |why: &str| {
+            Err(ClusterError::Protocol {
+                reason: format!("bad file name {f:?}: {why}"),
+            })
+        };
+        if f.is_empty() {
+            return bad("empty");
+        }
+        if f.len() > 255 {
+            return bad("longer than 255 bytes");
+        }
+        if f.contains(['/', '\\', '\0']) {
+            return bad("contains a path separator or NUL");
+        }
+        if f == "." || f == ".." {
+            return bad("reserved");
+        }
+        Ok(())
+    }
+}
+
+/// A client → datanode message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Store a block (overwrites); answered with [`Response::Done`].
+    PutBlock {
+        /// Which block to store.
+        id: BlockId,
+        /// The block bytes.
+        data: Vec<u8>,
+    },
+    /// Fetch a whole block; answered with [`Response::Data`].
+    GetBlock {
+        /// Which block.
+        id: BlockId,
+    },
+    /// Fetch selected stored units of a block — the parallel-read
+    /// primitive: with unit width `w = block_len / sub`, the response
+    /// carries `units.len() · w` bytes in request order.
+    GetUnits {
+        /// Which block.
+        id: BlockId,
+        /// Units per block of the file's code; the datanode derives the
+        /// unit width from it.
+        sub: u32,
+        /// Stored unit indices (`< sub`), in the order wanted back.
+        units: Vec<u32>,
+    },
+    /// Helper-side repair read: the datanode multiplies its block by the
+    /// shipped `rows × cols` GF(256) matrix and returns the compressed
+    /// `rows · w`-byte payload — this is what realizes the MSR
+    /// `d/(d−k+1)` repair-bandwidth saving *on the wire*.
+    RepairRead {
+        /// Which block to compress.
+        id: BlockId,
+        /// Matrix rows (`β`, units sent back).
+        rows: u32,
+        /// Matrix columns (must equal the code's `sub`).
+        cols: u32,
+        /// Row-major GF(256) coefficients, `rows · cols` bytes.
+        coeffs: Vec<u8>,
+    },
+    /// Presence probe for one block; answered with [`Response::Data`]
+    /// holding `len (u32) ++ crc32 (u32)`, or [`Response::Error`] when
+    /// absent.
+    Stat {
+        /// Which block.
+        id: BlockId,
+    },
+}
+
+/// A datanode → client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Success without a payload.
+    Done,
+    /// Success with a payload (block bytes, unit bytes, repair payload, or
+    /// stat summary).
+    Data(Vec<u8>),
+    /// Failure, with a human-readable reason.
+    Error(String),
+}
+
+// ---------------------------------------------------------------------
+// Payload primitives.
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn put_block_id(out: &mut Vec<u8>, id: &BlockId) {
+    put_str(out, &id.file);
+    put_u32(out, id.stripe);
+    put_u32(out, id.block);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn err<T>(&self, why: &str) -> Result<T, ClusterError> {
+        Err(ClusterError::Protocol {
+            reason: format!("{why} at payload offset {}", self.pos),
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ClusterError> {
+        if self.buf.len() - self.pos < n {
+            return self.err("truncated field");
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ClusterError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ClusterError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ClusterError> {
+        let len = self.u32()? as usize;
+        if len > MAX_PAYLOAD {
+            return self.err("oversized byte field");
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn str(&mut self) -> Result<String, ClusterError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw).or_else(|_| self.err("invalid UTF-8 string"))
+    }
+
+    fn block_id(&mut self) -> Result<BlockId, ClusterError> {
+        let id = BlockId {
+            file: self.str()?,
+            stripe: self.u32()?,
+            block: self.u32()?,
+        };
+        id.validate()?;
+        Ok(id)
+    }
+
+    fn finish(&self) -> Result<(), ClusterError> {
+        if self.pos != self.buf.len() {
+            return self.err("trailing bytes after message");
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+// ---------------------------------------------------------------------
+
+/// Wraps a payload (tag + body) into a complete frame.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(!payload.is_empty() && payload.len() <= MAX_PAYLOAD);
+    let mut out = Vec::with_capacity(frame_bytes(payload.len()));
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(payload);
+    put_u32(&mut out, crc32(payload));
+    out
+}
+
+/// Unwraps exactly one frame from `buf`, checking magic, version, length,
+/// CRC, and that nothing trails the frame. Returns the payload slice.
+fn deframe(buf: &[u8]) -> Result<&[u8], ClusterError> {
+    let err = |reason: String| Err(ClusterError::Protocol { reason });
+    if buf.len() < FRAME_OVERHEAD + 1 {
+        return err(format!("frame of {} bytes is too short", buf.len()));
+    }
+    if buf[..4] != MAGIC {
+        return err("bad magic".into());
+    }
+    if buf[4] != VERSION {
+        return err(format!("unsupported protocol version {}", buf[4]));
+    }
+    let len = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]) as usize;
+    if len == 0 || len > MAX_PAYLOAD {
+        return err(format!("bad payload length {len}"));
+    }
+    if buf.len() != FRAME_OVERHEAD + len {
+        return err(format!(
+            "frame length {} does not match header ({})",
+            buf.len(),
+            FRAME_OVERHEAD + len
+        ));
+    }
+    let payload = &buf[9..9 + len];
+    let crc = u32::from_le_bytes([buf[9 + len], buf[10 + len], buf[11 + len], buf[12 + len]]);
+    if crc32(payload) != crc {
+        return err("payload CRC mismatch".into());
+    }
+    Ok(payload)
+}
+
+/// Reads one frame's payload from a stream. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary (the peer closed the connection).
+fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ClusterError> {
+    let mut header = [0u8; 9];
+    // Read the first byte separately to distinguish clean EOF from a
+    // truncated frame.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    header[0] = first[0];
+    r.read_exact(&mut header[1..])?;
+    if header[..4] != MAGIC {
+        return Err(ClusterError::Protocol {
+            reason: "bad magic".into(),
+        });
+    }
+    if header[4] != VERSION {
+        return Err(ClusterError::Protocol {
+            reason: format!("unsupported protocol version {}", header[4]),
+        });
+    }
+    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+    if len == 0 || len > MAX_PAYLOAD {
+        return Err(ClusterError::Protocol {
+            reason: format!("bad payload length {len}"),
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut crc = [0u8; 4];
+    r.read_exact(&mut crc)?;
+    if crc32(&payload) != u32::from_le_bytes(crc) {
+        return Err(ClusterError::Protocol {
+            reason: "payload CRC mismatch".into(),
+        });
+    }
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------
+
+impl Request {
+    /// Encodes this request as one complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Request::Ping => p.push(TAG_PING),
+            Request::PutBlock { id, data } => {
+                p.push(TAG_PUT_BLOCK);
+                put_block_id(&mut p, id);
+                put_bytes(&mut p, data);
+            }
+            Request::GetBlock { id } => {
+                p.push(TAG_GET_BLOCK);
+                put_block_id(&mut p, id);
+            }
+            Request::GetUnits { id, sub, units } => {
+                p.push(TAG_GET_UNITS);
+                put_block_id(&mut p, id);
+                put_u32(&mut p, *sub);
+                put_u32(&mut p, units.len() as u32);
+                for &u in units {
+                    put_u32(&mut p, u);
+                }
+            }
+            Request::RepairRead {
+                id,
+                rows,
+                cols,
+                coeffs,
+            } => {
+                p.push(TAG_REPAIR_READ);
+                put_block_id(&mut p, id);
+                put_u32(&mut p, *rows);
+                put_u32(&mut p, *cols);
+                put_bytes(&mut p, coeffs);
+            }
+            Request::Stat { id } => {
+                p.push(TAG_STAT);
+                put_block_id(&mut p, id);
+            }
+        }
+        frame(&p)
+    }
+
+    /// Decodes exactly one framed request from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Protocol`] on any framing or payload
+    /// violation: bad magic/version/length/CRC, truncation, unknown tag,
+    /// trailing bytes, or an invalid field.
+    pub fn decode(buf: &[u8]) -> Result<Self, ClusterError> {
+        Self::from_payload(deframe(buf)?)
+    }
+
+    fn from_payload(payload: &[u8]) -> Result<Self, ClusterError> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            TAG_PING => Request::Ping,
+            TAG_PUT_BLOCK => Request::PutBlock {
+                id: r.block_id()?,
+                data: r.bytes()?,
+            },
+            TAG_GET_BLOCK => Request::GetBlock { id: r.block_id()? },
+            TAG_GET_UNITS => {
+                let id = r.block_id()?;
+                let sub = r.u32()?;
+                let count = r.u32()? as usize;
+                if sub == 0 || count > sub as usize {
+                    return Err(ClusterError::Protocol {
+                        reason: format!("GetUnits wants {count} of sub={sub} units"),
+                    });
+                }
+                let mut units = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let u = r.u32()?;
+                    if u >= sub {
+                        return Err(ClusterError::Protocol {
+                            reason: format!("unit {u} out of range 0..{sub}"),
+                        });
+                    }
+                    units.push(u);
+                }
+                Request::GetUnits { id, sub, units }
+            }
+            TAG_REPAIR_READ => {
+                let id = r.block_id()?;
+                let rows = r.u32()?;
+                let cols = r.u32()?;
+                let coeffs = r.bytes()?;
+                if rows == 0 || cols == 0 || coeffs.len() != rows as usize * cols as usize {
+                    return Err(ClusterError::Protocol {
+                        reason: format!(
+                            "RepairRead matrix {rows}x{cols} with {} coefficient bytes",
+                            coeffs.len()
+                        ),
+                    });
+                }
+                Request::RepairRead {
+                    id,
+                    rows,
+                    cols,
+                    coeffs,
+                }
+            }
+            TAG_STAT => Request::Stat { id: r.block_id()? },
+            tag => {
+                return Err(ClusterError::Protocol {
+                    reason: format!("unknown request tag 0x{tag:02x}"),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// Writes one request to a stream, returning the wire bytes.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<usize, ClusterError> {
+    let bytes = req.encode();
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Reads one request from a stream; `Ok(None)` means the peer closed the
+/// connection cleanly. On success also returns the wire bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Protocol`] on malformed frames and
+/// [`ClusterError::Io`] on socket failures (including read timeouts).
+pub fn read_request(r: &mut impl Read) -> Result<Option<(Request, usize)>, ClusterError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => {
+            let wire = frame_bytes(payload.len());
+            Ok(Some((Request::from_payload(&payload)?, wire)))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Responses.
+// ---------------------------------------------------------------------
+
+impl Response {
+    /// Encodes this response as one complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Response::Pong => p.push(TAG_PONG),
+            Response::Done => p.push(TAG_DONE),
+            Response::Data(data) => {
+                p.push(TAG_DATA);
+                put_bytes(&mut p, data);
+            }
+            Response::Error(msg) => {
+                p.push(TAG_ERROR);
+                put_str(&mut p, msg);
+            }
+        }
+        frame(&p)
+    }
+
+    /// Decodes exactly one framed response from `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Protocol`] on any framing or payload
+    /// violation.
+    pub fn decode(buf: &[u8]) -> Result<Self, ClusterError> {
+        Self::from_payload(deframe(buf)?)
+    }
+
+    fn from_payload(payload: &[u8]) -> Result<Self, ClusterError> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            TAG_PONG => Response::Pong,
+            TAG_DONE => Response::Done,
+            TAG_DATA => Response::Data(r.bytes()?),
+            TAG_ERROR => Response::Error(r.str()?),
+            tag => {
+                return Err(ClusterError::Protocol {
+                    reason: format!("unknown response tag 0x{tag:02x}"),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Writes one response to a stream, returning the wire bytes.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<usize, ClusterError> {
+    let bytes = resp.encode();
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len())
+}
+
+/// Reads one response from a stream; `Ok(None)` means the peer closed the
+/// connection cleanly. On success also returns the wire bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Protocol`] on malformed frames and
+/// [`ClusterError::Io`] on socket failures.
+pub fn read_response(r: &mut impl Read) -> Result<Option<(Response, usize)>, ClusterError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => {
+            let wire = frame_bytes(payload.len());
+            Ok(Some((Response::from_payload(&payload)?, wire)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn id(file: &str, stripe: u32, block: u32) -> BlockId {
+        BlockId {
+            file: file.into(),
+            stripe,
+            block,
+        }
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::PutBlock {
+                id: id("a.bin", 0, 3),
+                data: vec![1, 2, 3, 4, 5],
+            },
+            Request::GetBlock { id: id("f", 7, 0) },
+            Request::GetUnits {
+                id: id("data.enc", 2, 8),
+                sub: 6,
+                units: vec![0, 2, 5],
+            },
+            Request::RepairRead {
+                id: id("x", 1, 1),
+                rows: 2,
+                cols: 3,
+                coeffs: vec![1, 2, 3, 4, 5, 6],
+            },
+            Request::Stat { id: id("s", 0, 0) },
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip_all_variants() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+            // Stream adapters agree with the pure layer.
+            let mut cursor = &bytes[..];
+            let (got, wire) = read_request(&mut cursor).unwrap().unwrap();
+            assert_eq!(got, req);
+            assert_eq!(wire, bytes.len());
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_all_variants() {
+        for resp in [
+            Response::Pong,
+            Response::Done,
+            Response::Data(vec![9u8; 100]),
+            Response::Error("nope".into()),
+        ] {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_mid_frame_eof_is_error() {
+        let mut empty: &[u8] = &[];
+        assert!(read_request(&mut empty).unwrap().is_none());
+        let bytes = Request::Ping.encode();
+        let mut cut = &bytes[..bytes.len() - 1];
+        assert!(read_request(&mut cut).is_err(), "truncated frame");
+    }
+
+    #[test]
+    fn version_and_magic_are_enforced() {
+        let mut bytes = Request::Ping.encode();
+        bytes[4] = 2; // future version
+        match Request::decode(&bytes) {
+            Err(ClusterError::Protocol { reason }) => assert!(reason.contains("version")),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        let mut bytes = Request::Ping.encode();
+        bytes[0] = b'X';
+        assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_fields_rejected() {
+        // Path traversal in the file name.
+        let evil = Request::GetBlock {
+            id: id("../../etc/passwd", 0, 0),
+        };
+        assert!(Request::decode(&evil.encode()).is_err());
+        // Unit index out of range of sub.
+        let bad = Request::GetUnits {
+            id: id("f", 0, 0),
+            sub: 3,
+            units: vec![3],
+        };
+        assert!(Request::decode(&bad.encode()).is_err());
+        // Coefficient count disagreeing with the matrix shape.
+        let bad = Request::RepairRead {
+            id: id("f", 0, 0),
+            rows: 2,
+            cols: 2,
+            coeffs: vec![1, 2, 3],
+        };
+        assert!(Request::decode(&bad.encode()).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_put_block_roundtrips(
+            stripe in 0u32..1000,
+            block in 0u32..256,
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..2048),
+        ) {
+            let req = Request::PutBlock { id: id("prop.bin", stripe, block), data };
+            let bytes = req.encode();
+            prop_assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+
+        #[test]
+        fn prop_data_response_roundtrips(
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..2048),
+        ) {
+            let resp = Response::Data(data);
+            let bytes = resp.encode();
+            prop_assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+
+        #[test]
+        fn prop_truncation_always_rejected(
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..256),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let bytes = Request::PutBlock { id: id("t", 0, 0), data }.encode();
+            // Cut strictly inside the frame: decode must fail, and the
+            // stream reader must not report a clean EOF.
+            let cut = 1 + ((bytes.len() - 2) as f64 * cut_frac) as usize;
+            prop_assert!(Request::decode(&bytes[..cut]).is_err());
+            let mut stream = &bytes[..cut];
+            prop_assert!(read_request(&mut stream).is_err());
+        }
+
+        #[test]
+        fn prop_single_byte_corruption_rejected(
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 1..256),
+            pos_frac in 0.0f64..1.0,
+            flip in 1u8..=255,
+        ) {
+            let req = Request::PutBlock { id: id("c", 3, 1), data };
+            let mut bytes = req.encode();
+            let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+            bytes[pos] ^= flip;
+            // Any single-byte flip lands in the magic/version (explicitly
+            // checked), the length (breaks the frame-size equation), or the
+            // checksummed payload/CRC — never a silently different message.
+            match Request::decode(&bytes) {
+                Err(_) => {}
+                Ok(decoded) => prop_assert_eq!(decoded, req, "corruption changed the message"),
+            }
+        }
+    }
+}

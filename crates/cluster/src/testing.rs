@@ -1,0 +1,129 @@
+//! A loopback cluster harness: `n` real datanodes on ephemeral
+//! `127.0.0.1` ports plus a shared coordinator, all in one process.
+//!
+//! Used by the integration tests and the `ext_cluster` experiment binary.
+//! The crucial knob is the difference between [`LocalCluster::kill`] and
+//! [`LocalCluster::fail`]: `kill` stops a datanode *without telling the
+//! coordinator*, so a client discovers the failure mid-read through a
+//! connection error and must degrade on its own — the scenario the
+//! paper's degraded-read path exists for. `fail` additionally marks the
+//! node dead up front, modeling a failure the namenode already knows
+//! about.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::client::ClusterClient;
+use crate::coordinator::Coordinator;
+use crate::datanode::{DataNode, DataNodeConfig};
+use crate::error::ClusterError;
+
+static HARNESS_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// An in-process cluster of real TCP datanodes.
+#[derive(Debug)]
+pub struct LocalCluster {
+    coordinator: Arc<Coordinator>,
+    nodes: Vec<Option<DataNode>>,
+    roots: Vec<PathBuf>,
+    base: PathBuf,
+}
+
+impl LocalCluster {
+    /// Starts `n` datanodes on ephemeral loopback ports, registered with
+    /// a fresh coordinator. Block stores live under a per-harness temp
+    /// directory removed on drop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and filesystem failures.
+    pub fn start(n: usize) -> Result<Self, ClusterError> {
+        let base = std::env::temp_dir().join(format!(
+            "carousel-cluster-{}-{}",
+            std::process::id(),
+            HARNESS_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base)?;
+        let coordinator = Arc::new(Coordinator::new());
+        let mut nodes = Vec::with_capacity(n);
+        let mut roots = Vec::with_capacity(n);
+        for id in 0..n {
+            let root = base.join(format!("node{id:02}"));
+            let config = DataNodeConfig::new(id, &root).with_coordinator(Arc::clone(&coordinator));
+            nodes.push(Some(DataNode::spawn("127.0.0.1:0", config)?));
+            roots.push(root);
+        }
+        Ok(LocalCluster {
+            coordinator,
+            nodes,
+            roots,
+            base,
+        })
+    }
+
+    /// The shared coordinator.
+    pub fn coordinator(&self) -> Arc<Coordinator> {
+        Arc::clone(&self.coordinator)
+    }
+
+    /// A fresh client with a short timeout suited to loopback tests.
+    pub fn client(&self) -> ClusterClient {
+        ClusterClient::new(self.coordinator()).with_timeout(Duration::from_secs(5))
+    }
+
+    /// Number of node slots (running or not).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the harness has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Stops node `id` **silently**: the coordinator still believes it is
+    /// alive, so the next client touching it discovers the failure
+    /// itself. Idempotent.
+    pub fn kill(&mut self, id: usize) {
+        if let Some(node) = self.nodes[id].take() {
+            node.shutdown();
+        }
+    }
+
+    /// Stops node `id` and reports it dead to the coordinator — a known
+    /// failure rather than a surprise.
+    pub fn fail(&mut self, id: usize) {
+        self.kill(id);
+        self.coordinator.mark_dead(id);
+    }
+
+    /// Restarts node `id` on a fresh ephemeral port, re-registering it.
+    /// With `wipe`, its block store is emptied first — a replacement
+    /// machine rather than a reboot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and filesystem failures.
+    pub fn restart(&mut self, id: usize, wipe: bool) -> Result<(), ClusterError> {
+        self.kill(id);
+        if wipe {
+            let _ = std::fs::remove_dir_all(&self.roots[id]);
+        }
+        let config = DataNodeConfig::new(id, &self.roots[id])
+            .with_coordinator(Arc::clone(&self.coordinator));
+        self.nodes[id] = Some(DataNode::spawn("127.0.0.1:0", config)?);
+        Ok(())
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        for node in self.nodes.iter_mut().filter_map(Option::take) {
+            node.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&self.base);
+    }
+}

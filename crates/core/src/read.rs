@@ -73,6 +73,27 @@ impl ReadPlan {
         self.traffic_units() as f64 / self.sub as f64
     }
 
+    /// The exact `(node, stored unit)` pairs this plan reads, in the order
+    /// [`ReadPlan::decode_units`] expects their payloads. A networked
+    /// reader uses this to fetch *only* the needed units from each server
+    /// instead of whole blocks.
+    pub fn sources(&self) -> &[(usize, usize)] {
+        self.plan.sources()
+    }
+
+    /// Decodes from pre-fetched unit payloads, one `w`-byte slice per
+    /// [`ReadPlan::sources`] entry in the same order — the remote
+    /// counterpart of [`ReadPlan::execute`], for callers that fetched units
+    /// over the network rather than holding whole blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InsufficientData`] on a count mismatch and
+    /// size-mismatch errors for ragged slices.
+    pub fn decode_units(&self, units: &[&[u8]]) -> Result<Vec<u8>, CodeError> {
+        self.plan.decode_units(units)
+    }
+
     /// Executes the plan against per-node blocks (`None` = unavailable).
     ///
     /// Returns the full (padded) file bytes.

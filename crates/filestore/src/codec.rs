@@ -226,6 +226,31 @@ impl<C: ErasureCode> EncodedFile<C> {
             .collect()
     }
 
+    /// Decodes one stripe by index, labeling failures with that stripe —
+    /// the unit of work for per-stripe parallel decode
+    /// (`workloads::parallel`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileError::StripeUnrecoverable`] with fewer than `k` live
+    /// blocks and [`FileError::BadGeometry`] for an out-of-range index.
+    pub fn decode_stripe_at(&self, stripe: usize) -> Result<Vec<u8>, FileError> {
+        let blocks = self
+            .stripes
+            .get(stripe)
+            .ok_or_else(|| FileError::BadGeometry {
+                reason: format!("stripe {stripe} out of range 0..{}", self.stripes.len()),
+            })?;
+        self.codec.decode_stripe(blocks).map_err(|e| match e {
+            FileError::StripeUnrecoverable { live, needed, .. } => FileError::StripeUnrecoverable {
+                stripe,
+                live,
+                needed,
+            },
+            other => other,
+        })
+    }
+
     /// Decodes the entire file.
     ///
     /// # Errors
@@ -234,18 +259,8 @@ impl<C: ErasureCode> EncodedFile<C> {
     /// with fewer than `k` live blocks.
     pub fn decode(&self) -> Result<Vec<u8>, FileError> {
         let mut out = Vec::with_capacity(self.meta.file_len as usize);
-        for (s, blocks) in self.stripes.iter().enumerate() {
-            let data = self.codec.decode_stripe(blocks).map_err(|e| match e {
-                FileError::StripeUnrecoverable { live, needed, .. } => {
-                    FileError::StripeUnrecoverable {
-                        stripe: s,
-                        live,
-                        needed,
-                    }
-                }
-                other => other,
-            })?;
-            out.extend_from_slice(&data);
+        for s in 0..self.stripes.len() {
+            out.extend_from_slice(&self.decode_stripe_at(s)?);
         }
         out.truncate(self.meta.file_len as usize);
         Ok(out)

@@ -105,18 +105,15 @@ impl LocalRepairable {
         self.g
     }
 
-    /// The group index of a data block or local parity.
-    ///
-    /// # Panics
-    ///
-    /// Panics for global-parity roles.
-    pub fn group_of(&self, block: usize) -> usize {
+    /// The group index of a data block or local parity, or `None` for a
+    /// global parity (globals belong to no local group).
+    pub fn group_of(&self, block: usize) -> Option<usize> {
         if block < self.k {
-            block / self.group_size()
+            Some(block / self.group_size())
         } else if block < self.k + self.l {
-            block - self.k
+            Some(block - self.k)
         } else {
-            panic!("block {block} is a global parity and belongs to no group")
+            None
         }
     }
 
@@ -221,6 +218,20 @@ mod tests {
         let data: Vec<u8> = (0..code.k() * reps).map(|i| (i * 23 + 9) as u8).collect();
         let s = code.linear().encode(&data).unwrap();
         (data, s)
+    }
+
+    #[test]
+    fn group_of_maps_roles_and_rejects_globals() {
+        // (k=6, l=2, g=2): data 0..6 in two groups of 3, locals 6..8,
+        // globals 8..10.
+        let code = LocalRepairable::new(6, 2, 2).unwrap();
+        assert_eq!(code.group_of(0), Some(0));
+        assert_eq!(code.group_of(2), Some(0));
+        assert_eq!(code.group_of(3), Some(1));
+        assert_eq!(code.group_of(6), Some(0), "local parity of group 0");
+        assert_eq!(code.group_of(7), Some(1));
+        assert_eq!(code.group_of(8), None, "global parity has no group");
+        assert_eq!(code.group_of(9), None);
     }
 
     #[test]

@@ -21,4 +21,5 @@
 pub mod calibration;
 pub mod coding_bench;
 pub mod experiments;
+pub mod parallel;
 pub mod stats;

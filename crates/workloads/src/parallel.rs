@@ -1,0 +1,193 @@
+//! A small std-thread worker pool for per-stripe fan-out.
+//!
+//! Stripes of a file are independent under every code in this workspace,
+//! so encode and decode parallelize trivially across them. This module
+//! gives the write path of the networked cluster (`crates/cluster`) and
+//! `carousel-tool --threads` a dependency-free way to use all cores: a
+//! work-stealing index loop over scoped threads — no channels, no unsafe,
+//! no allocation beyond the result vector.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use erasure::ErasureCode;
+use filestore::{EncodedFile, FileCodec, FileError, FileMeta};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, or 1 when that cannot be determined.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every index in `0..items` on up to `threads` scoped
+/// worker threads, returning the results in index order. Workers pull the
+/// next index from a shared atomic, so uneven item costs balance
+/// automatically. With `threads <= 1` (or fewer than two items) this runs
+/// inline with no thread spawns.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map<R, F>(threads: usize, items: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.max(1));
+    if threads <= 1 || items <= 1 {
+        return (0..items).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items).map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index produced a result"))
+        .collect()
+}
+
+/// Encodes a whole file with per-stripe fan-out across `threads` workers.
+/// Produces exactly the same [`EncodedFile`] as [`FileCodec::encode`].
+///
+/// # Errors
+///
+/// Same as [`FileCodec::encode`]: rejects empty input and propagates
+/// per-stripe geometry failures.
+pub fn encode_file<C>(
+    codec: &FileCodec<C>,
+    data: &[u8],
+    threads: usize,
+) -> Result<EncodedFile<C>, FileError>
+where
+    C: ErasureCode + Clone + Sync,
+{
+    if data.is_empty() {
+        return Err(FileError::BadGeometry {
+            reason: "cannot encode an empty file".into(),
+        });
+    }
+    let sdb = codec.stripe_data_bytes();
+    let chunks: Vec<&[u8]> = data.chunks(sdb).collect();
+    let stripes = parallel_map(threads, chunks.len(), |s| codec.encode_stripe(chunks[s]));
+    let meta = FileMeta {
+        file_len: data.len() as u64,
+        block_bytes: codec.block_bytes(),
+        n: codec.code().n(),
+        k: codec.code().k(),
+        stripes: chunks.len(),
+        stripe_data_bytes: sdb,
+        code_name: codec.code().name(),
+    };
+    let mut file = EncodedFile::empty(codec.clone(), meta);
+    for (s, blocks) in stripes.into_iter().enumerate() {
+        for (b, bytes) in blocks?.into_iter().enumerate() {
+            file.set_block(s, b, bytes);
+        }
+    }
+    Ok(file)
+}
+
+/// Decodes a whole file with per-stripe fan-out across `threads` workers.
+/// Produces exactly the same bytes as [`EncodedFile::decode`].
+///
+/// # Errors
+///
+/// Returns [`FileError::StripeUnrecoverable`] naming the first
+/// unrecoverable stripe, like the sequential path.
+pub fn decode_file<C>(file: &EncodedFile<C>, threads: usize) -> Result<Vec<u8>, FileError>
+where
+    C: ErasureCode + Sync,
+{
+    let parts = parallel_map(threads, file.stripes(), |s| file.decode_stripe_at(s));
+    let mut out = Vec::with_capacity(file.meta().file_len as usize);
+    for part in parts {
+        out.extend_from_slice(&part?);
+    }
+    out.truncate(file.meta().file_len as usize);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carousel::Carousel;
+    use rs_code::ReedSolomon;
+
+    fn data(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 131 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_covers_all() {
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(threads, 100, |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        assert!(parallel_map(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_encode_matches_sequential() {
+        let codec = FileCodec::new(Carousel::new(6, 3, 3, 6).unwrap(), 120).unwrap();
+        let file = data(3000);
+        let seq = codec.encode(&file).unwrap();
+        let par = encode_file(&codec, &file, 4).unwrap();
+        assert_eq!(par.meta(), seq.meta());
+        for s in 0..seq.stripes() {
+            for b in 0..seq.meta().n {
+                assert_eq!(par.block(s, b), seq.block(s, b), "stripe {s} block {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_decode_matches_source_with_failures() {
+        let codec = FileCodec::new(ReedSolomon::new(6, 4).unwrap(), 64).unwrap();
+        let file = data(2000);
+        let mut enc = codec.encode(&file).unwrap();
+        for s in 0..enc.stripes() {
+            enc.drop_block(s, (s * 2) % 6);
+        }
+        assert_eq!(decode_file(&enc, 4).unwrap(), file);
+        assert_eq!(decode_file(&enc, 1).unwrap(), file);
+    }
+
+    #[test]
+    fn parallel_errors_propagate() {
+        let codec = FileCodec::new(ReedSolomon::new(4, 2).unwrap(), 64).unwrap();
+        assert!(encode_file(&codec, &[], 4).is_err());
+        let mut enc = codec.encode(&data(400)).unwrap();
+        for b in 0..3 {
+            enc.drop_block(1, b);
+        }
+        match decode_file(&enc, 4) {
+            Err(FileError::StripeUnrecoverable { stripe, .. }) => assert_eq!(stripe, 1),
+            other => panic!("expected StripeUnrecoverable, got {other:?}"),
+        }
+    }
+}

@@ -26,9 +26,18 @@ cargo clippy --workspace --all-targets --no-default-features --offline -- -D war
 step "cargo test (default features: telemetry on)"
 cargo test --workspace --offline -q
 
+step "cluster loopback smoke test (telemetry on)"
+cargo test --offline -q --test cluster_loopback
+
 if [ "$mode" != "fast" ]; then
   step "cargo test (--no-default-features: telemetry compiled out)"
   cargo test --workspace --no-default-features --offline -q
+
+  step "cluster loopback smoke test (telemetry off)"
+  cargo test --offline -q --no-default-features --test cluster_loopback
 fi
+
+step "build ext_cluster (real-TCP experiment binary)"
+cargo build --release --offline -p carousel-bench --bin ext_cluster
 
 step "all checks passed"

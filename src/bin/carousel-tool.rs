@@ -3,22 +3,36 @@
 //! the `carousel-filestore` crate.
 //!
 //! ```text
-//! carousel-tool encode <input> <dir> [--code carousel(n,k,d,p)|rs(n,k)|msr(n,k,d)|mbr(n,k,d)] [--block-bytes N]
-//! carousel-tool decode <dir> <output>
+//! carousel-tool encode <input> <dir> [--code carousel(n,k,d,p)|rs(n,k)|msr(n,k,d)|mbr(n,k,d)] [--block-bytes N] [--threads N]
+//! carousel-tool decode <dir> <output> [--threads N]
 //! carousel-tool inspect <dir>
 //! carousel-tool drop <dir> <stripe> <block>
-//! carousel-tool repair <dir>
+//! carousel-tool repair <dir | manifest> [--file NAME]
 //! carousel-tool verify <dir>
 //! carousel-tool range <dir> <offset> <len>
 //! carousel-tool write <dir> <offset> <patch-file>
+//! carousel-tool serve <store-dir> [--addr HOST:PORT] [--id N]
+//! carousel-tool put <input> <manifest> --nodes addr,addr,... [--code SPEC] [--block-bytes N] [--threads N] [--seed N]
+//! carousel-tool get <manifest> <output> [--file NAME]
 //! ```
+//!
+//! The last three commands run against a *live* TCP cluster: `serve`
+//! starts a foreground datanode, `put` encodes + places + uploads a file
+//! across datanodes and writes a cluster manifest, and `get` reads it
+//! back (degrading transparently if nodes died). `repair` is
+//! polymorphic: given a block directory it repairs locally, given a
+//! manifest it rebuilds missing blocks over the network.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use cluster::{ClusterClient, Coordinator, DataNodeConfig};
 use erasure::ErasureCode;
 use filestore::format::{self, AnyCode, CodeSpec};
 use filestore::{FileCodec, FileError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,14 +42,17 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  carousel-tool encode <input> <dir> [--code carousel(n,k,d,p)|rs(n,k)|msr(n,k,d)|mbr(n,k,d)] [--block-bytes N]");
-            eprintln!("  carousel-tool decode <dir> <output>");
+            eprintln!("  carousel-tool encode <input> <dir> [--code carousel(n,k,d,p)|rs(n,k)|msr(n,k,d)|mbr(n,k,d)] [--block-bytes N] [--threads N]");
+            eprintln!("  carousel-tool decode <dir> <output> [--threads N]");
             eprintln!("  carousel-tool inspect <dir>");
             eprintln!("  carousel-tool drop <dir> <stripe> <block>");
-            eprintln!("  carousel-tool repair <dir>");
+            eprintln!("  carousel-tool repair <dir | manifest> [--file NAME]");
             eprintln!("  carousel-tool verify <dir>");
             eprintln!("  carousel-tool range <dir> <offset> <len>");
             eprintln!("  carousel-tool write <dir> <offset> <patch-file>");
+            eprintln!("  carousel-tool serve <store-dir> [--addr HOST:PORT] [--id N]");
+            eprintln!("  carousel-tool put <input> <manifest> --nodes addr,addr,... [--code SPEC] [--block-bytes N] [--threads N] [--seed N]");
+            eprintln!("  carousel-tool get <manifest> <output> [--file NAME]");
             ExitCode::FAILURE
         }
     }
@@ -52,6 +69,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "verify" => verify(&args[1..]),
         "range" => range(&args[1..]),
         "write" => write_cmd(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "put" => put_cluster(&args[1..]),
+        "get" => get_cluster(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -70,6 +90,7 @@ fn encode(args: &[String]) -> Result<(), String> {
         p: 12,
     };
     let mut block_bytes: Option<usize> = None;
+    let mut threads = 1usize;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -83,6 +104,10 @@ fn encode(args: &[String]) -> Result<(), String> {
                 block_bytes = Some(v.parse().map_err(|_| "invalid --block-bytes")?);
                 i += 2;
             }
+            "--threads" => {
+                threads = parse_threads(args.get(i + 1))?;
+                i += 2;
+            }
             other => return Err(format!("encode: unknown flag {other:?}")),
         }
     }
@@ -94,16 +119,29 @@ fn encode(args: &[String]) -> Result<(), String> {
         .unwrap_or_else(|| (data.len().div_ceil(code.k())).max(sub))
         .next_multiple_of(sub);
     let codec = FileCodec::new(code, block_bytes).map_err(err_str)?;
-    let encoded = codec.encode(&data).map_err(err_str)?;
+    let encoded = workloads::parallel::encode_file(&codec, &data, threads).map_err(err_str)?;
     format::save(Path::new(dir), spec, &encoded).map_err(err_str)?;
     println!(
-        "encoded {} bytes with {spec}: {} stripe(s) x {} blocks of {} bytes -> {dir}",
+        "encoded {} bytes with {spec}: {} stripe(s) x {} blocks of {} bytes -> {dir} ({threads} thread(s))",
         data.len(),
         encoded.stripes(),
         encoded.meta().n,
         block_bytes
     );
     Ok(())
+}
+
+/// Parses a `--threads` value; `0` means "all available cores".
+fn parse_threads(value: Option<&String>) -> Result<usize, String> {
+    let v: usize = value
+        .ok_or("--threads needs a value")?
+        .parse()
+        .map_err(|_| "invalid --threads")?;
+    Ok(if v == 0 {
+        workloads::parallel::available_threads()
+    } else {
+        v
+    })
 }
 
 fn load_dir(args: &[String]) -> Result<(PathBuf, filestore::EncodedFile<AnyCode>), String> {
@@ -115,9 +153,23 @@ fn load_dir(args: &[String]) -> Result<(PathBuf, filestore::EncodedFile<AnyCode>
 fn decode(args: &[String]) -> Result<(), String> {
     let (_, file) = load_dir(args)?;
     let output = args.get(1).ok_or("decode: missing <output>")?;
-    let data = file.decode().map_err(err_str)?;
+    let mut threads = 1usize;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                threads = parse_threads(args.get(i + 1))?;
+                i += 2;
+            }
+            other => return Err(format!("decode: unknown flag {other:?}")),
+        }
+    }
+    let data = workloads::parallel::decode_file(&file, threads).map_err(err_str)?;
     std::fs::write(output, &data).map_err(err_str)?;
-    println!("decoded {} bytes -> {output}", data.len());
+    println!(
+        "decoded {} bytes -> {output} ({threads} thread(s))",
+        data.len()
+    );
     Ok(())
 }
 
@@ -172,7 +224,13 @@ fn drop_block(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Polymorphic repair: a directory is a local block store (repair in
+/// process), a file is a cluster manifest (repair over the network).
 fn repair(args: &[String]) -> Result<(), String> {
+    let target = Path::new(args.first().ok_or("repair: missing <dir | manifest>")?);
+    if target.is_file() {
+        return repair_cluster(args);
+    }
     let (dir, mut file) = load_dir(args)?;
     let (spec, meta) = format::read_meta(&dir).map_err(err_str)?;
     let mut repaired = 0;
@@ -283,6 +341,190 @@ fn write_cmd(args: &[String]) -> Result<(), String> {
         "wrote {} bytes at offset {offset} (parity updated in place)",
         patch.len()
     );
+    Ok(())
+}
+
+/// Runs one datanode in the foreground, printing its bound address (so
+/// wrappers can use `--addr 127.0.0.1:0` for an ephemeral port).
+fn serve(args: &[String]) -> Result<(), String> {
+    let root = args.first().ok_or("serve: missing <store-dir>")?;
+    let mut addr = String::from("127.0.0.1:0");
+    let mut id = 0usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).ok_or("--addr needs a value")?.clone();
+                i += 2;
+            }
+            "--id" => {
+                id = args
+                    .get(i + 1)
+                    .ok_or("--id needs a value")?
+                    .parse()
+                    .map_err(|_| "invalid --id")?;
+                i += 2;
+            }
+            other => return Err(format!("serve: unknown flag {other:?}")),
+        }
+    }
+    cluster::serve_forever(&addr, DataNodeConfig::new(id, root)).map_err(err_str)
+}
+
+/// Builds a coordinator over explicitly-listed datanode addresses.
+fn coordinator_for(nodes: &str) -> Result<Arc<Coordinator>, String> {
+    let coord = Coordinator::new();
+    for (id, addr) in nodes.split(',').enumerate() {
+        let addr = addr
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid node address {addr:?}"))?;
+        coord.register(id, addr);
+    }
+    Ok(Arc::new(coord))
+}
+
+/// Encodes, places and uploads a file across live datanodes, writing the
+/// cluster manifest that `get` and `repair` consume.
+fn put_cluster(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("put: missing <input>")?;
+    let manifest = args.get(1).ok_or("put: missing <manifest>")?;
+    let mut nodes: Option<String> = None;
+    let mut spec = CodeSpec::Carousel {
+        n: 9,
+        k: 6,
+        d: 6,
+        p: 9,
+    };
+    let mut block_bytes: Option<usize> = None;
+    let mut threads = 1usize;
+    let mut seed = 17u64;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nodes" => {
+                nodes = Some(args.get(i + 1).ok_or("--nodes needs a value")?.clone());
+                i += 2;
+            }
+            "--code" => {
+                let v = args.get(i + 1).ok_or("--code needs a value")?;
+                spec = CodeSpec::parse(v).map_err(err_str)?;
+                i += 2;
+            }
+            "--block-bytes" => {
+                let v = args.get(i + 1).ok_or("--block-bytes needs a value")?;
+                block_bytes = Some(v.parse().map_err(|_| "invalid --block-bytes")?);
+                i += 2;
+            }
+            "--threads" => {
+                threads = parse_threads(args.get(i + 1))?;
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "invalid --seed")?;
+                i += 2;
+            }
+            other => return Err(format!("put: unknown flag {other:?}")),
+        }
+    }
+    let nodes = nodes.ok_or("put: --nodes addr,addr,... is required")?;
+    let coord = coordinator_for(&nodes)?;
+    let data = std::fs::read(input).map_err(err_str)?;
+    let code = spec.build().map_err(err_str)?;
+    let sub = code.linear().sub();
+    let block_bytes = block_bytes
+        .unwrap_or_else(|| (data.len().div_ceil(code.k())).max(sub))
+        .next_multiple_of(sub);
+    let name = Path::new(input)
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or("put: input has no usable file name")?;
+    let mut client = ClusterClient::new(Arc::clone(&coord));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fp = client
+        .put_file(
+            name,
+            &data,
+            spec,
+            block_bytes,
+            threads,
+            dfs::Placement::Random,
+            &mut rng,
+        )
+        .map_err(err_str)?;
+    coord.save_manifest(Path::new(manifest)).map_err(err_str)?;
+    println!(
+        "stored {name:?} ({} bytes) with {spec}: {} stripe(s) over {} node(s) -> {manifest}",
+        data.len(),
+        fp.stripes,
+        coord.nodes().len()
+    );
+    Ok(())
+}
+
+/// Parses the shared `[--file NAME]` flag and resolves the default (the
+/// manifest's only file, or an explicit name when it has several).
+fn manifest_file_arg(coord: &Coordinator, args: &[String], cmd: &str) -> Result<String, String> {
+    let mut name: Option<String> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--file" => {
+                name = Some(args.get(i + 1).ok_or("--file needs a value")?.clone());
+                i += 2;
+            }
+            other => return Err(format!("{cmd}: unknown flag {other:?}")),
+        }
+    }
+    match name {
+        Some(n) => Ok(n),
+        None => {
+            let files = coord.files();
+            match files.as_slice() {
+                [only] => Ok(only.clone()),
+                [] => Err(format!("{cmd}: manifest lists no files")),
+                _ => Err(format!(
+                    "{cmd}: manifest lists several files ({files:?}); pass --file NAME"
+                )),
+            }
+        }
+    }
+}
+
+/// Reads a file back from the cluster described by a manifest.
+fn get_cluster(args: &[String]) -> Result<(), String> {
+    let manifest = args.first().ok_or("get: missing <manifest>")?;
+    let output = args.get(1).ok_or("get: missing <output>")?;
+    let coord = Arc::new(Coordinator::load_manifest(Path::new(manifest)).map_err(err_str)?);
+    let name = manifest_file_arg(&coord, args, "get")?;
+    let mut client = ClusterClient::new(coord);
+    let data = client.get_file(&name).map_err(err_str)?;
+    std::fs::write(output, &data).map_err(err_str)?;
+    println!("read {name:?}: {} bytes -> {output}", data.len());
+    Ok(())
+}
+
+/// Rebuilds a manifest-described file's missing blocks over the network,
+/// then rewrites the manifest with any re-homed placements.
+fn repair_cluster(args: &[String]) -> Result<(), String> {
+    let manifest = Path::new(args.first().ok_or("repair: missing <manifest>")?);
+    let coord = Arc::new(Coordinator::load_manifest(manifest).map_err(err_str)?);
+    let name = manifest_file_arg(&coord, args, "repair")?;
+    let mut client = ClusterClient::new(Arc::clone(&coord));
+    let report = client.repair_file(&name).map_err(err_str)?;
+    coord.save_manifest(manifest).map_err(err_str)?;
+    if report.blocks_repaired == 0 {
+        println!("nothing to repair in {name:?}");
+    } else {
+        println!(
+            "repaired {} block(s) of {name:?}: {} helper payload bytes ({} on the wire)",
+            report.blocks_repaired, report.helper_payload_bytes, report.wire_bytes
+        );
+    }
     Ok(())
 }
 
