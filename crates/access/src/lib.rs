@@ -1,0 +1,71 @@
+//! The transport-agnostic *access layer*: plans as pure data, execution as
+//! a generic state machine.
+//!
+//! The paper's central claims (§IV, §VII) are about access: a Carousel code
+//! lets any of `p ≥ k` servers serve original data, degrades gracefully when
+//! blocks are lost, and repairs with `d/(d−k+1)` traffic. Those behaviors
+//! must be *identical* whether blocks sit in memory, behind a discrete-event
+//! simulator, or across TCP — so the planning and replanning logic lives
+//! here, once, and every transport implements a single small trait:
+//!
+//! * [`ReadPlan`] / [`DegradedPlan`] / [`RepairPlan`] — pure-data plans
+//!   wrapping the algebraic kernels in `carousel` and `erasure`;
+//! * [`BlockSource`] — what a transport must provide: availability, unit
+//!   fetches, and (optionally pushed-down) helper-side repair reads;
+//! * [`PlanExecutor`] — the one replanning loop: plan against believed
+//!   availability, fetch, and on mid-read failure shrink the availability
+//!   set and replan, up to a bounded number of attempts;
+//! * [`PlanCache`] — memoizes the Gaussian eliminations behind decode and
+//!   repair plans, keyed by the availability pattern, with
+//!   `access.plan.cache.{hit,miss}` telemetry counters.
+//!
+//! The three in-tree transports are `filestore` (in-memory blocks, via
+//! [`MemorySource`]), `dfs` (simulated datanodes) and `cluster` (real TCP
+//! datanodes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod executor;
+mod plan;
+mod source;
+
+pub use cache::PlanCache;
+pub use carousel::ReadMode;
+pub use executor::{
+    ExecError, PlanExecutor, RegionRead, RepairOutcome, StripeRead, DEFAULT_MAX_REPLANS,
+};
+pub use plan::{DegradedPlan, ReadPlan, RepairPlan};
+pub use source::{BlockSource, Fetch, MemorySource};
+
+use carousel::Carousel;
+use erasure::ErasureCode;
+
+/// An erasure code the access layer can plan for.
+///
+/// Planning is generic over [`ErasureCode`] — any `k` available blocks
+/// decode, any valid helper set repairs — but Carousel codes additionally
+/// carry the carousel-specific degraded machinery (parity stand-ins at the
+/// chosen rows, per-copy block-region solves). `as_carousel` is the hook
+/// that lets the shared planner use those cheaper plans when they exist
+/// without the transports knowing which code they serve.
+pub trait AccessCode: ErasureCode {
+    /// The concrete Carousel code, if this is one. The default (`None`)
+    /// routes planning through the generic any-`k` paths.
+    fn as_carousel(&self) -> Option<&Carousel> {
+        None
+    }
+}
+
+impl AccessCode for Carousel {
+    fn as_carousel(&self) -> Option<&Carousel> {
+        Some(self)
+    }
+}
+
+impl AccessCode for rs_code::ReedSolomon {}
+
+impl AccessCode for msr::ProductMatrixMsr {}
+
+impl AccessCode for msr::ProductMatrixMbr {}

@@ -1,0 +1,440 @@
+//! Plans as pure data: which `(node, unit)` payloads to fetch and how to
+//! combine them, independent of any transport.
+//!
+//! Each plan wraps the algebraic kernel that fits the code: Carousel codes
+//! get their direct/degraded/fallback stripe reads and per-copy block-region
+//! solves from `carousel`, every other linear code gets the generic
+//! any-`k`-blocks machinery from `erasure`. Callers never branch on the
+//! code — they ask for `sources()`, hand back payloads, and call
+//! `decode_units`.
+
+use carousel::ReadMode;
+use erasure::{CodeError, DecodePlan, HelperTask};
+
+use crate::AccessCode;
+
+/// A plan to read one whole stripe's original data.
+#[derive(Debug, Clone)]
+pub struct ReadPlan {
+    mode: ReadMode,
+    inner: ReadInner,
+}
+
+#[derive(Debug, Clone)]
+enum ReadInner {
+    Carousel(carousel::ReadPlan),
+    Generic(DecodePlan),
+}
+
+impl ReadPlan {
+    /// Plans a stripe read over the `available` blocks (order-insensitive).
+    ///
+    /// For Carousel codes this is the paper's three-tier ladder: direct
+    /// `p`-way parallel read, degraded read with parity stand-ins, generic
+    /// `k`-block fallback. For other codes: the first `k` data blocks when
+    /// all are available (direct), otherwise any `k` live blocks (fallback).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InsufficientData`] when fewer than `k` blocks
+    /// are available, and index errors for malformed availability lists.
+    pub fn plan(code: &dyn AccessCode, available: &[usize]) -> Result<Self, CodeError> {
+        if let Some(carousel) = code.as_carousel() {
+            let plan = carousel.plan_read(available)?;
+            return Ok(ReadPlan {
+                mode: plan.mode(),
+                inner: ReadInner::Carousel(plan),
+            });
+        }
+        let k = code.k();
+        check_indices(code.n(), available)?;
+        let direct = (0..k).all(|i| available.contains(&i));
+        let nodes: Vec<usize> = if direct {
+            (0..k).collect()
+        } else {
+            let mut live = available.to_vec();
+            live.sort_unstable();
+            live.truncate(k);
+            live
+        };
+        if nodes.len() < k {
+            return Err(CodeError::InsufficientData {
+                needed: k,
+                got: nodes.len(),
+            });
+        }
+        let plan = DecodePlan::for_nodes(code.linear(), &nodes)?;
+        Ok(ReadPlan {
+            mode: if direct {
+                ReadMode::Direct
+            } else {
+                ReadMode::Fallback
+            },
+            inner: ReadInner::Generic(plan),
+        })
+    }
+
+    /// How the stripe is served (the paper's read ladder).
+    pub fn mode(&self) -> ReadMode {
+        self.mode
+    }
+
+    /// Every `(node, stored unit)` to fetch, in the order
+    /// [`ReadPlan::decode_units`] expects.
+    pub fn sources(&self) -> &[(usize, usize)] {
+        match &self.inner {
+            ReadInner::Carousel(plan) => plan.sources(),
+            ReadInner::Generic(plan) => plan.sources(),
+        }
+    }
+
+    /// Sources grouped per node: `(node, units fetched)`.
+    pub fn units_per_node(&self) -> Vec<(usize, usize)> {
+        match &self.inner {
+            ReadInner::Carousel(plan) => plan.units_per_node().to_vec(),
+            ReadInner::Generic(plan) => group_units(plan.sources()),
+        }
+    }
+
+    /// Number of distinct blocks read in parallel.
+    pub fn parallelism(&self) -> usize {
+        self.units_per_node().len()
+    }
+
+    /// Total units fetched.
+    pub fn traffic_units(&self) -> usize {
+        self.sources().len()
+    }
+
+    /// Combines fetched unit payloads (`units[i]` is `sources()[i]`, all of
+    /// equal width) into the stripe's original data, padding included.
+    ///
+    /// # Errors
+    ///
+    /// Count and width mismatches surface as [`CodeError`]s.
+    pub fn decode_units(&self, units: &[&[u8]]) -> Result<Vec<u8>, CodeError> {
+        match &self.inner {
+            ReadInner::Carousel(plan) => plan.decode_units(units),
+            ReadInner::Generic(plan) => plan.decode_units(units),
+        }
+    }
+}
+
+/// A plan to rebuild one block's *data region* (its contiguous file chunk)
+/// without decoding the whole stripe.
+#[derive(Debug, Clone)]
+pub struct DegradedPlan {
+    target: usize,
+    inner: DegradedInner,
+}
+
+#[derive(Debug, Clone)]
+enum DegradedInner {
+    Carousel(carousel::BlockReadPlan),
+    Generic {
+        plan: DecodePlan,
+        /// File units of the target's data region, in stored order.
+        region_units: Vec<usize>,
+    },
+}
+
+impl DegradedPlan {
+    /// Plans the reconstruction of `target`'s data region from the
+    /// `available` blocks (`target` itself is ignored if listed).
+    ///
+    /// Carousel codes decode only the affected carousel copies
+    /// (`k·(k/p)` block-sizes of traffic); other codes decode the stripe
+    /// message from any `k` live blocks and slice the region out.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::InvalidParameters`] if `target` carries no data;
+    /// * [`CodeError::InsufficientData`] if fewer than `k` other blocks are
+    ///   available.
+    pub fn plan(
+        code: &dyn AccessCode,
+        target: usize,
+        available: &[usize],
+    ) -> Result<Self, CodeError> {
+        if let Some(carousel) = code.as_carousel() {
+            let pool: Vec<usize> = available.iter().copied().filter(|&a| a != target).collect();
+            return Ok(DegradedPlan {
+                target,
+                inner: DegradedInner::Carousel(carousel.plan_block_read(target, &pool)?),
+            });
+        }
+        check_indices(code.n(), available)?;
+        let layout = code.data_layout();
+        let region_units = layout.data_units_of(target).to_vec();
+        if region_units.is_empty() {
+            return Err(CodeError::InvalidParameters {
+                reason: format!("block {target} carries no original data"),
+            });
+        }
+        let k = code.k();
+        let mut pool: Vec<usize> = available.iter().copied().filter(|&a| a != target).collect();
+        pool.sort_unstable();
+        if pool.len() < k {
+            return Err(CodeError::InsufficientData {
+                needed: k,
+                got: pool.len(),
+            });
+        }
+        pool.truncate(k);
+        let plan = DecodePlan::for_nodes(code.linear(), &pool)?;
+        Ok(DegradedPlan {
+            target,
+            inner: DegradedInner::Generic { plan, region_units },
+        })
+    }
+
+    /// The block whose region this plan rebuilds.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Every `(node, stored unit)` to fetch, in the order
+    /// [`DegradedPlan::decode_units`] expects.
+    pub fn sources(&self) -> Vec<(usize, usize)> {
+        match &self.inner {
+            DegradedInner::Carousel(plan) => plan.sources(),
+            DegradedInner::Generic { plan, .. } => plan.sources().to_vec(),
+        }
+    }
+
+    /// Sources grouped per node: `(node, units fetched)`.
+    pub fn units_per_node(&self) -> Vec<(usize, usize)> {
+        match &self.inner {
+            DegradedInner::Carousel(plan) => plan.units_per_node(),
+            DegradedInner::Generic { plan, .. } => group_units(plan.sources()),
+        }
+    }
+
+    /// Total units fetched.
+    pub fn traffic_units(&self) -> usize {
+        self.sources().len()
+    }
+
+    /// Combines fetched unit payloads into the target's data region, in the
+    /// same unit order the block itself stores (so `locate()` offsets apply
+    /// unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Count and width mismatches surface as [`CodeError`]s.
+    pub fn decode_units(&self, units: &[&[u8]]) -> Result<Vec<u8>, CodeError> {
+        match &self.inner {
+            DegradedInner::Carousel(plan) => plan.decode_units(units),
+            DegradedInner::Generic { plan, region_units } => {
+                let message = plan.decode_units(units)?;
+                let w = units.first().map_or(0, |u| u.len());
+                let mut region = Vec::with_capacity(region_units.len() * w);
+                for &fu in region_units {
+                    region.extend_from_slice(&message[fu * w..(fu + 1) * w]);
+                }
+                Ok(region)
+            }
+        }
+    }
+}
+
+/// A plan to rebuild one lost block from `d` helper blocks.
+///
+/// A thin wrapper over [`erasure::RepairPlan`] that remembers the code's
+/// sub-packetization so traffic can be quoted in block-sizes without
+/// re-asking the code.
+#[derive(Debug, Clone)]
+pub struct RepairPlan {
+    inner: erasure::RepairPlan,
+    sub: usize,
+}
+
+impl RepairPlan {
+    /// Plans the repair of `failed` using exactly the blocks in `helpers`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the helper set is invalid for this code (wrong count,
+    /// contains `failed`, out of range, or algebraically insufficient).
+    pub fn plan(
+        code: &dyn AccessCode,
+        failed: usize,
+        helpers: &[usize],
+    ) -> Result<Self, CodeError> {
+        Ok(RepairPlan {
+            inner: code.repair_plan(failed, helpers)?,
+            sub: code.linear().sub(),
+        })
+    }
+
+    /// The block being reconstructed.
+    pub fn failed(&self) -> usize {
+        self.inner.failed
+    }
+
+    /// Helper tasks, in the order their payloads must be concatenated.
+    pub fn helpers(&self) -> &[HelperTask] {
+        &self.inner.helpers
+    }
+
+    /// Number of helpers (`d`).
+    pub fn d(&self) -> usize {
+        self.inner.d()
+    }
+
+    /// Total sub-units moved.
+    pub fn traffic_units(&self) -> usize {
+        self.inner.traffic_units()
+    }
+
+    /// Repair traffic in block-sizes — the paper's `d/(d−k+1)` for MSR-regime
+    /// Carousel codes, `k` for RS.
+    pub fn traffic_blocks(&self) -> f64 {
+        self.inner.traffic_blocks(self.sub)
+    }
+
+    /// Combines helper payloads (each `β·w` bytes, in helper order) into the
+    /// lost block.
+    ///
+    /// # Errors
+    ///
+    /// Count and width mismatches surface as [`CodeError`]s.
+    pub fn combine_payloads(&self, payloads: &[Vec<u8>]) -> Result<Vec<u8>, CodeError> {
+        self.inner.combine_payloads(payloads)
+    }
+}
+
+/// Validates that `indices` are unique and all less than `n`.
+fn check_indices(n: usize, indices: &[usize]) -> Result<(), CodeError> {
+    for (i, &a) in indices.iter().enumerate() {
+        if a >= n {
+            return Err(CodeError::NodeOutOfRange { node: a, n });
+        }
+        if indices[i + 1..].contains(&a) {
+            return Err(CodeError::DuplicateNode { node: a });
+        }
+    }
+    Ok(())
+}
+
+/// Groups `(node, unit)` sources into per-node fetch counts, preserving
+/// first-appearance node order.
+fn group_units(sources: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut per: Vec<(usize, usize)> = Vec::new();
+    for &(node, _) in sources {
+        match per.iter_mut().find(|(nd, _)| *nd == node) {
+            Some((_, c)) => *c += 1,
+            None => per.push((node, 1)),
+        }
+    }
+    per
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carousel::Carousel;
+    use erasure::ErasureCode as _;
+    use rs_code::ReedSolomon;
+
+    fn fetch<'a>(blocks: &'a [Vec<u8>], sources: &[(usize, usize)], w: usize) -> Vec<&'a [u8]> {
+        sources
+            .iter()
+            .map(|&(nd, u)| &blocks[nd][u * w..(u + 1) * w])
+            .collect()
+    }
+
+    #[test]
+    fn generic_read_direct_and_fallback() {
+        let code = ReedSolomon::new(6, 4).unwrap();
+        let data: Vec<u8> = (0..64).map(|i| (i * 7 + 3) as u8).collect();
+        let stripe = code.linear().encode(&data).unwrap();
+        let w = stripe.unit_bytes;
+
+        let direct = ReadPlan::plan(&code, &[0, 1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(direct.mode(), ReadMode::Direct);
+        assert_eq!(direct.parallelism(), 4);
+        let units = fetch(&stripe.blocks, direct.sources(), w);
+        assert_eq!(
+            &direct.decode_units(&units).unwrap()[..data.len()],
+            &data[..]
+        );
+
+        let degraded = ReadPlan::plan(&code, &[5, 1, 2, 4]).unwrap();
+        assert_eq!(degraded.mode(), ReadMode::Fallback);
+        let units = fetch(&stripe.blocks, degraded.sources(), w);
+        assert_eq!(
+            &degraded.decode_units(&units).unwrap()[..data.len()],
+            &data[..]
+        );
+
+        assert!(matches!(
+            ReadPlan::plan(&code, &[0, 1, 2]),
+            Err(CodeError::InsufficientData { needed: 4, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn carousel_read_delegates_to_core_planner() {
+        let code = Carousel::new(6, 3, 3, 6).unwrap();
+        let b = code.linear().message_units();
+        let data: Vec<u8> = (0..b * 4).map(|i| (i * 5 + 1) as u8).collect();
+        let stripe = code.linear().encode(&data).unwrap();
+        let w = stripe.unit_bytes;
+        let plan = ReadPlan::plan(&code, &(0..6).collect::<Vec<_>>()).unwrap();
+        assert_eq!(plan.mode(), ReadMode::Direct);
+        assert_eq!(plan.parallelism(), 6);
+        let units = fetch(&stripe.blocks, plan.sources(), w);
+        assert_eq!(&plan.decode_units(&units).unwrap()[..data.len()], &data[..]);
+    }
+
+    #[test]
+    fn generic_degraded_region_matches_block() {
+        let code = ReedSolomon::new(6, 4).unwrap();
+        let data: Vec<u8> = (0..60).map(|i| (i * 11 + 5) as u8).collect();
+        let stripe = code.linear().encode(&data).unwrap();
+        let w = stripe.unit_bytes;
+        let layout = code.data_layout();
+        for target in 0..4 {
+            let available: Vec<usize> = (0..6).filter(|&i| i != target).collect();
+            let plan = DegradedPlan::plan(&code, target, &available).unwrap();
+            assert_eq!(plan.target(), target);
+            let units = fetch(&stripe.blocks, &plan.sources(), w);
+            let region = plan.decode_units(&units).unwrap();
+            assert_eq!(
+                region,
+                stripe.blocks[target][layout.data_byte_range(target, w)]
+            );
+        }
+        // Parity-only targets are rejected.
+        assert!(matches!(
+            DegradedPlan::plan(&code, 5, &(0..5).collect::<Vec<_>>()),
+            Err(CodeError::InvalidParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn carousel_degraded_region_matches_block() {
+        let code = Carousel::new(6, 3, 3, 6).unwrap();
+        let b = code.linear().message_units();
+        let data: Vec<u8> = (0..b * 4).map(|i| (i * 3 + 7) as u8).collect();
+        let stripe = code.linear().encode(&data).unwrap();
+        let w = stripe.unit_bytes;
+        let layout = code.data_layout();
+        let plan = DegradedPlan::plan(&code, 2, &(0..6).collect::<Vec<_>>()).unwrap();
+        let units = fetch(&stripe.blocks, &plan.sources(), w);
+        let region = plan.decode_units(&units).unwrap();
+        assert_eq!(region, stripe.blocks[2][layout.data_byte_range(2, w)]);
+    }
+
+    #[test]
+    fn repair_plan_quotes_traffic_in_blocks() {
+        let code = Carousel::new(8, 4, 6, 8).unwrap();
+        let helpers: Vec<usize> = (1..7).collect();
+        let plan = RepairPlan::plan(&code, 0, &helpers).unwrap();
+        assert_eq!(plan.failed(), 0);
+        assert_eq!(plan.d(), 6);
+        // MSR regime: d/(d−k+1) = 6/3 = 2 block-sizes.
+        assert!((plan.traffic_blocks() - 2.0).abs() < 1e-9);
+    }
+}

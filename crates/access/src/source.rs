@@ -1,0 +1,145 @@
+//! The transport abstraction: everything the executor needs from a place
+//! that holds encoded blocks.
+//!
+//! A [`BlockSource`] serves one stripe. Implementations in this workspace:
+//! [`MemorySource`] (blocks in RAM — the `filestore` backend), the
+//! simulated datanode store in `dfs`, and the TCP client in `cluster`.
+//! The contract that makes replanning work: *expected* failures (a dead
+//! node, a missing block, a truncated payload) are reported as
+//! [`Fetch::Unavailable`], not as `Err` — `Err` is reserved for faults the
+//! executor cannot route around (protocol violations, local I/O errors).
+
+use erasure::HelperTask;
+
+/// Result of asking a source for bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fetch {
+    /// The requested payload, exactly as long as requested.
+    Data(Vec<u8>),
+    /// The node could not serve the request (dead, missing block…); the
+    /// executor will drop it from the availability set and replan.
+    Unavailable,
+}
+
+/// One stripe's worth of remotely (or locally) stored blocks.
+pub trait BlockSource {
+    /// Transport-fatal error type (never used for a merely-dead node).
+    type Error;
+
+    /// Number of block slots in the stripe (`n`).
+    fn block_count(&self) -> usize;
+
+    /// Width of one stored unit in bytes (`block_bytes / sub`).
+    fn unit_bytes(&self) -> usize;
+
+    /// Blocks currently believed readable. The executor plans against this
+    /// set and shrinks it as fetches fail.
+    fn available(&mut self) -> Vec<usize>;
+
+    /// Fetches the given stored units of `node`, concatenated in order;
+    /// each unit is [`BlockSource::unit_bytes`] long.
+    ///
+    /// # Errors
+    ///
+    /// Only for transport-fatal faults; an unreachable node is
+    /// `Ok(Fetch::Unavailable)`.
+    fn fetch_units(&mut self, node: usize, units: &[usize]) -> Result<Fetch, Self::Error>;
+
+    /// Helper-side repair read: applies `task`'s `β × sub` coefficient
+    /// matrix to `node`'s block and returns the `β·w`-byte payload. The
+    /// default fetches the whole block and combines locally; transports
+    /// with compute at the node (the cluster's `RepairRead`) push the
+    /// matrix down so only `β·w` bytes cross the wire.
+    ///
+    /// # Errors
+    ///
+    /// Only for transport-fatal faults.
+    fn repair_read(&mut self, node: usize, task: &HelperTask) -> Result<Fetch, Self::Error> {
+        let sub = task.coeffs.cols();
+        let units: Vec<usize> = (0..sub).collect();
+        match self.fetch_units(node, &units)? {
+            Fetch::Data(block) => Ok(task.run(&block).map_or(Fetch::Unavailable, Fetch::Data)),
+            Fetch::Unavailable => Ok(Fetch::Unavailable),
+        }
+    }
+}
+
+/// A [`BlockSource`] over blocks already in memory — the `filestore`
+/// transport, and the reference implementation the consistency proptests
+/// compare the real transports against.
+#[derive(Debug)]
+pub struct MemorySource<'a> {
+    blocks: Vec<Option<&'a [u8]>>,
+    sub: usize,
+    unit_bytes: usize,
+}
+
+impl<'a> MemorySource<'a> {
+    /// Wraps one stripe's blocks (`None` = lost) with sub-packetization
+    /// `sub`. All present blocks must share one length divisible by `sub`.
+    pub fn new(blocks: Vec<Option<&'a [u8]>>, sub: usize) -> Self {
+        let block_bytes = blocks.iter().flatten().next().map_or(0, |b| b.len());
+        MemorySource {
+            blocks,
+            sub,
+            unit_bytes: block_bytes / sub.max(1),
+        }
+    }
+}
+
+impl BlockSource for MemorySource<'_> {
+    type Error = std::convert::Infallible;
+
+    fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn unit_bytes(&self) -> usize {
+        self.unit_bytes
+    }
+
+    fn available(&mut self) -> Vec<usize> {
+        (0..self.blocks.len())
+            .filter(|&i| self.blocks[i].is_some())
+            .collect()
+    }
+
+    fn fetch_units(&mut self, node: usize, units: &[usize]) -> Result<Fetch, Self::Error> {
+        let Some(block) = self.blocks.get(node).copied().flatten() else {
+            return Ok(Fetch::Unavailable);
+        };
+        let w = self.unit_bytes;
+        if block.len() != self.sub * w {
+            return Ok(Fetch::Unavailable);
+        }
+        let mut out = Vec::with_capacity(units.len() * w);
+        for &u in units {
+            if u >= self.sub {
+                return Ok(Fetch::Unavailable);
+            }
+            out.extend_from_slice(&block[u * w..(u + 1) * w]);
+        }
+        Ok(Fetch::Data(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_source_serves_units_and_reports_losses() {
+        let a = [1u8, 2, 3, 4];
+        let b = [5u8, 6, 7, 8];
+        let mut src = MemorySource::new(vec![Some(&a[..]), None, Some(&b[..])], 2);
+        assert_eq!(src.block_count(), 3);
+        assert_eq!(src.unit_bytes(), 2);
+        assert_eq!(src.available(), vec![0, 2]);
+        assert_eq!(
+            src.fetch_units(0, &[1, 0]).unwrap(),
+            Fetch::Data(vec![3, 4, 1, 2])
+        );
+        assert_eq!(src.fetch_units(1, &[0]).unwrap(), Fetch::Unavailable);
+        assert_eq!(src.fetch_units(2, &[7]).unwrap(), Fetch::Unavailable);
+    }
+}

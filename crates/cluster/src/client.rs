@@ -1,8 +1,9 @@
 //! The cluster client: encode-and-place writes, parallel/degraded reads,
 //! and optimal-traffic repair, all over real TCP.
 //!
-//! The client executes the paper's three read paths against live
-//! datanodes:
+//! The client is a thin transport under the `access` layer: it exposes the
+//! datanodes of one stripe as a [`BlockSource`] and lets
+//! [`access::PlanExecutor`] drive the paper's three read paths:
 //!
 //! * **direct parallel read** — with all `p` data-bearing blocks
 //!   reachable, fetch only the data regions (`k/p` of each block) from
@@ -14,6 +15,11 @@
 //!   `β × sub` coefficient matrix ([`Request::RepairRead`]) so only
 //!   `d/(d−k+1)` block-sizes cross the network in the MSR regime.
 //!
+//! Decode plans are memoized in an [`access::PlanCache`] keyed by the
+//! availability pattern, and mid-operation replanning is bounded: a cluster
+//! whose nodes keep failing surfaces [`ClusterError::ReplansExhausted`]
+//! instead of retrying forever.
+//!
 //! Every byte in and out of the client is counted (and exported through
 //! `carousel-telemetry` when the `telemetry` feature is on), so repair
 //! and read traffic are *measured*, not asserted.
@@ -23,9 +29,10 @@ use std::net::TcpStream;
 use std::sync::{Arc, LazyLock};
 use std::time::Duration;
 
+use access::{BlockSource, ExecError, Fetch, PlanCache, PlanExecutor, ReadMode};
 use dfs::Placement;
-use erasure::{DecodePlan, ErasureCode as _};
-use filestore::format::{AnyCode, CodeSpec};
+use erasure::{CodeError, ErasureCode as _, HelperTask};
+use filestore::format::CodeSpec;
 use filestore::FileCodec;
 use rand::Rng;
 
@@ -46,6 +53,10 @@ static REPAIR_BLOCKS: LazyLock<&'static telemetry::Counter> =
 static REPAIR_WIRE: LazyLock<&'static telemetry::Counter> =
     LazyLock::new(|| telemetry::counter("cluster.repair.wire_bytes"));
 
+/// Decode plans cached per client (more than enough for the handful of
+/// distinct failure patterns a session sees).
+const PLAN_CACHE_CAPACITY: usize = 64;
+
 /// What a [`ClusterClient::repair_file`] pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RepairReport {
@@ -58,12 +69,10 @@ pub struct RepairReport {
     pub wire_bytes: u64,
 }
 
-/// A client session against one [`Coordinator`]'s cluster. Connections to
-/// datanodes are cached and transparently re-opened; a node that cannot
-/// be reached is reported dead to the coordinator so subsequent plans
-/// avoid it.
+/// The connection/accounting half of the client: cached datanode sockets
+/// plus wire counters, with no planning knowledge at all.
 #[derive(Debug)]
-pub struct ClusterClient {
+struct Link {
     coord: Arc<Coordinator>,
     conns: HashMap<usize, TcpStream>,
     timeout: Duration,
@@ -71,36 +80,7 @@ pub struct ClusterClient {
     rx_bytes: u64,
 }
 
-impl ClusterClient {
-    /// Creates a client with a 10-second I/O timeout.
-    pub fn new(coord: Arc<Coordinator>) -> Self {
-        ClusterClient {
-            coord,
-            conns: HashMap::new(),
-            timeout: Duration::from_secs(10),
-            tx_bytes: 0,
-            rx_bytes: 0,
-        }
-    }
-
-    /// Overrides the per-operation socket timeout.
-    #[must_use]
-    pub fn with_timeout(mut self, timeout: Duration) -> Self {
-        self.timeout = timeout;
-        self
-    }
-
-    /// The coordinator this client plans against.
-    pub fn coordinator(&self) -> &Arc<Coordinator> {
-        &self.coord
-    }
-
-    /// Total `(sent, received)` bytes over this client's lifetime,
-    /// including framing — the measured network traffic.
-    pub fn wire_counters(&self) -> (u64, u64) {
-        (self.tx_bytes, self.rx_bytes)
-    }
-
+impl Link {
     /// One request/response exchange with a datanode, reusing a cached
     /// connection when possible and retrying once on a fresh connection
     /// if the cached one failed (it may simply have idled out).
@@ -114,9 +94,9 @@ impl ClusterClient {
             .coord
             .node_addr(node)
             .ok_or(ClusterError::NodeDown { node })?;
-        let down = |client: &mut Self| {
-            client.conns.remove(&node);
-            client.coord.mark_dead(node);
+        let down = |link: &mut Self| {
+            link.conns.remove(&node);
+            link.coord.mark_dead(node);
             ClusterError::NodeDown { node }
         };
         for attempt in 0..2u8 {
@@ -157,6 +137,137 @@ impl ClusterClient {
         }
         unreachable!("loop returns on every path")
     }
+}
+
+/// One stripe's datanodes seen as a [`BlockSource`]: fetches become
+/// [`Request::GetUnits`], helper repair reads become
+/// [`Request::RepairRead`], and a node that cannot serve (dead, missing or
+/// corrupt block) answers [`Fetch::Unavailable`] so the executor replans
+/// around it.
+struct StripeSource<'a> {
+    link: &'a mut Link,
+    name: &'a str,
+    stripe: usize,
+    /// Role → datanode id for this stripe.
+    row: &'a [usize],
+    sub: usize,
+    w: usize,
+    /// Roles known present (repair's Stat-probed list); `None` means trust
+    /// the coordinator's node liveness.
+    present: Option<&'a [usize]>,
+}
+
+impl BlockSource for StripeSource<'_> {
+    type Error = ClusterError;
+
+    fn block_count(&self) -> usize {
+        self.row.len()
+    }
+
+    fn unit_bytes(&self) -> usize {
+        self.w
+    }
+
+    fn available(&mut self) -> Vec<usize> {
+        match self.present {
+            Some(present) => present.to_vec(),
+            None => (0..self.row.len())
+                .filter(|&r| self.link.coord.is_alive(self.row[r]))
+                .collect(),
+        }
+    }
+
+    fn fetch_units(&mut self, role: usize, units: &[usize]) -> Result<Fetch, ClusterError> {
+        let request = Request::GetUnits {
+            id: block_id(self.name, self.stripe, role),
+            sub: self.sub as u32,
+            units: units.iter().map(|&u| u as u32).collect(),
+        };
+        match self.link.call(self.row[role], &request) {
+            Ok(Response::Data(bytes)) => Ok(Fetch::Data(bytes)),
+            Ok(_) | Err(ClusterError::NodeDown { .. }) => Ok(Fetch::Unavailable),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn repair_read(&mut self, role: usize, task: &HelperTask) -> Result<Fetch, ClusterError> {
+        let beta = task.beta();
+        let mut coeffs = Vec::with_capacity(beta * self.sub);
+        for r in 0..beta {
+            for c in 0..self.sub {
+                coeffs.push(task.coeffs.get(r, c).value());
+            }
+        }
+        let request = Request::RepairRead {
+            id: block_id(self.name, self.stripe, role),
+            rows: beta as u32,
+            cols: self.sub as u32,
+            coeffs,
+        };
+        match self.link.call(self.row[role], &request) {
+            Ok(Response::Data(bytes)) => Ok(Fetch::Data(bytes)),
+            Ok(_) | Err(ClusterError::NodeDown { .. }) => Ok(Fetch::Unavailable),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// A client session against one [`Coordinator`]'s cluster. Connections to
+/// datanodes are cached and transparently re-opened; a node that cannot
+/// be reached is reported dead to the coordinator so subsequent plans
+/// avoid it.
+#[derive(Debug)]
+pub struct ClusterClient {
+    link: Link,
+    plans: PlanCache,
+    max_replans: usize,
+}
+
+impl ClusterClient {
+    /// Creates a client with a 10-second I/O timeout.
+    pub fn new(coord: Arc<Coordinator>) -> Self {
+        ClusterClient {
+            link: Link {
+                coord,
+                conns: HashMap::new(),
+                timeout: Duration::from_secs(10),
+                tx_bytes: 0,
+                rx_bytes: 0,
+            },
+            plans: PlanCache::new(PLAN_CACHE_CAPACITY),
+            max_replans: access::DEFAULT_MAX_REPLANS,
+        }
+    }
+
+    /// Overrides the per-operation socket timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.link.timeout = timeout;
+        self
+    }
+
+    /// Overrides the bound on mid-operation replans per stripe.
+    #[must_use]
+    pub fn with_max_replans(mut self, max_replans: usize) -> Self {
+        self.max_replans = max_replans;
+        self
+    }
+
+    /// The coordinator this client plans against.
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        &self.link.coord
+    }
+
+    /// The client's decode-plan cache (hit/miss counters included).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// Total `(sent, received)` bytes over this client's lifetime,
+    /// including framing — the measured network traffic.
+    pub fn wire_counters(&self) -> (u64, u64) {
+        (self.link.tx_bytes, self.link.rx_bytes)
+    }
 
     /// Encodes `data` with `spec` (fanning stripes out over `threads`
     /// encoder threads), places it across the alive nodes, and uploads
@@ -180,7 +291,7 @@ impl ClusterClient {
         let code = spec.build()?;
         let codec = FileCodec::new(code, block_bytes)?;
         let encoded = workloads::parallel::encode_file(&codec, data, threads)?;
-        let fp = self.coord.place_file(
+        let fp = self.link.coord.place_file(
             name,
             spec,
             data.len() as u64,
@@ -199,7 +310,7 @@ impl ClusterClient {
                     id: block_id(name, s, role),
                     data: bytes,
                 };
-                match self.call(node, &request)? {
+                match self.link.call(node, &request)? {
                     Response::Done => {}
                     Response::Error(message) => {
                         return Err(ClusterError::Remote { message });
@@ -217,7 +328,7 @@ impl ClusterClient {
 
     /// Reads a whole file back, byte-identical to what was stored.
     ///
-    /// Per stripe the client plans against the roles whose nodes the
+    /// Per stripe the executor plans against the roles whose nodes the
     /// coordinator believes alive, fetches, and — if any fetch fails
     /// mid-read — excludes the failed role and *replans*, degrading from
     /// the direct parallel path to the degraded/fallback paths without
@@ -225,9 +336,10 @@ impl ClusterClient {
     ///
     /// # Errors
     ///
-    /// Returns [`ClusterError::UnknownFile`] for unknown names and
+    /// Returns [`ClusterError::UnknownFile`] for unknown names,
     /// [`ClusterError::Unavailable`] when a stripe has fewer than `k`
-    /// reachable blocks.
+    /// reachable blocks, and [`ClusterError::ReplansExhausted`] when nodes
+    /// keep dying mid-read past the replan budget.
     pub fn get_file(&mut self, name: &str) -> Result<Vec<u8>, ClusterError> {
         let _timer = if telemetry::ENABLED {
             READS.inc();
@@ -236,24 +348,35 @@ impl ClusterClient {
             None
         };
         let fp = self
+            .link
             .coord
             .file(name)
             .ok_or_else(|| ClusterError::UnknownFile { name: name.into() })?;
         let code = fp.spec.build()?;
-        let codec = FileCodec::new(code.clone(), fp.block_bytes)?;
-        let sdb = codec.stripe_data_bytes();
+        let sub = code.linear().sub();
+        let w = fp.block_bytes / sub;
+        let sdb = code.k() * fp.block_bytes;
+        let executor = PlanExecutor::new(&self.plans).with_max_replans(self.max_replans);
         let mut data = Vec::with_capacity(fp.stripes * sdb);
         let mut degraded = false;
         for (s, row) in fp.nodes.iter().enumerate() {
-            let w = fp.block_bytes / code.linear().sub();
-            let stripe = match &code {
-                AnyCode::Carousel(c) => {
-                    self.read_stripe_carousel(name, s, row, c, w, &mut degraded)?
-                }
-                _ => self.read_stripe_generic(name, s, row, &code, &mut degraded)?,
+            let mut source = StripeSource {
+                link: &mut self.link,
+                name,
+                stripe: s,
+                row,
+                sub,
+                w,
+                present: None,
             };
-            let take = sdb.min(stripe.len());
-            data.extend_from_slice(&stripe[..take]);
+            let read = executor
+                .read_stripe(&code, &mut source)
+                .map_err(|e| read_error(name, s, e))?;
+            if read.mode != ReadMode::Direct || read.replans > 0 {
+                degraded = true;
+            }
+            let take = sdb.min(read.data.len());
+            data.extend_from_slice(&read.data[..take]);
         }
         data.truncate(fp.file_len as usize);
         if degraded && telemetry::ENABLED {
@@ -262,125 +385,11 @@ impl ClusterClient {
         Ok(data)
     }
 
-    /// One stripe via the Carousel read planner: direct `p`-way parallel
-    /// read when possible, unit-level degraded read otherwise.
-    fn read_stripe_carousel(
-        &mut self,
-        name: &str,
-        stripe: usize,
-        row: &[usize],
-        code: &carousel::Carousel,
-        w: usize,
-        degraded: &mut bool,
-    ) -> Result<Vec<u8>, ClusterError> {
-        let sub = code.sub();
-        let mut excluded: Vec<usize> = Vec::new();
-        'replan: loop {
-            let available: Vec<usize> = (0..row.len())
-                .filter(|&r| !excluded.contains(&r) && self.coord.is_alive(row[r]))
-                .collect();
-            let plan = code
-                .plan_read(&available)
-                .map_err(|_| unreadable(name, stripe))?;
-            if plan.mode() != carousel::ReadMode::Direct {
-                *degraded = true;
-            }
-            // Group the planned (role, unit) sources per role so each node
-            // serves one GetUnits request.
-            let sources = plan.sources();
-            let mut groups: Vec<(usize, Vec<u32>, Vec<usize>)> = Vec::new();
-            for (pos, &(role, unit)) in sources.iter().enumerate() {
-                match groups.iter_mut().find(|(r, _, _)| *r == role) {
-                    Some((_, units, positions)) => {
-                        units.push(unit as u32);
-                        positions.push(pos);
-                    }
-                    None => groups.push((role, vec![unit as u32], vec![pos])),
-                }
-            }
-            let mut payloads: Vec<(Vec<usize>, usize, Vec<u8>)> = Vec::new();
-            for (role, units, positions) in groups {
-                let request = Request::GetUnits {
-                    id: block_id(name, stripe, role),
-                    sub: sub as u32,
-                    units: units.clone(),
-                };
-                match self.call(row[role], &request) {
-                    Ok(Response::Data(bytes)) if bytes.len() == units.len() * w => {
-                        payloads.push((positions, units.len(), bytes));
-                    }
-                    // Missing/corrupt block, bad payload, or dead node:
-                    // exclude this role and replan the stripe.
-                    Ok(_) | Err(ClusterError::NodeDown { .. }) => {
-                        excluded.push(role);
-                        *degraded = true;
-                        continue 'replan;
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            let mut slices: Vec<&[u8]> = vec![&[]; sources.len()];
-            for (positions, count, bytes) in &payloads {
-                let w = bytes.len() / count;
-                for (i, &pos) in positions.iter().enumerate() {
-                    slices[pos] = &bytes[i * w..(i + 1) * w];
-                }
-            }
-            return plan
-                .decode_units(&slices)
-                .map_err(|_| unreadable(name, stripe));
-        }
-    }
-
-    /// One stripe via a generic any-`k`-blocks MDS decode (RS/MSR/MBR).
-    fn read_stripe_generic(
-        &mut self,
-        name: &str,
-        stripe: usize,
-        row: &[usize],
-        code: &AnyCode,
-        degraded: &mut bool,
-    ) -> Result<Vec<u8>, ClusterError> {
-        let k = code.k();
-        let mut excluded: Vec<usize> = Vec::new();
-        'replan: loop {
-            let roles: Vec<usize> = (0..row.len())
-                .filter(|&r| !excluded.contains(&r) && self.coord.is_alive(row[r]))
-                .take(k)
-                .collect();
-            if roles.len() < k {
-                return Err(unreadable(name, stripe));
-            }
-            if roles.iter().any(|&r| r >= k) {
-                *degraded = true; // a parity block substitutes for data
-            }
-            let plan = DecodePlan::for_nodes(code.linear(), &roles)
-                .map_err(|_| unreadable(name, stripe))?;
-            let mut blocks: Vec<Vec<u8>> = Vec::with_capacity(k);
-            for &role in &roles {
-                let request = Request::GetBlock {
-                    id: block_id(name, stripe, role),
-                };
-                match self.call(row[role], &request) {
-                    Ok(Response::Data(bytes)) => blocks.push(bytes),
-                    Ok(_) | Err(ClusterError::NodeDown { .. }) => {
-                        excluded.push(role);
-                        *degraded = true;
-                        continue 'replan;
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            let refs: Vec<&[u8]> = blocks.iter().map(Vec::as_slice).collect();
-            return plan.decode(&refs).map_err(|_| unreadable(name, stripe));
-        }
-    }
-
     /// Finds and rebuilds every missing block of `name`, executing the
-    /// code's [`erasure::RepairPlan`] over the network: each helper node
-    /// compresses its block locally with the shipped coefficients and
-    /// returns `β/sub` of a block, so MSR-regime repair moves
-    /// `d/(d−k+1)` block-sizes instead of `k`.
+    /// code's repair plan over the network: each helper node compresses
+    /// its block locally with the shipped coefficients and returns
+    /// `β/sub` of a block, so MSR-regime repair moves `d/(d−k+1)`
+    /// block-sizes instead of `k`.
     ///
     /// The rebuilt block goes back to its original node if that node is
     /// reachable (e.g. after a quarantined corruption), otherwise to an
@@ -394,6 +403,7 @@ impl ClusterClient {
     /// target node can be found for some block.
     pub fn repair_file(&mut self, name: &str) -> Result<RepairReport, ClusterError> {
         let fp = self
+            .link
             .coord
             .file(name)
             .ok_or_else(|| ClusterError::UnknownFile { name: name.into() })?;
@@ -401,6 +411,7 @@ impl ClusterClient {
         let sub = code.linear().sub();
         let w = fp.block_bytes / sub;
         let d = code.d();
+        let executor = PlanExecutor::new(&self.plans).with_max_replans(self.max_replans);
         let mut report = RepairReport::default();
         for (s, row) in fp.nodes.iter().enumerate() {
             // Keep a local copy so a block re-homed during this stripe's
@@ -411,9 +422,9 @@ impl ClusterClient {
             let mut present = Vec::new();
             let mut missing = Vec::new();
             for (role, &node) in row.iter().enumerate() {
-                let ok = self.coord.is_alive(node)
+                let ok = self.link.coord.is_alive(node)
                     && matches!(
-                        self.call(
+                        self.link.call(
                             node,
                             &Request::Stat {
                                 id: block_id(name, s, role)
@@ -428,50 +439,28 @@ impl ClusterClient {
                 }
             }
             for failed in missing {
-                if present.len() < d {
-                    return Err(ClusterError::Unavailable {
-                        reason: format!(
-                            "stripe {s} of {name:?}: repair needs {d} helpers, {} present",
-                            present.len()
-                        ),
-                    });
-                }
-                let helpers: Vec<usize> = present.iter().copied().take(d).collect();
-                let plan = code.repair_plan(failed, &helpers)?;
-                let mut payloads = Vec::with_capacity(plan.helpers.len());
-                for task in &plan.helpers {
-                    let beta = task.beta();
-                    let mut coeffs = Vec::with_capacity(beta * sub);
-                    for r in 0..beta {
-                        for c in 0..sub {
-                            coeffs.push(task.coeffs.get(r, c).value());
-                        }
-                    }
-                    let rx_before = self.rx_bytes;
-                    let request = Request::RepairRead {
-                        id: block_id(name, s, task.node),
-                        rows: beta as u32,
-                        cols: sub as u32,
-                        coeffs,
+                let rx_before = self.link.rx_bytes;
+                let outcome = {
+                    let mut source = StripeSource {
+                        link: &mut self.link,
+                        name,
+                        stripe: s,
+                        row: &row,
+                        sub,
+                        w,
+                        present: Some(&present),
                     };
-                    let payload = match self.call(row[task.node], &request)? {
-                        Response::Data(bytes) if bytes.len() == beta * w => bytes,
-                        Response::Error(message) => return Err(ClusterError::Remote { message }),
-                        other => {
-                            return Err(ClusterError::Protocol {
-                                reason: format!("unexpected RepairRead reply: {other:?}"),
-                            });
-                        }
-                    };
-                    report.helper_payload_bytes += payload.len() as u64;
-                    report.wire_bytes += self.rx_bytes - rx_before;
-                    payloads.push(payload);
-                }
-                let rebuilt = plan.combine_payloads(&payloads)?;
-                let target = if self.coord.is_alive(row[failed]) {
+                    executor
+                        .repair_block(&code, failed, &mut source)
+                        .map_err(|e| repair_error(name, s, d, e))?
+                };
+                report.helper_payload_bytes += outcome.payload_bytes as u64;
+                report.wire_bytes += self.link.rx_bytes - rx_before;
+                let target = if self.link.coord.is_alive(row[failed]) {
                     row[failed]
                 } else {
-                    self.coord
+                    self.link
+                        .coord
                         .alive_nodes()
                         .into_iter()
                         .find(|node| !row.contains(node))
@@ -481,11 +470,11 @@ impl ClusterClient {
                             ),
                         })?
                 };
-                match self.call(
+                match self.link.call(
                     target,
                     &Request::PutBlock {
                         id: block_id(name, s, failed),
-                        data: rebuilt,
+                        data: outcome.block,
                     },
                 )? {
                     Response::Done => {}
@@ -495,7 +484,7 @@ impl ClusterClient {
                         });
                     }
                 }
-                self.coord.set_block_node(name, s, failed, target);
+                self.link.coord.set_block_node(name, s, failed, target);
                 row[failed] = target;
                 present.push(failed);
                 report.blocks_repaired += 1;
@@ -520,5 +509,34 @@ fn block_id(name: &str, stripe: usize, role: usize) -> BlockId {
 fn unreadable(name: &str, stripe: usize) -> ClusterError {
     ClusterError::Unavailable {
         reason: format!("stripe {stripe} of {name:?} has too few reachable blocks"),
+    }
+}
+
+/// Maps a stripe-read executor failure onto the client's error surface.
+fn read_error(name: &str, stripe: usize, e: ExecError<ClusterError>) -> ClusterError {
+    match e {
+        ExecError::Source(e) => e,
+        ExecError::Code(_) => unreadable(name, stripe),
+        ExecError::ReplansExhausted { attempts } => ClusterError::ReplansExhausted {
+            name: name.into(),
+            stripe,
+            attempts,
+        },
+    }
+}
+
+/// Maps a repair executor failure onto the client's error surface.
+fn repair_error(name: &str, stripe: usize, d: usize, e: ExecError<ClusterError>) -> ClusterError {
+    match e {
+        ExecError::Source(e) => e,
+        ExecError::Code(CodeError::InsufficientData { got, .. }) => ClusterError::Unavailable {
+            reason: format!("stripe {stripe} of {name:?}: repair needs {d} helpers, {got} present"),
+        },
+        ExecError::Code(e) => e.into(),
+        ExecError::ReplansExhausted { attempts } => ClusterError::ReplansExhausted {
+            name: name.into(),
+            stripe,
+            attempts,
+        },
     }
 }

@@ -40,6 +40,16 @@ pub enum ClusterError {
         /// What the cluster could not do.
         reason: String,
     },
+    /// Nodes kept failing mid-operation until the client's replan budget
+    /// ran out.
+    ReplansExhausted {
+        /// The file being accessed.
+        name: String,
+        /// The stripe the client gave up on.
+        stripe: usize,
+        /// Replans attempted before giving up.
+        attempts: usize,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -53,6 +63,14 @@ impl fmt::Display for ClusterError {
             ClusterError::NodeDown { node } => write!(f, "datanode {node} is unreachable"),
             ClusterError::UnknownFile { name } => write!(f, "unknown file {name:?}"),
             ClusterError::Unavailable { reason } => write!(f, "unavailable: {reason}"),
+            ClusterError::ReplansExhausted {
+                name,
+                stripe,
+                attempts,
+            } => write!(
+                f,
+                "stripe {stripe} of {name:?}: gave up after {attempts} mid-operation replans"
+            ),
         }
     }
 }

@@ -73,6 +73,53 @@ impl BlockReadPlan {
         self.target
     }
 
+    /// Every `(node, stored unit)` source, flattened across copies in the
+    /// order [`BlockReadPlan::decode_units`] expects.
+    pub fn sources(&self) -> Vec<(usize, usize)> {
+        self.copies
+            .iter()
+            .flat_map(|c| c.sources.iter().copied())
+            .collect()
+    }
+
+    /// Unit-level execution: `units[i]` is the payload of `sources()[i]`,
+    /// all of equal width `w`. Returns the `data_units · w` bytes of the
+    /// target's data region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InsufficientData`] on a count mismatch and
+    /// [`CodeError::BlockSizeMismatch`] for ragged unit widths.
+    pub fn decode_units(&self, units: &[&[u8]]) -> Result<Vec<u8>, CodeError> {
+        let total: usize = self.copies.iter().map(|c| c.sources.len()).sum();
+        if units.len() != total {
+            return Err(CodeError::InsufficientData {
+                needed: total,
+                got: units.len(),
+            });
+        }
+        let w = units[0].len();
+        if let Some(bad) = units.iter().find(|u| u.len() != w) {
+            return Err(CodeError::BlockSizeMismatch {
+                expected: w,
+                actual: bad.len(),
+            });
+        }
+        let mut out = vec![0u8; self.data_units * w];
+        let mut off = 0;
+        for copy in &self.copies {
+            let slices = &units[off..off + copy.sources.len()];
+            for (pos, row) in &copy.outputs {
+                let dst = &mut out[pos * w..(pos + 1) * w];
+                for (&c, src) in row.iter().zip(slices) {
+                    mul_acc_slice(c, src, dst);
+                }
+            }
+            off += copy.sources.len();
+        }
+        Ok(out)
+    }
+
     /// Executes the plan: returns the `data_units · w` bytes of the
     /// target's data region (its contiguous file chunk).
     ///
@@ -303,6 +350,34 @@ mod tests {
             code.plan_block_read(0, &[1, 1, 2, 3, 4, 5]),
             Err(CodeError::DuplicateNode { .. })
         ));
+    }
+
+    #[test]
+    fn decode_units_matches_execute() {
+        let code = Carousel::new(6, 3, 3, 6).unwrap();
+        let file: Vec<u8> = (0..code.linear().message_units() * 8)
+            .map(|i| (i * 13 + 3) as u8)
+            .collect();
+        let stripe = code.linear().encode(&file).unwrap();
+        let w = stripe.unit_bytes;
+        let available: Vec<usize> = (1..6).collect();
+        let plan = code.plan_block_read(0, &available).unwrap();
+        let blocks: Vec<Option<&[u8]>> = (0..6)
+            .map(|i| (i != 0).then(|| &stripe.blocks[i][..]))
+            .collect();
+        let by_blocks = plan.execute(&blocks).unwrap();
+        let units: Vec<&[u8]> = plan
+            .sources()
+            .iter()
+            .map(|&(nd, u)| &stripe.blocks[nd][u * w..(u + 1) * w])
+            .collect();
+        let by_units = plan.decode_units(&units).unwrap();
+        assert_eq!(by_blocks, by_units);
+        // Count and width mismatches are rejected.
+        assert!(plan.decode_units(&units[1..]).is_err());
+        let mut ragged = units.clone();
+        ragged[0] = &units[0][..w - 1];
+        assert!(plan.decode_units(&ragged).is_err());
     }
 
     #[test]

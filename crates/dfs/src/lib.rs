@@ -28,9 +28,11 @@ mod topology;
 pub mod durability;
 pub mod reader;
 pub mod repairer;
+pub mod simstore;
 pub mod writer;
 
 pub use namenode::{MapSplit, Namenode, PlacedBlock, StoredFile, Stripe};
 pub use placement::Placement;
 pub use policy::{CodingRates, Policy, SplitSpec};
+pub use simstore::{SimNodes, SimStore};
 pub use topology::{ClusterSpec, Topology};

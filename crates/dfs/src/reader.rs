@@ -20,8 +20,10 @@
 
 use std::sync::LazyLock;
 
+use access::{AccessCode, PlanCache, ReadMode};
 use carousel::Carousel;
 use erasure::CodeError;
+use rs_code::ReedSolomon;
 use simcore::Engine;
 
 use crate::namenode::StoredFile;
@@ -126,6 +128,24 @@ pub fn download_striped(
     file: &StoredFile,
     rates: CodingRates,
 ) -> Result<DownloadResult, CodeError> {
+    // One code and one plan cache per file: every stripe shares the
+    // geometry, so stripes with the same liveness pattern replan for free.
+    let (code, code_rate): (Box<dyn AccessCode>, f64) = match file.policy {
+        Policy::Replication { .. } => {
+            return Err(CodeError::InvalidParameters {
+                reason: "download_striped requires a coded file".into(),
+            })
+        }
+        Policy::Rs { n, k } => (Box::new(ReedSolomon::new(n, k)?), rates.rs_decode_mbps),
+        Policy::Carousel { n, k, d, p } => (
+            Box::new(Carousel::new(n, k, d, p)?),
+            rates.carousel_decode_mbps,
+        ),
+    };
+    let k = code.k();
+    let unit_mb = file.block_mb / code.linear().sub() as f64;
+    let plans = PlanCache::new(file.stripes.len().max(1));
+
     let mut engine: Engine<usize> = Engine::new();
     let topo = Topology::build(spec, &mut engine);
     let mut downloaded_mb = 0.0;
@@ -135,45 +155,13 @@ pub fn download_striped(
 
     for stripe in &file.stripes {
         let alive = stripe.alive_roles();
-        // (role, MB) fetch list for this stripe.
-        let fetches: Vec<(usize, f64)> = match file.policy {
-            Policy::Replication { .. } => {
-                return Err(CodeError::InvalidParameters {
-                    reason: "download_striped requires a coded file".into(),
-                })
-            }
-            Policy::Rs { k, .. } => {
-                let data_alive = (0..k).all(|r| alive.contains(&r));
-                if data_alive {
-                    (0..k).map(|r| (r, file.block_mb)).collect()
-                } else {
-                    // Degraded: k live blocks, data roles first, then parity.
-                    if alive.len() < k {
-                        return Err(CodeError::InsufficientData {
-                            needed: k,
-                            got: alive.len(),
-                        });
-                    }
-                    decoded_mb += k as f64 * file.block_mb;
-                    decode_rate = decode_rate.min(rates.rs_decode_mbps);
-                    alive.iter().take(k).map(|&r| (r, file.block_mb)).collect()
-                }
-            }
-            Policy::Carousel { n, k, d, p } => {
-                let code = Carousel::new(n, k, d, p)?;
-                let plan = code.plan_read(&alive)?;
-                if plan.mode() != carousel::ReadMode::Direct {
-                    decoded_mb += k as f64 * file.block_mb;
-                    decode_rate = decode_rate.min(rates.carousel_decode_mbps);
-                }
-                let unit_mb = file.block_mb / code.sub() as f64;
-                plan.units_per_node()
-                    .iter()
-                    .map(|&(role, units)| (role, units as f64 * unit_mb))
-                    .collect()
-            }
-        };
-        for (role, mb) in fetches {
+        let plan = plans.read_plan(code.as_ref(), &alive)?;
+        if plan.mode() != ReadMode::Direct {
+            decoded_mb += k as f64 * file.block_mb;
+            decode_rate = decode_rate.min(code_rate);
+        }
+        for (role, units) in plan.units_per_node() {
+            let mb = units as f64 * unit_mb;
             let node = stripe.blocks[role].node;
             engine.start_flow(mb, &topo.client_read(node), None, 0);
             downloaded_mb += mb;

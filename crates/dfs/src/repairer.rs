@@ -11,8 +11,9 @@
 
 use std::sync::LazyLock;
 
+use access::AccessCode;
 use carousel::Carousel;
-use erasure::{CodeError, ErasureCode};
+use erasure::CodeError;
 use rs_code::ReedSolomon;
 use simcore::Engine;
 
@@ -62,32 +63,24 @@ pub fn repair_file(
     file: &StoredFile,
     rates: CodingRates,
 ) -> Result<RepairReport, CodeError> {
-    // Per-lost-block repair shape: helper payload fraction and d.
-    let (d, payload_fraction, decode_rate): (usize, f64, f64) = match file.policy {
+    // Per-lost-block repair shape: helper payload fraction and d, taken
+    // from the real repair plan the access layer would execute.
+    let (code, d, decode_rate): (Box<dyn AccessCode>, usize, f64) = match file.policy {
         Policy::Replication { .. } => {
             return Err(CodeError::InvalidParameters {
                 reason: "replicated blocks are re-copied, not code-repaired".into(),
             })
         }
-        Policy::Rs { k, .. } => {
-            // Validate plan shape against the real code once.
-            let rs = ReedSolomon::new(file.policy.stripe_width(), k)?;
-            let helpers: Vec<usize> = (1..=k).collect();
-            let plan = rs.repair_plan(0, &helpers)?;
-            (k, plan.traffic_blocks(1) / k as f64, rates.rs_decode_mbps)
-        }
-        Policy::Carousel { n, k, d, p } => {
-            let code = Carousel::new(n, k, d, p)?;
-            let helpers: Vec<usize> = (1..=d).collect();
-            let plan = code.repair_plan(0, &helpers)?;
-            let sub = code.linear().sub();
-            (
-                d,
-                plan.traffic_blocks(sub) / d as f64,
-                rates.carousel_decode_mbps,
-            )
-        }
+        Policy::Rs { n, k } => (Box::new(ReedSolomon::new(n, k)?), k, rates.rs_decode_mbps),
+        Policy::Carousel { n, k, d, p } => (
+            Box::new(Carousel::new(n, k, d, p)?),
+            d,
+            rates.carousel_decode_mbps,
+        ),
     };
+    let helpers: Vec<usize> = (1..=d).collect();
+    let plan = access::RepairPlan::plan(code.as_ref(), 0, &helpers)?;
+    let payload_fraction = plan.traffic_blocks() / d as f64;
 
     let mut engine: Engine<Ev> = Engine::new();
     let topo = Topology::build(spec, &mut engine);

@@ -1,0 +1,318 @@
+//! A simulated datanode block store served through the `access` layer.
+//!
+//! Where [`crate::reader`] and [`crate::repairer`] model *time* (flows over
+//! disks, NICs and CPUs), this module models *bytes*: it actually encodes a
+//! file into per-stripe blocks, injects failures, and serves the blocks
+//! through the same [`BlockSource`] contract the in-memory filestore and the
+//! TCP cluster use. That makes the simulated DFS a third transport the
+//! consistency proptests can compare byte-for-byte against the other two.
+
+use access::{AccessCode, BlockSource, ExecError, Fetch, PlanCache, PlanExecutor};
+use erasure::{CodeError, SparseEncoder};
+
+/// Collapses an executor error over an infallible transport into the
+/// underlying [`CodeError`].
+fn flatten_exec(e: ExecError<std::convert::Infallible>) -> CodeError {
+    match e {
+        ExecError::Source(never) => match never {},
+        ExecError::Code(e) => e,
+        ExecError::ReplansExhausted { attempts } => CodeError::InvalidParameters {
+            reason: format!("gave up after {attempts} replans"),
+        },
+    }
+}
+
+/// One stripe's blocks plus per-role liveness.
+#[derive(Debug, Clone)]
+struct SimStripe {
+    blocks: Vec<Vec<u8>>,
+    alive: Vec<bool>,
+}
+
+/// A file encoded onto simulated datanodes: real bytes, injectable
+/// failures, all reads and repairs planned through the `access` layer.
+pub struct SimStore {
+    code: Box<dyn AccessCode>,
+    block_bytes: usize,
+    file_len: usize,
+    stripes: Vec<SimStripe>,
+}
+
+impl std::fmt::Debug for SimStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimStore")
+            .field("code", &self.code.name())
+            .field("block_bytes", &self.block_bytes)
+            .field("file_len", &self.file_len)
+            .field("stripes", &self.stripes.len())
+            .finish()
+    }
+}
+
+impl SimStore {
+    /// Encodes `data` into stripes of `block_bytes`-sized blocks under
+    /// `code`, all blocks initially alive.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty input and a `block_bytes` that is zero or not a
+    /// multiple of the code's sub-packetization.
+    pub fn encode(
+        code: Box<dyn AccessCode>,
+        block_bytes: usize,
+        data: &[u8],
+    ) -> Result<Self, CodeError> {
+        let sub = code.linear().sub();
+        if block_bytes == 0 || !block_bytes.is_multiple_of(sub) {
+            return Err(CodeError::InvalidParameters {
+                reason: format!(
+                    "block_bytes {block_bytes} must be a positive multiple of sub = {sub}"
+                ),
+            });
+        }
+        if data.is_empty() {
+            return Err(CodeError::InvalidParameters {
+                reason: "cannot store an empty file".into(),
+            });
+        }
+        let encoder = SparseEncoder::new(code.linear());
+        let w = block_bytes / sub;
+        let n = code.n();
+        let stripe_data_bytes = code.k() * block_bytes;
+        let mut stripes = Vec::new();
+        for chunk in data.chunks(stripe_data_bytes) {
+            let stripe = encoder.encode_with_unit_bytes(chunk, w)?;
+            stripes.push(SimStripe {
+                blocks: stripe.blocks,
+                alive: vec![true; n],
+            });
+        }
+        Ok(SimStore {
+            code,
+            block_bytes,
+            file_len: data.len(),
+            stripes,
+        })
+    }
+
+    /// The code this file is striped under.
+    pub fn code(&self) -> &dyn AccessCode {
+        self.code.as_ref()
+    }
+
+    /// Original file length in bytes.
+    pub fn file_len(&self) -> usize {
+        self.file_len
+    }
+
+    /// Size of every stored block in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stored block at `(stripe, role)` (present even while dead — a
+    /// dead node's disk still holds the bytes, it just won't serve them).
+    pub fn block(&self, stripe: usize, role: usize) -> &[u8] {
+        &self.stripes[stripe].blocks[role]
+    }
+
+    /// Whether the block at `(stripe, role)` is being served.
+    pub fn is_alive(&self, stripe: usize, role: usize) -> bool {
+        self.stripes[stripe].alive[role]
+    }
+
+    /// Marks one block dead.
+    pub fn fail_block(&mut self, stripe: usize, role: usize) {
+        self.stripes[stripe].alive[role] = false;
+    }
+
+    /// Marks `role` dead in every stripe — a whole-datanode failure under
+    /// identity placement.
+    pub fn fail_role(&mut self, role: usize) {
+        for stripe in &mut self.stripes {
+            stripe.alive[role] = false;
+        }
+    }
+
+    /// A [`BlockSource`] view of one stripe's datanodes.
+    pub fn stripe_source(&self, stripe: usize) -> SimNodes<'_> {
+        SimNodes {
+            stripe: &self.stripes[stripe],
+            sub: self.code.linear().sub(),
+            unit_bytes: self.block_bytes / self.code.linear().sub(),
+        }
+    }
+
+    /// Downloads the whole file through `plans`, degrading around dead
+    /// blocks stripe by stripe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InsufficientData`] when some stripe has fewer
+    /// than `k` live blocks.
+    pub fn download(&self, plans: &PlanCache) -> Result<Vec<u8>, CodeError> {
+        let executor = PlanExecutor::new(plans).with_max_replans(self.code.n());
+        let mut out = Vec::with_capacity(self.file_len);
+        for s in 0..self.stripes.len() {
+            let mut source = self.stripe_source(s);
+            let read = executor
+                .read_stripe(self.code.as_ref(), &mut source)
+                .map_err(flatten_exec)?;
+            out.extend_from_slice(&read.data);
+        }
+        out.truncate(self.file_len);
+        Ok(out)
+    }
+
+    /// Rebuilds the dead block at `(stripe, role)` from `d` live helpers
+    /// and brings it back into service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InsufficientData`] with fewer than `d` live
+    /// helpers, and [`CodeError::InvalidParameters`] if the block is alive.
+    pub fn repair_block(
+        &mut self,
+        stripe: usize,
+        role: usize,
+        plans: &PlanCache,
+    ) -> Result<(), CodeError> {
+        if self.stripes[stripe].alive[role] {
+            return Err(CodeError::InvalidParameters {
+                reason: format!("block ({stripe}, {role}) is not dead"),
+            });
+        }
+        let outcome = {
+            let executor = PlanExecutor::new(plans).with_max_replans(self.code.n());
+            let mut source = self.stripe_source(stripe);
+            executor
+                .repair_block(self.code.as_ref(), role, &mut source)
+                .map_err(flatten_exec)?
+        };
+        let st = &mut self.stripes[stripe];
+        st.blocks[role] = outcome.block;
+        st.alive[role] = true;
+        Ok(())
+    }
+}
+
+/// [`BlockSource`] over one [`SimStore`] stripe: dead roles answer
+/// [`Fetch::Unavailable`], live ones serve their stored units.
+#[derive(Debug)]
+pub struct SimNodes<'a> {
+    stripe: &'a SimStripe,
+    sub: usize,
+    unit_bytes: usize,
+}
+
+impl BlockSource for SimNodes<'_> {
+    type Error = std::convert::Infallible;
+
+    fn block_count(&self) -> usize {
+        self.stripe.blocks.len()
+    }
+
+    fn unit_bytes(&self) -> usize {
+        self.unit_bytes
+    }
+
+    fn available(&mut self) -> Vec<usize> {
+        (0..self.stripe.alive.len())
+            .filter(|&i| self.stripe.alive[i])
+            .collect()
+    }
+
+    fn fetch_units(&mut self, node: usize, units: &[usize]) -> Result<Fetch, Self::Error> {
+        if !self.stripe.alive.get(node).copied().unwrap_or(false) {
+            return Ok(Fetch::Unavailable);
+        }
+        let block = &self.stripe.blocks[node];
+        let w = self.unit_bytes;
+        let mut out = Vec::with_capacity(units.len() * w);
+        for &u in units {
+            if u >= self.sub {
+                return Ok(Fetch::Unavailable);
+            }
+            out.extend_from_slice(&block[u * w..(u + 1) * w]);
+        }
+        Ok(Fetch::Data(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carousel::Carousel;
+    use rs_code::ReedSolomon;
+
+    fn bytes(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 131 + 17) as u8).collect()
+    }
+
+    #[test]
+    fn round_trip_with_failures() {
+        let code = Carousel::new(6, 3, 3, 6).unwrap();
+        let data = bytes(1000);
+        let mut store = SimStore::encode(Box::new(code), 60, &data).unwrap();
+        let plans = PlanCache::new(8);
+        assert_eq!(store.download(&plans).unwrap(), data);
+        store.fail_role(2);
+        assert_eq!(store.download(&plans).unwrap(), data);
+        store.fail_block(0, 5);
+        assert_eq!(store.download(&plans).unwrap(), data);
+    }
+
+    #[test]
+    fn too_many_failures_reported() {
+        let code = ReedSolomon::new(4, 2).unwrap();
+        let mut store = SimStore::encode(Box::new(code), 16, &bytes(100)).unwrap();
+        for role in 0..3 {
+            store.fail_role(role);
+        }
+        assert!(matches!(
+            store.download(&PlanCache::new(4)),
+            Err(CodeError::InsufficientData { needed: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn repair_restores_the_exact_block() {
+        let code = Carousel::new(8, 4, 6, 8).unwrap();
+        let data = bytes(4096);
+        let mut store = SimStore::encode(Box::new(code), 120, &data).unwrap();
+        let plans = PlanCache::new(8);
+        let original = store.block(1, 3).to_vec();
+        store.fail_block(1, 3);
+        store.repair_block(1, 3, &plans).unwrap();
+        assert!(store.is_alive(1, 3));
+        assert_eq!(store.block(1, 3), &original[..]);
+        // Repairing a live block is rejected.
+        assert!(store.repair_block(1, 3, &plans).is_err());
+    }
+
+    #[test]
+    fn identical_failure_patterns_share_cached_plans() {
+        let code = Carousel::new(6, 3, 3, 6).unwrap();
+        let mut store = SimStore::encode(Box::new(code), 60, &bytes(2000)).unwrap();
+        assert!(store.stripes() > 2);
+        store.fail_role(1);
+        let plans = PlanCache::new(8);
+        store.download(&plans).unwrap();
+        // One miss for the shared degraded pattern, hits for every other stripe.
+        assert_eq!(plans.misses(), 1);
+        assert_eq!(plans.hits() as usize, store.stripes() - 1);
+    }
+
+    #[test]
+    fn bad_geometry_rejected() {
+        let code = Carousel::new(6, 3, 3, 6).unwrap();
+        assert!(SimStore::encode(Box::new(code), 61, &bytes(100)).is_err());
+        let code = Carousel::new(6, 3, 3, 6).unwrap();
+        assert!(SimStore::encode(Box::new(code), 60, &[]).is_err());
+    }
+}

@@ -8,6 +8,7 @@
 //! skipping zero coefficients keeps the per-output-byte cost identical to
 //! the RS/MSR code the Carousel code was constructed from.
 
+use std::borrow::Cow;
 use std::sync::LazyLock;
 
 use gf256::{mul_acc_slice, Gf256};
@@ -39,12 +40,16 @@ impl EncodedStripe {
 }
 
 /// Zero-pads `data` to a multiple of `units` and returns the padded buffer
-/// together with the resulting unit width `w`.
-pub(crate) fn pad_message(data: &[u8], units: usize) -> (Vec<u8>, usize) {
+/// together with the resulting unit width `w`. Already-padded input is
+/// borrowed rather than copied.
+pub(crate) fn pad_message(data: &[u8], units: usize) -> (Cow<'_, [u8]>, usize) {
     let w = data.len().div_ceil(units).max(1);
+    if data.len() == units * w {
+        return (Cow::Borrowed(data), w);
+    }
     let mut padded = data.to_vec();
     padded.resize(units * w, 0);
-    (padded, w)
+    (Cow::Owned(padded), w)
 }
 
 /// A reusable encoder that exploits generator-matrix sparsity.
@@ -108,28 +113,47 @@ impl SparseEncoder {
         if data.is_empty() {
             return Err(CodeError::InsufficientData { needed: 1, got: 0 });
         }
-        let (padded, w) = pad_message(data, self.units);
-        Ok(self.encode_padded(&padded, w, data.len()))
+        let w = data.len().div_ceil(self.units).max(1);
+        self.encode_with_unit_bytes(data, w)
     }
 
-    /// Encodes an already-padded message of exactly `units · w` bytes.
-    pub(crate) fn encode_padded(
+    /// Encodes `data` at an explicit unit width `w`, as a fixed-geometry
+    /// file store does (`w = block_bytes / sub` regardless of how short the
+    /// final chunk is). Trailing padding is implicit — no padded copy of
+    /// `data` is ever made.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InsufficientData`] for empty input and
+    /// [`CodeError::BlockSizeMismatch`] if `data` exceeds `units · w` bytes
+    /// or `w` is zero.
+    pub fn encode_with_unit_bytes(
         &self,
-        padded: &[u8],
+        data: &[u8],
         w: usize,
-        original_len: usize,
-    ) -> EncodedStripe {
+    ) -> Result<EncodedStripe, CodeError> {
+        if data.is_empty() {
+            return Err(CodeError::InsufficientData { needed: 1, got: 0 });
+        }
+        if w == 0 || data.len() > self.units * w {
+            return Err(CodeError::BlockSizeMismatch {
+                expected: self.units * w,
+                actual: data.len(),
+            });
+        }
         let mut stripe = EncodedStripe {
             blocks: vec![vec![0u8; self.sub * w]; self.n],
             unit_bytes: w,
-            original_len,
+            original_len: data.len(),
         };
-        self.encode_padded_into(padded, w, &mut stripe);
-        stripe
+        self.encode_unpadded_into(data, w, &mut stripe);
+        Ok(stripe)
     }
 
-    fn encode_padded_into(&self, padded: &[u8], w: usize, stripe: &mut EncodedStripe) {
-        debug_assert_eq!(padded.len(), self.units * w);
+    /// The copy-free core: reads message units straight out of `data`,
+    /// clamping the final (short) unit instead of materializing padding.
+    fn encode_unpadded_into(&self, data: &[u8], w: usize, stripe: &mut EncodedStripe) {
+        debug_assert!(data.len() <= self.units * w);
         let _timer = if telemetry::ENABLED {
             ENCODE_STRIPES.inc();
             ENCODE_BYTES.add((self.n * self.sub * w) as u64);
@@ -142,7 +166,12 @@ impl SparseEncoder {
             for unit in 0..self.sub {
                 let out = &mut block[unit * w..(unit + 1) * w];
                 for &(j, c) in &self.rows[node * self.sub + unit] {
-                    mul_acc_slice(c, &padded[j * w..(j + 1) * w], out);
+                    let start = j * w;
+                    if start >= data.len() {
+                        continue;
+                    }
+                    let end = (start + w).min(data.len());
+                    mul_acc_slice(c, &data[start..end], &mut out[..end - start]);
                 }
             }
         }
@@ -171,10 +200,8 @@ impl SparseEncoder {
                 actual: data.len(),
             });
         }
-        let mut padded = data.to_vec();
-        padded.resize(self.units * w, 0);
         stripe.original_len = data.len();
-        self.encode_padded_into(&padded, w, stripe);
+        self.encode_unpadded_into(data, w, stripe);
         Ok(())
     }
 }
@@ -341,7 +368,34 @@ mod tests {
         assert_eq!(pad_message(b"", 4).1, 1);
         let (p, w) = pad_message(b"xyz", 4);
         assert_eq!(w, 1);
-        assert_eq!(p, vec![b'x', b'y', b'z', 0]);
+        assert_eq!(p.as_ref(), [b'x', b'y', b'z', 0]);
+        assert!(matches!(p, Cow::Owned(_)));
+        // Already-padded input is borrowed, not copied.
+        let (p, w) = pad_message(b"abcd", 2);
+        assert_eq!(w, 2);
+        assert!(matches!(p, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn explicit_width_encode_matches_padded_encode() {
+        let code = code(6, 4);
+        let enc = SparseEncoder::new(&code);
+        // A short final chunk at a fixed width encodes like its zero-padded
+        // equivalent.
+        let data: Vec<u8> = (0..23).map(|i| (i * 7 + 1) as u8).collect();
+        let w = 8;
+        let mut padded = data.clone();
+        padded.resize(4 * w, 0);
+        let a = enc.encode_with_unit_bytes(&data, w).unwrap();
+        let b = enc.encode_with_unit_bytes(&padded, w).unwrap();
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(a.unit_bytes, w);
+        assert_eq!(a.original_len, data.len());
+        // Oversized data and zero width are rejected.
+        assert!(enc
+            .encode_with_unit_bytes(&vec![0u8; 4 * w + 1], w)
+            .is_err());
+        assert!(enc.encode_with_unit_bytes(&data, 0).is_err());
     }
 
     #[test]

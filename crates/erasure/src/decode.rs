@@ -212,78 +212,6 @@ impl DecodePlan {
     }
 }
 
-/// A bounded cache of [`DecodePlan`]s keyed by the node subset.
-///
-/// Building a plan inverts a `B × B` matrix; a storage server decoding many
-/// stripes under the same failure pattern should pay that once. Eviction is
-/// FIFO — access patterns in a degraded cluster are dominated by a handful
-/// of live-set combinations, so anything smarter buys little.
-///
-/// # Examples
-///
-/// ```
-/// use erasure::{decode::PlanCache, LinearCode};
-/// use gf256::{builders::systematize, Matrix};
-///
-/// let code = LinearCode::new(6, 4, 1, systematize(&Matrix::vandermonde(6, 4)))?;
-/// let mut cache = PlanCache::new(8);
-/// let a = cache.plan(&code, &[0, 2, 4, 5])?.sources().len();
-/// let b = cache.plan(&code, &[5, 0, 4, 2])?.sources().len(); // same set, cached
-/// assert_eq!(a, b);
-/// assert_eq!(cache.len(), 1);
-/// # Ok::<(), erasure::CodeError>(())
-/// ```
-#[derive(Debug)]
-pub struct PlanCache {
-    capacity: usize,
-    entries: Vec<(Vec<usize>, DecodePlan)>,
-}
-
-impl PlanCache {
-    /// Creates a cache holding at most `capacity` plans.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
-        PlanCache {
-            capacity,
-            entries: Vec::new(),
-        }
-    }
-
-    /// Number of cached plans.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// `true` if the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Returns the plan for this node set (order-insensitive), building and
-    /// caching it on a miss.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`DecodePlan::for_nodes`] failures (not cached).
-    pub fn plan(&mut self, code: &LinearCode, nodes: &[usize]) -> Result<&DecodePlan, CodeError> {
-        let mut key = nodes.to_vec();
-        key.sort_unstable();
-        if let Some(idx) = self.entries.iter().position(|(k, _)| *k == key) {
-            return Ok(&self.entries[idx].1);
-        }
-        let plan = DecodePlan::for_nodes(code, &key)?;
-        if self.entries.len() == self.capacity {
-            self.entries.remove(0);
-        }
-        self.entries.push((key, plan));
-        Ok(&self.entries.last().expect("just pushed").1)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,43 +290,6 @@ mod tests {
             DecodePlan::for_units(&code, &oob),
             Err(CodeError::NodeOutOfRange { .. })
         ));
-    }
-
-    #[test]
-    fn plan_cache_hits_and_evicts() {
-        let code = code2();
-        let mut cache = PlanCache::new(2);
-        cache.plan(&code, &[0, 1, 2]).unwrap();
-        cache.plan(&code, &[2, 1, 0]).unwrap(); // same set
-        assert_eq!(cache.len(), 1);
-        cache.plan(&code, &[1, 2, 3]).unwrap();
-        cache.plan(&code, &[2, 3, 4]).unwrap(); // evicts {0,1,2}
-        assert_eq!(cache.len(), 2);
-        // Error paths are not cached.
-        assert!(cache.plan(&code, &[0, 1]).is_err());
-        assert_eq!(cache.len(), 2);
-    }
-
-    #[test]
-    fn cached_plan_decodes_correctly() {
-        let code = code2();
-        let data: Vec<u8> = (0..48).map(|i| (i * 3 + 2) as u8).collect();
-        let stripe = code.encode(&data).unwrap();
-        let mut cache = PlanCache::new(4);
-        for nodes in [[0usize, 1, 2], [3, 4, 5], [0, 1, 2]] {
-            let mut sorted = nodes;
-            sorted.sort_unstable();
-            let plan = cache.plan(&code, &nodes).unwrap();
-            let blocks: Vec<&[u8]> = sorted.iter().map(|&i| &stripe.blocks[i][..]).collect();
-            let out = plan.decode(&blocks).unwrap();
-            assert_eq!(&out[..data.len()], &data[..]);
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "capacity must be positive")]
-    fn zero_capacity_rejected() {
-        let _ = PlanCache::new(0);
     }
 
     #[test]

@@ -1,8 +1,46 @@
 //! The file codec: stripes, whole-file decode, byte-range reads, repair.
+//!
+//! All decode-side paths (whole-stripe decode, degraded range reads, block
+//! repair) plan through the shared `access` layer: the codec holds an
+//! [`access::PlanCache`] so repeated reads under one failure pattern pay for
+//! each Gaussian elimination once, and execution runs the generic
+//! [`access::PlanExecutor`] over an in-memory [`access::MemorySource`].
 
-use erasure::{ColumnUpdater, DecodePlan, ErasureCode, SparseEncoder};
+use std::sync::Arc;
+
+use access::{AccessCode, ExecError, MemorySource, PlanCache, PlanExecutor};
+use erasure::{CodeError, ColumnUpdater, ErasureCode, SparseEncoder};
 
 use crate::error::FileError;
+
+/// Default number of cached plans per codec — generous for the handful of
+/// live-set patterns a degraded file sees.
+const DEFAULT_PLAN_CACHE: usize = 32;
+
+/// Maps an executor failure on an in-memory source to a [`FileError`],
+/// labeling it with the stripe. `needed` is the plan's block requirement
+/// (`k` for reads, `d` for repairs).
+fn map_exec(stripe: usize, needed: usize, e: ExecError<std::convert::Infallible>) -> FileError {
+    match e {
+        ExecError::Source(never) => match never {},
+        ExecError::Code(CodeError::InsufficientData { needed, got }) => {
+            FileError::StripeUnrecoverable {
+                stripe,
+                live: got,
+                needed,
+            }
+        }
+        ExecError::Code(other) => FileError::Code(other),
+        // Unreachable with a well-formed in-memory source (the replan budget
+        // is the block count, and each replan shrinks the live set), but
+        // mapped defensively.
+        ExecError::ReplansExhausted { .. } => FileError::StripeUnrecoverable {
+            stripe,
+            live: 0,
+            needed,
+        },
+    }
+}
 
 /// Metadata of an encoded file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +74,8 @@ impl FileMeta {
 pub struct FileCodec<C> {
     code: C,
     block_bytes: usize,
+    encoder: SparseEncoder,
+    plans: Arc<PlanCache>,
 }
 
 impl<C: ErasureCode> FileCodec<C> {
@@ -55,7 +95,26 @@ impl<C: ErasureCode> FileCodec<C> {
                 ),
             });
         }
-        Ok(FileCodec { code, block_bytes })
+        let encoder = SparseEncoder::new(code.linear());
+        Ok(FileCodec {
+            code,
+            block_bytes,
+            encoder,
+            plans: Arc::new(PlanCache::new(DEFAULT_PLAN_CACHE)),
+        })
+    }
+
+    /// Replaces the plan cache — share one across codecs, or pass
+    /// [`PlanCache::disabled`] to force fresh plans on every read.
+    pub fn with_plan_cache(mut self, plans: Arc<PlanCache>) -> Self {
+        self.plans = plans;
+        self
+    }
+
+    /// The plan cache driving this codec's decode paths (hit/miss counters
+    /// included).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
     }
 
     /// The underlying code.
@@ -87,10 +146,11 @@ impl<C: ErasureCode> FileCodec<C> {
                 reason: format!("stripe chunk of {} bytes, expected 1..={sdb}", chunk.len()),
             });
         }
-        let mut padded = chunk.to_vec();
-        padded.resize(sdb, 0);
-        let encoder = SparseEncoder::new(self.code.linear());
-        let stripe = encoder.encode(&padded)?;
+        // Fixed geometry: the unit width comes from the block size, not the
+        // chunk length, so short final chunks pad implicitly (and copy-free)
+        // inside the encoder.
+        let w = self.block_bytes / self.code.linear().sub();
+        let stripe = self.encoder.encode_with_unit_bytes(chunk, w)?;
         debug_assert_eq!(stripe.block_bytes(), self.block_bytes);
         Ok(stripe.blocks)
     }
@@ -129,34 +189,25 @@ impl<C: ErasureCode> FileCodec<C> {
             stripes,
         })
     }
+}
 
-    /// Decodes one stripe from its (partially available) blocks.
+impl<C: AccessCode> FileCodec<C> {
+    /// Decodes one stripe from its (partially available) blocks, planning
+    /// through the shared access layer (Carousel codes get their direct /
+    /// degraded / fallback ladder; other codes any-`k` decode).
     ///
     /// # Errors
     ///
     /// Returns [`FileError::StripeUnrecoverable`] with fewer than `k` live
     /// blocks.
     pub fn decode_stripe(&self, blocks: &[Option<Vec<u8>>]) -> Result<Vec<u8>, FileError> {
-        let live: Vec<usize> = blocks
-            .iter()
-            .enumerate()
-            .filter_map(|(i, b)| b.as_ref().map(|_| i))
-            .collect();
-        let k = self.code.k();
-        if live.len() < k {
-            return Err(FileError::StripeUnrecoverable {
-                stripe: 0,
-                live: live.len(),
-                needed: k,
-            });
-        }
-        let nodes: Vec<usize> = live.into_iter().take(k).collect();
-        let plan = DecodePlan::for_nodes(self.code.linear(), &nodes)?;
-        let refs: Vec<&[u8]> = nodes
-            .iter()
-            .map(|&i| blocks[i].as_deref().expect("selected live block"))
-            .collect();
-        Ok(plan.decode(&refs)?)
+        let refs: Vec<Option<&[u8]>> = blocks.iter().map(|b| b.as_deref()).collect();
+        let mut source = MemorySource::new(refs, self.code.linear().sub());
+        let executor = PlanExecutor::new(&self.plans).with_max_replans(self.code.n());
+        let read = executor
+            .read_stripe(&self.code, &mut source)
+            .map_err(|e| map_exec(0, self.code.k(), e))?;
+        Ok(read.data)
     }
 }
 
@@ -226,6 +277,14 @@ impl<C: ErasureCode> EncodedFile<C> {
             .collect()
     }
 
+    /// Returns the stripe's blocks as an in-memory [`access::BlockSource`].
+    fn stripe_source(&self, stripe: usize) -> MemorySource<'_> {
+        let refs: Vec<Option<&[u8]>> = self.stripes[stripe].iter().map(|b| b.as_deref()).collect();
+        MemorySource::new(refs, self.codec.code.linear().sub())
+    }
+}
+
+impl<C: AccessCode> EncodedFile<C> {
     /// Decodes one stripe by index, labeling failures with that stripe —
     /// the unit of work for per-stripe parallel decode
     /// (`workloads::parallel`).
@@ -297,7 +356,8 @@ impl<C: ErasureCode> EncodedFile<C> {
         Ok(out)
     }
 
-    /// Repairs a missing block of one stripe in place from `d` live blocks.
+    /// Repairs a missing block of one stripe in place from `d` live blocks,
+    /// using the access layer's (cached) repair plan.
     ///
     /// # Errors
     ///
@@ -310,22 +370,12 @@ impl<C: ErasureCode> EncodedFile<C> {
             });
         }
         let d = self.codec.code.d();
-        let live = self.live_blocks(stripe);
-        if live.len() < d {
-            return Err(FileError::StripeUnrecoverable {
-                stripe,
-                live: live.len(),
-                needed: d,
-            });
-        }
-        let helpers: Vec<usize> = live.into_iter().take(d).collect();
-        let plan = self.codec.code.repair_plan(block, &helpers)?;
-        let blocks: Vec<&[u8]> = helpers
-            .iter()
-            .map(|&i| self.stripes[stripe][i].as_deref().expect("live helper"))
-            .collect();
-        let (rebuilt, _) = plan.run(&blocks)?;
-        self.stripes[stripe][block] = Some(rebuilt);
+        let mut source = self.stripe_source(stripe);
+        let executor = PlanExecutor::new(&self.codec.plans).with_max_replans(self.meta.n);
+        let outcome = executor
+            .repair_block(&self.codec.code, block, &mut source)
+            .map_err(|e| map_exec(stripe, d, e))?;
+        self.stripes[stripe][block] = Some(outcome.block);
         Ok(())
     }
 
@@ -420,7 +470,10 @@ impl<C: ErasureCode> EncodedFile<C> {
     }
 
     /// Serves `take` bytes at offset `within` of stripe `stripe`'s data,
-    /// copying from live data regions where possible.
+    /// copying from live data regions where possible and rebuilding only
+    /// the data regions of *missing* blocks (an access-layer degraded
+    /// block-region read — `k·(k/p)` block-sizes of work for a Carousel
+    /// code instead of a whole-stripe decode).
     fn read_within_stripe(
         &self,
         stripe: usize,
@@ -431,39 +484,32 @@ impl<C: ErasureCode> EncodedFile<C> {
         let layout = self.codec.code.data_layout();
         let sub = self.codec.code.linear().sub();
         let w = self.meta.block_bytes / sub;
-        let mut decoded: Option<Vec<u8>> = None;
+        // Rebuilt data regions of missing blocks, reused across units of
+        // this call (plans themselves are cached across calls).
+        let mut regions: Vec<Option<Vec<u8>>> = vec![None; self.meta.n];
         let mut pos = within;
         let end = within + take;
         while pos < end {
             let unit = pos / w;
             let in_unit = pos % w;
             let chunk = (w - in_unit).min(end - pos);
-            let served = layout.locate(unit).and_then(|loc| {
-                self.block(stripe, loc.node).map(|bytes| {
-                    let start = loc.unit * w + in_unit;
-                    &bytes[start..start + chunk]
-                })
-            });
-            match served {
-                Some(slice) => out.extend_from_slice(slice),
-                None => {
-                    if decoded.is_none() {
-                        decoded = Some(self.codec.decode_stripe(&self.stripes[stripe]).map_err(
-                            |e| match e {
-                                FileError::StripeUnrecoverable { live, needed, .. } => {
-                                    FileError::StripeUnrecoverable {
-                                        stripe,
-                                        live,
-                                        needed,
-                                    }
-                                }
-                                other => other,
-                            },
-                        )?);
-                    }
-                    let data = decoded.as_ref().expect("just decoded");
-                    out.extend_from_slice(&data[pos..pos + chunk]);
+            let loc = layout.locate(unit).expect("every file unit is mapped");
+            let start = loc.unit * w + in_unit;
+            if let Some(bytes) = self.block(stripe, loc.node) {
+                out.extend_from_slice(&bytes[start..start + chunk]);
+            } else {
+                if regions[loc.node].is_none() {
+                    let mut source = self.stripe_source(stripe);
+                    let executor =
+                        PlanExecutor::new(&self.codec.plans).with_max_replans(self.meta.n);
+                    let region = executor
+                        .read_block_region(&self.codec.code, loc.node, &mut source)
+                        .map_err(|e| map_exec(stripe, self.meta.k, e))?;
+                    regions[loc.node] = Some(region.data);
                 }
+                let region = regions[loc.node].as_ref().expect("just rebuilt");
+                let region_start = layout.data_byte_range(loc.node, w).start;
+                out.extend_from_slice(&region[start - region_start..start - region_start + chunk]);
             }
             pos += chunk;
         }

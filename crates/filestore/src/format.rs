@@ -190,6 +190,15 @@ impl ErasureCode for AnyCode {
     }
 }
 
+impl access::AccessCode for AnyCode {
+    fn as_carousel(&self) -> Option<&Carousel> {
+        match self {
+            AnyCode::Carousel(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
 fn block_file_name(stripe: usize, block: usize) -> String {
     format!("s{stripe:05}_b{block:03}.blk")
 }

@@ -9,6 +9,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use access::AccessCode;
 use erasure::ErasureCode;
 use filestore::{EncodedFile, FileCodec, FileError, FileMeta};
 
@@ -120,7 +121,7 @@ where
 /// unrecoverable stripe, like the sequential path.
 pub fn decode_file<C>(file: &EncodedFile<C>, threads: usize) -> Result<Vec<u8>, FileError>
 where
-    C: ErasureCode + Sync,
+    C: AccessCode + Sync,
 {
     let parts = parallel_map(threads, file.stripes(), |s| file.decode_stripe_at(s));
     let mut out = Vec::with_capacity(file.meta().file_len as usize);

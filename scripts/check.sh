@@ -17,11 +17,31 @@ step() { printf '\n==> %s\n' "$*"; }
 step "cargo fmt --check"
 cargo fmt --all -- --check
 
+step "layering guard: planning stays in crates/access"
+# Transports must plan through the access layer: no private plan structs
+# and no hand-rolled replan loops in the transport crates.
+guard_hits=$(grep -rnE "'replan|struct (ReadPlan|BlockReadPlan|DegradedPlan|RepairPlan|PlanCache)" \
+  crates/filestore/src crates/dfs/src crates/cluster/src || true)
+if [ -n "$guard_hits" ]; then
+  printf 'transport crates must not define plans or replan loops:\n%s\n' "$guard_hits" >&2
+  exit 1
+fi
+
 step "cargo clippy (default features, -D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 step "cargo clippy (--no-default-features, -D warnings)"
 cargo clippy --workspace --all-targets --no-default-features --offline -- -D warnings
+
+# Vendored third-party crates are excluded from the doc gate; only our
+# own crates must document cleanly.
+doc_excludes=(--exclude rand --exclude proptest --exclude criterion)
+
+step "cargo doc (default features, warnings as errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps "${doc_excludes[@]}" --offline -q
+
+step "cargo doc (--no-default-features, warnings as errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps "${doc_excludes[@]}" --no-default-features --offline -q
 
 step "cargo test (default features: telemetry on)"
 cargo test --workspace --offline -q
