@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use erasure::ErasureCode;
-use gf256::{mul_acc_slice, Gf256};
+use gf256::Gf256;
 use msr::ProductMatrixMbr;
 use rs_code::wide::WideReedSolomon;
 
@@ -12,10 +12,19 @@ fn bench_slice_kernels(c: &mut Criterion) {
     let src = vec![0xA7u8; 1 << 20];
     let mut dst = vec![0x15u8; 1 << 20];
     g.throughput(Throughput::Bytes(src.len() as u64));
-    // Coefficient classes take different fast paths.
-    for (label, coeff) in [("general", 0x3Du8), ("one", 1), ("zero", 0)] {
-        g.bench_with_input(BenchmarkId::new("mul_acc_slice", label), &coeff, |b, &c| {
-            b.iter(|| mul_acc_slice(Gf256::new(c), &src, &mut dst))
+    // Every registered kernel on the general path, plus the handle-level
+    // fast paths (one/zero) that never reach a kernel.
+    for kernel in gf256::kernels() {
+        g.bench_with_input(
+            BenchmarkId::new("mul_acc", kernel.name()),
+            &0x3Du8,
+            |b, &c| b.iter(|| kernel.mul_acc(Gf256::new(c), &src, &mut dst)),
+        );
+    }
+    let kernel = gf256::kernel();
+    for (label, coeff) in [("one", 1u8), ("zero", 0)] {
+        g.bench_with_input(BenchmarkId::new("mul_acc", label), &coeff, |b, &c| {
+            b.iter(|| kernel.mul_acc(Gf256::new(c), &src, &mut dst))
         });
     }
     g.finish();

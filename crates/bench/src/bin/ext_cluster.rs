@@ -29,6 +29,7 @@ use dfs::Placement;
 use filestore::format::CodeSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use workloads::parallel::ParallelCtx;
 
 fn payload(len: usize) -> Vec<u8> {
     (0..len).map(|i| (i * 131 + 89) as u8).collect()
@@ -40,7 +41,7 @@ fn put(
     data: &[u8],
     spec: CodeSpec,
     block_bytes: usize,
-    threads: usize,
+    ctx: &ParallelCtx,
     seed: u64,
 ) -> cluster::FilePlacement {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -50,7 +51,7 @@ fn put(
             data,
             spec,
             block_bytes,
-            threads,
+            ctx,
             Placement::Random,
             &mut rng,
         )
@@ -66,7 +67,7 @@ fn timed_read(client: &mut ClusterClient, name: &str, expect: &[u8]) -> (f64, u6
     (ms, client.wire_counters().1 - rx0, got == expect)
 }
 
-fn read_phase(block_bytes: usize, file_bytes: usize, threads: usize) -> bool {
+fn read_phase(block_bytes: usize, file_bytes: usize, ctx: &ParallelCtx) -> bool {
     let data = payload(file_bytes);
     let mut cluster = LocalCluster::start(9).expect("start cluster");
     let mut client = cluster.client();
@@ -84,7 +85,7 @@ fn read_phase(block_bytes: usize, file_bytes: usize, threads: usize) -> bool {
         ("RS(9,6)", "rs", CodeSpec::Rs { n: 9, k: 6 }),
     ];
     for &(_, name, spec) in &schemes {
-        put(&mut client, name, &data, spec, block_bytes, threads, 1);
+        put(&mut client, name, &data, spec, block_bytes, ctx, 1);
     }
     let mut rows = Vec::new();
     let mut all_ok = true;
@@ -129,7 +130,7 @@ fn read_phase(block_bytes: usize, file_bytes: usize, threads: usize) -> bool {
 
 /// Repairs one failed node's blocks for both codes and checks the
 /// optimal-traffic bound on measured wire bytes.
-fn repair_phase(block_bytes: usize, file_bytes: usize, threads: usize) -> bool {
+fn repair_phase(block_bytes: usize, file_bytes: usize, ctx: &ParallelCtx) -> bool {
     let data = payload(file_bytes);
     let mut cluster = LocalCluster::start(9).expect("start cluster");
     let mut client = cluster.client();
@@ -140,7 +141,7 @@ fn repair_phase(block_bytes: usize, file_bytes: usize, threads: usize) -> bool {
         &data,
         CodeSpec::Carousel { n: 8, k, d, p: 8 },
         block_bytes,
-        threads,
+        ctx,
         2,
     );
     let fp_rs = put(
@@ -149,7 +150,7 @@ fn repair_phase(block_bytes: usize, file_bytes: usize, threads: usize) -> bool {
         &data,
         CodeSpec::Rs { n: 8, k },
         block_bytes,
-        threads,
+        ctx,
         3,
     );
     // A victim hosting blocks of both files' first stripes (8-wide rows
@@ -220,9 +221,11 @@ fn main() -> ExitCode {
         "EXT_CLUSTER_BLOCK_BYTES must be a positive multiple of 6"
     );
     let file_bytes = env_knob("EXT_CLUSTER_FILE_KB", 96) * 1024;
-    let threads = env_knob("EXT_CLUSTER_THREADS", 4);
-    let reads_ok = read_phase(block_bytes, file_bytes, threads);
-    let repair_ok = repair_phase(block_bytes, file_bytes, threads);
+    let ctx = ParallelCtx::builder()
+        .threads(env_knob("EXT_CLUSTER_THREADS", 4))
+        .build();
+    let reads_ok = read_phase(block_bytes, file_bytes, &ctx);
+    let repair_ok = repair_phase(block_bytes, file_bytes, &ctx);
     if reads_ok && repair_ok {
         ExitCode::SUCCESS
     } else {

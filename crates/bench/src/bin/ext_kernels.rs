@@ -1,0 +1,223 @@
+//! Kernel-engine benchmark: GB/s of every registered GF(2⁸) kernel
+//! (scalar reference, 4-bit split tables, 64-bit SWAR) across buffer
+//! sizes, plus the fused multi-row `mul_acc_rows` path across code
+//! geometries — the measurements behind `docs/PERFORMANCE.md`.
+//!
+//! Writes `results/BENCH_kernels.json`. Knobs: `BENCH_MB` (MiB of data
+//! per timing rep, default 64), `BENCH_REPS` (best-of reps, default 5).
+//! `--smoke` runs tiny buffers in milliseconds, writes the JSON to a
+//! temporary file and asserts every kernel produced plausible numbers —
+//! the CI-sized sanity pass wired into `scripts/check.sh`.
+
+use std::time::Instant;
+
+use bench_support::{env_knob, render_table};
+use gf256::{Gf256, KernelHandle};
+
+/// One measured point: a kernel at a buffer size (raw) or geometry (fused).
+struct Sample {
+    kernel: &'static str,
+    label: String,
+    gbps: f64,
+}
+
+/// Best-of-`reps` throughput of `f`, which processes `bytes` per call.
+fn best_gbps(bytes: usize, reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        best = best.max((bytes * iters) as f64 / secs / 1e9);
+    }
+    best
+}
+
+/// Raw `mul_acc` throughput for one kernel over one buffer size.
+fn measure_mul_acc(kernel: KernelHandle, size: usize, per_rep: usize, reps: usize) -> f64 {
+    let src: Vec<u8> = (0..size).map(|i| (i * 131 + 7) as u8).collect();
+    let mut dst = vec![0x15u8; size];
+    let iters = (per_rep / size).max(1);
+    let c = Gf256::new(0xA7);
+    best_gbps(size, reps, iters, || kernel.mul_acc(c, &src, &mut dst))
+}
+
+/// Fused-encode throughput: `n - k` parity rows, each a `mul_acc_rows`
+/// over `k` source blocks of `block` bytes. Reported as data GB/s:
+/// `k · block` source bytes divided by the time to produce *all* parity
+/// rows, the convention of Fig. 6.
+fn measure_fused(
+    kernel: KernelHandle,
+    n: usize,
+    k: usize,
+    block: usize,
+    per_rep: usize,
+    reps: usize,
+) -> f64 {
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|j| (0..block).map(|i| (i * 29 + j * 17 + 3) as u8).collect())
+        .collect();
+    let mut parity = vec![0u8; block];
+    let mut terms: Vec<(Gf256, &[u8])> = Vec::with_capacity(k);
+    let iters = (per_rep / (k * block * (n - k))).max(1);
+    best_gbps(k * block, reps, iters, || {
+        for r in 0..n - k {
+            terms.clear();
+            // Vandermonde-style row: coefficients g^(r·j), never 0 or 1.
+            let g = Gf256::new(2);
+            let mut c = g.pow((r + 1) as u32);
+            for row in &data {
+                terms.push((c, &row[..]));
+                c *= g;
+            }
+            parity.fill(0);
+            kernel.mul_acc_rows(&terms, &mut parity);
+        }
+    })
+}
+
+/// Serializes the samples as a JSON document (no serde in this workspace).
+fn to_json(reps: usize, smoke: bool, raw: &[Sample], fused: &[Sample]) -> String {
+    let rows = |samples: &[Sample]| -> String {
+        samples
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{\"kernel\": \"{}\", \"case\": \"{}\", \"gbps\": {:.3}}}",
+                    s.kernel, s.label, s.gbps
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"reps\": {reps},\n  \"smoke\": {smoke},\n  \
+         \"mul_acc\": [\n{}\n  ],\n  \"fused_encode\": [\n{}\n  ]\n}}\n",
+        rows(raw),
+        rows(fused)
+    )
+}
+
+fn main() {
+    let _metrics = bench_support::init_metrics("ext_kernels");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = env_knob("BENCH_REPS", if smoke { 1 } else { 5 });
+    let per_rep = env_knob("BENCH_MB", if smoke { 1 } else { 64 }) << 20;
+
+    let sizes: &[usize] = if smoke {
+        &[1 << 10, 4 << 10]
+    } else {
+        &[4 << 10, 64 << 10, 1 << 20]
+    };
+    let geometries: &[(usize, usize)] = if smoke {
+        &[(4, 2)]
+    } else {
+        &[(6, 3), (12, 6), (14, 10)]
+    };
+    let fused_block = if smoke { 4 << 10 } else { 256 << 10 };
+
+    let mut raw = Vec::new();
+    for kernel in gf256::kernels() {
+        for &size in sizes {
+            raw.push(Sample {
+                kernel: kernel.name(),
+                label: format!("{size}B"),
+                gbps: measure_mul_acc(kernel, size, per_rep, reps),
+            });
+        }
+    }
+    let mut fused = Vec::new();
+    for kernel in gf256::kernels() {
+        for &(n, k) in geometries {
+            fused.push(Sample {
+                kernel: kernel.name(),
+                label: format!("({n},{k}) x {fused_block}B"),
+                gbps: measure_fused(kernel, n, k, fused_block, per_rep, reps),
+            });
+        }
+    }
+
+    println!("== Kernel engine: raw mul_acc throughput (GB/s, best of {reps}) ==");
+    let table = |samples: &[Sample]| -> Vec<Vec<String>> {
+        samples
+            .iter()
+            .map(|s| {
+                vec![
+                    s.kernel.to_string(),
+                    s.label.clone(),
+                    format!("{:.2}", s.gbps),
+                ]
+            })
+            .collect()
+    };
+    println!(
+        "{}",
+        render_table(&["kernel", "case", "GB/s"], &table(&raw))
+    );
+    println!("== Fused mul_acc_rows encode (data GB/s, all parity rows) ==");
+    println!(
+        "{}",
+        render_table(&["kernel", "case", "GB/s"], &table(&fused))
+    );
+
+    let biggest = *sizes.last().expect("sizes nonempty");
+    let at = |name: &str| -> f64 {
+        raw.iter()
+            .find(|s| s.kernel == name && s.label == format!("{biggest}B"))
+            .map_or(0.0, |s| s.gbps)
+    };
+    let (scalar, swar) = (at("scalar"), at("swar"));
+    println!(
+        "swar is {:.2}x scalar on {biggest}-byte buffers ({swar:.2} vs {scalar:.2} GB/s)",
+        swar / scalar.max(1e-9)
+    );
+
+    let json = to_json(reps, smoke, &raw, &fused);
+    let path = if smoke {
+        std::env::temp_dir().join("BENCH_kernels.smoke.json")
+    } else {
+        std::fs::create_dir_all("results").expect("create results/");
+        std::path::PathBuf::from("results/BENCH_kernels.json")
+    };
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("wrote {} ({} bytes)", path.display(), json.len());
+
+    if smoke {
+        // Sanity gates for CI: every registered kernel measured, numbers
+        // are positive and finite, and the document round-trips as JSON
+        // structure (balanced, non-empty, mentions each kernel by name).
+        let reread = std::fs::read_to_string(&path).expect("re-read bench json");
+        assert!(reread.starts_with('{') && reread.trim_end().ends_with('}'));
+        assert_eq!(
+            reread.matches('{').count(),
+            reread.matches('}').count(),
+            "unbalanced JSON braces"
+        );
+        for kernel in gf256::kernels() {
+            assert!(
+                reread.contains(&format!("\"kernel\": \"{}\"", kernel.name())),
+                "kernel {} missing from JSON",
+                kernel.name()
+            );
+        }
+        for s in raw.iter().chain(&fused) {
+            assert!(
+                s.gbps.is_finite() && s.gbps > 0.0,
+                "bogus throughput for {} {}",
+                s.kernel,
+                s.label
+            );
+        }
+        println!(
+            "smoke: all {} kernels measured, JSON well-formed",
+            gf256::kernels().len()
+        );
+    } else if swar < 2.0 * scalar {
+        eprintln!(
+            "warning: swar/scalar ratio {:.2} below the 2x acceptance bar",
+            swar / scalar.max(1e-9)
+        );
+    }
+}

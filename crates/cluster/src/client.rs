@@ -35,6 +35,7 @@ use erasure::{CodeError, ErasureCode as _, HelperTask};
 use filestore::format::CodeSpec;
 use filestore::FileCodec;
 use rand::Rng;
+use workloads::parallel::ParallelCtx;
 
 use crate::coordinator::{Coordinator, FilePlacement};
 use crate::error::ClusterError;
@@ -269,8 +270,8 @@ impl ClusterClient {
         (self.link.tx_bytes, self.link.rx_bytes)
     }
 
-    /// Encodes `data` with `spec` (fanning stripes out over `threads`
-    /// encoder threads), places it across the alive nodes, and uploads
+    /// Encodes `data` with `spec` (fanning stripes out over `ctx`'s
+    /// encoder workers), places it across the alive nodes, and uploads
     /// every block.
     ///
     /// # Errors
@@ -284,13 +285,13 @@ impl ClusterClient {
         data: &[u8],
         spec: CodeSpec,
         block_bytes: usize,
-        threads: usize,
+        ctx: &ParallelCtx,
         placement: Placement,
         rng: &mut impl Rng,
     ) -> Result<FilePlacement, ClusterError> {
         let code = spec.build()?;
         let codec = FileCodec::new(code, block_bytes)?;
-        let encoded = workloads::parallel::encode_file(&codec, data, threads)?;
+        let encoded = workloads::parallel::encode_file(&codec, data, ctx)?;
         let fp = self.link.coord.place_file(
             name,
             spec,

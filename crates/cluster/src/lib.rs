@@ -31,13 +31,15 @@
 //! use filestore::format::CodeSpec;
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
+//! use workloads::parallel::ParallelCtx;
 //!
 //! let mut cluster = LocalCluster::start(6)?;
 //! let mut client = cluster.client();
 //! let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
 //! let spec = CodeSpec::Carousel { n: 6, k: 3, d: 3, p: 6 };
 //! let mut rng = StdRng::seed_from_u64(42);
-//! client.put_file("demo", &data, spec, 120, 2, Placement::Random, &mut rng)?;
+//! let ctx = ParallelCtx::builder().threads(2).build();
+//! client.put_file("demo", &data, spec, 120, &ctx, Placement::Random, &mut rng)?;
 //! assert_eq!(client.get_file("demo")?, data);
 //! // Kill a node silently: the client degrades mid-read and still
 //! // returns identical bytes.

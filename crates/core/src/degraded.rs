@@ -13,7 +13,6 @@
 use std::sync::LazyLock;
 
 use erasure::{CodeError, ErasureCode as _};
-use gf256::mul_acc_slice;
 
 use crate::Carousel;
 
@@ -105,15 +104,17 @@ impl BlockReadPlan {
                 actual: bad.len(),
             });
         }
+        let kernel = gf256::kernel();
         let mut out = vec![0u8; self.data_units * w];
+        let mut terms = Vec::new();
         let mut off = 0;
         for copy in &self.copies {
             let slices = &units[off..off + copy.sources.len()];
             for (pos, row) in &copy.outputs {
                 let dst = &mut out[pos * w..(pos + 1) * w];
-                for (&c, src) in row.iter().zip(slices) {
-                    mul_acc_slice(c, src, dst);
-                }
+                terms.clear();
+                terms.extend(row.iter().zip(slices).map(|(&c, &src)| (c, src)));
+                kernel.mul_acc_rows(&terms, dst);
             }
             off += copy.sources.len();
         }
@@ -142,7 +143,9 @@ impl BlockReadPlan {
             });
         }
         let w = sample.len() / self.sub;
+        let kernel = gf256::kernel();
         let mut out = vec![0u8; self.data_units * w];
+        let mut terms = Vec::new();
         for copy in &self.copies {
             let mut slices = Vec::with_capacity(copy.sources.len());
             for &(node, unit) in &copy.sources {
@@ -161,9 +164,9 @@ impl BlockReadPlan {
             }
             for (pos, row) in &copy.outputs {
                 let dst = &mut out[pos * w..(pos + 1) * w];
-                for (&c, src) in row.iter().zip(&slices) {
-                    mul_acc_slice(c, src, dst);
-                }
+                terms.clear();
+                terms.extend(row.iter().zip(&slices).map(|(&c, &src)| (c, src)));
+                kernel.mul_acc_rows(&terms, dst);
             }
         }
         Ok(out)

@@ -11,7 +11,7 @@
 use std::borrow::Cow;
 use std::sync::LazyLock;
 
-use gf256::{mul_acc_slice, Gf256};
+use gf256::{Gf256, KernelHandle};
 
 use crate::error::CodeError;
 use crate::linear::LinearCode;
@@ -73,6 +73,9 @@ pub struct SparseEncoder {
     units: usize,
     /// For each output row: the nonzero `(message unit, coefficient)` pairs.
     rows: Vec<Vec<(usize, Gf256)>>,
+    /// The GF(2⁸) kernel driving the multiply-accumulate loops, captured at
+    /// construction from the process default.
+    kernel: KernelHandle,
 }
 
 impl SparseEncoder {
@@ -95,6 +98,7 @@ impl SparseEncoder {
             sub: code.sub(),
             units: code.message_units(),
             rows,
+            kernel: gf256::kernel(),
         }
     }
 
@@ -171,7 +175,8 @@ impl SparseEncoder {
                         continue;
                     }
                     let end = (start + w).min(data.len());
-                    mul_acc_slice(c, &data[start..end], &mut out[..end - start]);
+                    self.kernel
+                        .mul_acc(c, &data[start..end], &mut out[..end - start]);
                 }
             }
         }
@@ -237,6 +242,7 @@ pub struct ColumnUpdater {
     sub: usize,
     /// For each message unit: the `(output row, coefficient)` pairs.
     cols: Vec<Vec<(usize, Gf256)>>,
+    kernel: KernelHandle,
 }
 
 impl ColumnUpdater {
@@ -254,6 +260,7 @@ impl ColumnUpdater {
         ColumnUpdater {
             sub: code.sub(),
             cols,
+            kernel: gf256::kernel(),
         }
     }
 
@@ -292,7 +299,8 @@ impl ColumnUpdater {
         for &(row, coeff) in &self.cols[j] {
             let (node, unit) = (row / self.sub, row % self.sub);
             let block = &mut blocks[node];
-            mul_acc_slice(coeff, delta, &mut block[unit * w..(unit + 1) * w]);
+            self.kernel
+                .mul_acc(coeff, delta, &mut block[unit * w..(unit + 1) * w]);
         }
         Ok(())
     }
@@ -327,6 +335,7 @@ impl DenseEncoder {
         let (padded, w) = pad_message(data, units);
         let sub = self.code.sub();
         let g = self.code.generator();
+        let kernel = gf256::kernel();
         let mut blocks = vec![vec![0u8; sub * w]; self.code.n()];
         let mut scratch = vec![0u8; w];
         for (node, block) in blocks.iter_mut().enumerate() {
@@ -337,8 +346,8 @@ impl DenseEncoder {
                     // Deliberately do the multiply even for zero: this is the
                     // "no sparsity" baseline. Use a scratch buffer so zero
                     // coefficients still cost a full pass.
-                    gf256::mul_slice(c, &padded[j * w..(j + 1) * w], &mut scratch);
-                    gf256::add_assign_slice(out, &scratch);
+                    kernel.mul(c, &padded[j * w..(j + 1) * w], &mut scratch);
+                    kernel.add_assign(out, &scratch);
                 }
             }
         }

@@ -7,7 +7,7 @@
 
 use std::sync::LazyLock;
 
-use gf256::{mul_acc_slice, Matrix};
+use gf256::Matrix;
 
 use crate::error::CodeError;
 use crate::linear::LinearCode;
@@ -201,12 +201,14 @@ impl DecodePlan {
         } else {
             None
         };
+        let kernel = gf256::kernel();
         let mut out = vec![0u8; self.message_units * w];
+        let mut terms = Vec::with_capacity(unit_slices.len());
         for (r, chunk) in out.chunks_exact_mut(w).enumerate() {
             let row = self.inverse.row(r);
-            for (c, src) in row.iter().zip(unit_slices) {
-                mul_acc_slice(*c, src, chunk);
-            }
+            terms.clear();
+            terms.extend(row.iter().zip(unit_slices).map(|(&c, &src)| (c, src)));
+            kernel.mul_acc_rows(&terms, chunk);
         }
         out
     }

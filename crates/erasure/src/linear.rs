@@ -185,7 +185,8 @@ impl LinearCode {
                 got: message.len(),
             });
         }
-        let all = self.generator.mul_vec(message);
+        let mut all = vec![Gf256::ZERO; self.generator.rows()];
+        self.generator.mul_vec_into(message, &mut all);
         Ok(all.chunks(self.sub).map(<[Gf256]>::to_vec).collect())
     }
 

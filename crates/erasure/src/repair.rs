@@ -10,7 +10,7 @@
 
 use std::sync::LazyLock;
 
-use gf256::{mul_acc_slice, Matrix};
+use gf256::Matrix;
 
 use crate::error::CodeError;
 
@@ -51,11 +51,19 @@ impl HelperTask {
             });
         }
         let w = block.len() / sub;
+        let kernel = gf256::kernel();
         let mut out = vec![0u8; self.beta() * w];
+        let mut terms = Vec::with_capacity(sub);
         for (r, chunk) in out.chunks_exact_mut(w).enumerate() {
-            for (u, &c) in self.coeffs.row(r).iter().enumerate() {
-                mul_acc_slice(c, &block[u * w..(u + 1) * w], chunk);
-            }
+            terms.clear();
+            terms.extend(
+                self.coeffs
+                    .row(r)
+                    .iter()
+                    .enumerate()
+                    .map(|(u, &c)| (c, &block[u * w..(u + 1) * w])),
+            );
+            kernel.mul_acc_rows(&terms, chunk);
         }
         Ok(out)
     }
@@ -150,11 +158,19 @@ impl RepairPlan {
         }
         debug_assert_eq!(unit_slices.len(), self.combine.cols());
         let sub = self.combine.rows();
+        let kernel = gf256::kernel();
         let mut out = vec![0u8; sub * w];
+        let mut terms = Vec::with_capacity(unit_slices.len());
         for (r, chunk) in out.chunks_exact_mut(w).enumerate() {
-            for (c, src) in self.combine.row(r).iter().zip(&unit_slices) {
-                mul_acc_slice(*c, src, chunk);
-            }
+            terms.clear();
+            terms.extend(
+                self.combine
+                    .row(r)
+                    .iter()
+                    .zip(&unit_slices)
+                    .map(|(&c, &src)| (c, src)),
+            );
+            kernel.mul_acc_rows(&terms, chunk);
         }
         Ok(out)
     }

@@ -155,6 +155,52 @@ impl<C: ErasureCode> FileCodec<C> {
         Ok(stripe.blocks)
     }
 
+    /// A zeroed stripe with this codec's fixed geometry, ready for
+    /// [`encode_stripe_into`](FileCodec::encode_stripe_into).
+    pub fn empty_stripe(&self) -> erasure::EncodedStripe {
+        let sub = self.code.linear().sub();
+        erasure::EncodedStripe {
+            blocks: vec![vec![0u8; self.block_bytes]; self.code.linear().n()],
+            unit_bytes: self.block_bytes / sub,
+            original_len: 0,
+        }
+    }
+
+    /// Encodes one stripe's worth of data into `stripe`, reusing its block
+    /// buffers — the zero-allocation steady state of
+    /// [`stream::encode_stream`](crate::stream::encode_stream), which
+    /// re-encodes into the same [`erasure::EncodedStripe`] for every stripe
+    /// of the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileError::BadGeometry`] if `chunk` is empty or exceeds a
+    /// stripe, or if `stripe` does not match this codec's geometry (start
+    /// from [`empty_stripe`](FileCodec::empty_stripe)).
+    pub fn encode_stripe_into(
+        &self,
+        chunk: &[u8],
+        stripe: &mut erasure::EncodedStripe,
+    ) -> Result<(), FileError> {
+        let sdb = self.stripe_data_bytes();
+        if chunk.is_empty() || chunk.len() > sdb {
+            return Err(FileError::BadGeometry {
+                reason: format!("stripe chunk of {} bytes, expected 1..={sdb}", chunk.len()),
+            });
+        }
+        if stripe.block_bytes() != self.block_bytes {
+            return Err(FileError::BadGeometry {
+                reason: format!(
+                    "stripe buffers hold {}-byte blocks, codec expects {}",
+                    stripe.block_bytes(),
+                    self.block_bytes
+                ),
+            });
+        }
+        self.encoder.encode_into(chunk, stripe)?;
+        Ok(())
+    }
+
     /// Encodes a whole file.
     ///
     /// # Errors

@@ -16,7 +16,10 @@ use crate::error::FileError;
 /// Encodes everything `reader` yields, stripe by stripe.
 ///
 /// `sink` receives `(stripe_index, blocks)` for each stripe and may write
-/// them to disk, the network, etc.
+/// them to disk, the network, etc. The block buffers are *borrowed*: they
+/// belong to a single [`erasure::EncodedStripe`] that the loop re-encodes
+/// in place for every stripe, so the steady state allocates nothing —
+/// copy out whatever the sink needs to keep.
 ///
 /// # Errors
 ///
@@ -25,10 +28,11 @@ use crate::error::FileError;
 pub fn encode_stream<C: ErasureCode, R: Read>(
     codec: &FileCodec<C>,
     mut reader: R,
-    mut sink: impl FnMut(usize, Vec<Vec<u8>>) -> std::io::Result<()>,
+    mut sink: impl FnMut(usize, &[Vec<u8>]) -> std::io::Result<()>,
 ) -> Result<FileMeta, FileError> {
     let sdb = codec.stripe_data_bytes();
     let mut buf = vec![0u8; sdb];
+    let mut stripe = codec.empty_stripe();
     let mut stripes = 0usize;
     let mut file_len = 0u64;
     loop {
@@ -43,8 +47,8 @@ pub fn encode_stream<C: ErasureCode, R: Read>(
         if filled == 0 {
             break;
         }
-        let blocks = codec.encode_stripe(&buf[..filled])?;
-        sink(stripes, blocks)?;
+        codec.encode_stripe_into(&buf[..filled], &mut stripe)?;
+        sink(stripes, &stripe.blocks)?;
         stripes += 1;
         file_len += filled as u64;
         if filled < sdb {
@@ -112,7 +116,7 @@ mod tests {
         let mut store: Vec<Vec<Vec<u8>>> = Vec::new();
         let meta = encode_stream(&codec, &file[..], |s, blocks| {
             assert_eq!(s, store.len());
-            store.push(blocks);
+            store.push(blocks.to_vec());
             Ok(())
         })
         .unwrap();
@@ -136,7 +140,7 @@ mod tests {
         let file: Vec<u8> = (0..600).map(|i| (i ^ 0x37) as u8).collect();
         let mut store: Vec<Vec<Vec<u8>>> = Vec::new();
         let meta = encode_stream(&codec, &file[..], |_, blocks| {
-            store.push(blocks);
+            store.push(blocks.to_vec());
             Ok(())
         })
         .unwrap();
@@ -171,7 +175,7 @@ mod tests {
         let file = [9u8; 100];
         let mut store: Vec<Vec<Vec<u8>>> = Vec::new();
         let meta = encode_stream(&codec, &file[..], |_, b| {
-            store.push(b);
+            store.push(b.to_vec());
             Ok(())
         })
         .unwrap();

@@ -4,7 +4,9 @@
 //! The paper performs all coding operations as vector/matrix multiplications
 //! over GF(2⁸) (one symbol = one byte), originally via Intel ISA-L. This
 //! crate is the pure-Rust substitute: log/exp table arithmetic for scalars,
-//! split-table (4-bit nibble) kernels for long byte slices, and a dense
+//! a runtime-dispatched [`mod@kernel`] engine for long byte slices (scalar
+//! reference, 4-bit split-table, and 64-bit SWAR implementations behind a
+//! `Copy` [`KernelHandle`], selectable via `CAROUSEL_KERNEL`), and a dense
 //! [`Matrix`] type with Gauss-Jordan inversion plus the structured builders
 //! (Vandermonde, Cauchy, Kronecker) the code constructions need.
 //!
@@ -32,9 +34,12 @@ mod slice;
 mod tables;
 
 pub mod builders;
+pub mod kernel;
 
 pub use field::Gf256;
 pub use field_trait::Field;
 pub use gf65536::Gf65536;
+pub use kernel::{by_name, kernel, kernels, Kernel, KernelHandle};
 pub use matrix::{Matrix, MatrixOf};
+#[allow(deprecated)]
 pub use slice::{add_assign_slice, mul_acc_slice, mul_slice, mul_slice_in_place};

@@ -238,16 +238,28 @@ impl<F: Field> MatrixOf<F> {
     ///
     /// Panics if `v.len() != cols`.
     pub fn mul_vec(&self, v: &[F]) -> Vec<F> {
-        assert_eq!(v.len(), self.cols, "dimension mismatch");
         let mut out = vec![F::ZERO; self.rows];
-        for (r, row) in self.iter_rows().enumerate().take(self.rows) {
+        self.mul_vec_into(v, &mut out);
+        out
+    }
+
+    /// Matrix-vector product `self · v` written into a caller-provided
+    /// buffer, for the per-stripe loops that would otherwise allocate a
+    /// fresh `Vec` on every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols` or `out.len() != rows`.
+    pub fn mul_vec_into(&self, v: &[F], out: &mut [F]) {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        assert_eq!(out.len(), self.rows, "output length mismatch");
+        for (row, slot) in self.iter_rows().zip(out.iter_mut()) {
             let mut acc = F::ZERO;
             for (a, b) in row.iter().zip(v) {
                 acc = acc + *a * *b;
             }
-            out[r] = acc;
+            *slot = acc;
         }
-        out
     }
 
     /// The multiplicative inverse via Gauss-Jordan elimination, or `None`

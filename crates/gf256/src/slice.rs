@@ -1,53 +1,23 @@
-//! Bulk kernels: multiply/accumulate long byte slices by a field constant.
+//! Deprecated free-function façade over the kernel engine.
 //!
-//! These are the hot loops of every encode, decode and repair operation: a
-//! coded symbol row is `w` bytes long (hundreds of kilobytes to megabytes in
-//! the paper's 512 MB-block experiments), and each output row is a linear
-//! combination of input rows. The kernels use the 4-bit split tables from
-//! [`crate::tables`], processing 8 bytes per iteration to give the optimizer
-//! room to unroll and vectorize.
+//! These were the original public slice kernels; the runtime-dispatched
+//! engine in [`crate::kernel`] replaced them. Each shim delegates to the
+//! process-default [`KernelHandle`](crate::KernelHandle) so out-of-tree
+//! callers keep compiling for one release, but new code should hold a
+//! handle from [`crate::kernel()`] instead — it is `Copy`, selectable via
+//! `CAROUSEL_KERNEL`, and exposes the fused multi-row product the free
+//! functions never had.
 
-use std::sync::LazyLock;
-
-use crate::tables::SPLIT;
 use crate::Gf256;
-
-/// Bytes pushed through the split-table multiply loops. Cached `&'static`
-/// handles keep the hot path to one relaxed atomic add; with the
-/// `telemetry` feature off the guard below is dead code.
-static MUL_BYTES: LazyLock<&'static telemetry::Counter> =
-    LazyLock::new(|| telemetry::counter("gf256.mul_bytes"));
-/// Bytes pushed through the pure-XOR path (coefficient-1 terms).
-static XOR_BYTES: LazyLock<&'static telemetry::Counter> =
-    LazyLock::new(|| telemetry::counter("gf256.xor_bytes"));
 
 /// `dst[i] ^= src[i]` — adds `src` into `dst` over GF(2⁸).
 ///
 /// # Panics
 ///
 /// Panics if the two slices have different lengths.
+#[deprecated(since = "0.1.0", note = "use gf256::kernel().add_assign(dst, src)")]
 pub fn add_assign_slice(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "slice length mismatch");
-    if telemetry::ENABLED {
-        XOR_BYTES.add(dst.len() as u64);
-    }
-    // XOR eight bytes at a time; this is the hot path for coefficient-1
-    // terms (all of replication-style copying and the XOR parts of sparse
-    // rows), and the u64 lanes let the optimizer vectorize further.
-    let mut dst_chunks = dst.chunks_exact_mut(8);
-    let mut src_chunks = src.chunks_exact(8);
-    for (d, s) in (&mut dst_chunks).zip(&mut src_chunks) {
-        let x = u64::from_ne_bytes(d[..8].try_into().expect("chunk of 8"))
-            ^ u64::from_ne_bytes(s[..8].try_into().expect("chunk of 8"));
-        d.copy_from_slice(&x.to_ne_bytes());
-    }
-    for (d, s) in dst_chunks
-        .into_remainder()
-        .iter_mut()
-        .zip(src_chunks.remainder())
-    {
-        *d ^= s;
-    }
+    crate::kernel().add_assign(dst, src);
 }
 
 /// `dst[i] = c * src[i]` for every byte.
@@ -55,165 +25,63 @@ pub fn add_assign_slice(dst: &mut [u8], src: &[u8]) {
 /// # Panics
 ///
 /// Panics if the two slices have different lengths.
+#[deprecated(since = "0.1.0", note = "use gf256::kernel().mul(c, src, dst)")]
 pub fn mul_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
-    assert_eq!(dst.len(), src.len(), "slice length mismatch");
-    if c.is_zero() {
-        dst.fill(0);
-        return;
-    }
-    if c == Gf256::ONE {
-        dst.copy_from_slice(src);
-        return;
-    }
-    if telemetry::ENABLED {
-        MUL_BYTES.add(dst.len() as u64);
-    }
-    let lo = &SPLIT.lo[c.value() as usize];
-    let hi = &SPLIT.hi[c.value() as usize];
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d = lo[(s & 0xF) as usize] ^ hi[(s >> 4) as usize];
-    }
+    crate::kernel().mul(c, src, dst);
 }
 
 /// `buf[i] = c * buf[i]` for every byte, in place.
+#[deprecated(since = "0.1.0", note = "use gf256::kernel().mul_in_place(c, buf)")]
 pub fn mul_slice_in_place(c: Gf256, buf: &mut [u8]) {
-    if c.is_zero() {
-        buf.fill(0);
-        return;
-    }
-    if c == Gf256::ONE {
-        return;
-    }
-    if telemetry::ENABLED {
-        MUL_BYTES.add(buf.len() as u64);
-    }
-    let lo = &SPLIT.lo[c.value() as usize];
-    let hi = &SPLIT.hi[c.value() as usize];
-    for b in buf.iter_mut() {
-        *b = lo[(*b & 0xF) as usize] ^ hi[(*b >> 4) as usize];
-    }
+    crate::kernel().mul_in_place(c, buf);
 }
 
-/// `dst[i] ^= c * src[i]` — the multiply-accumulate at the heart of encoding.
-///
-/// Skips the work entirely when `c` is zero; this is what makes the sparse
-/// generating matrices of Carousel codes (paper §VIII-A, Fig. 5) encode as
-/// cheaply as the RS codes they were built from.
+/// `dst[i] ^= c * src[i]` — multiply-accumulate.
 ///
 /// # Panics
 ///
 /// Panics if the two slices have different lengths.
+#[deprecated(since = "0.1.0", note = "use gf256::kernel().mul_acc(c, src, dst)")]
 pub fn mul_acc_slice(c: Gf256, src: &[u8], dst: &mut [u8]) {
-    assert_eq!(dst.len(), src.len(), "slice length mismatch");
-    if c.is_zero() {
-        return;
-    }
-    if c == Gf256::ONE {
-        add_assign_slice(dst, src);
-        return;
-    }
-    if telemetry::ENABLED {
-        MUL_BYTES.add(dst.len() as u64);
-    }
-    let lo = &SPLIT.lo[c.value() as usize];
-    let hi = &SPLIT.hi[c.value() as usize];
-    let mut dst_chunks = dst.chunks_exact_mut(8);
-    let mut src_chunks = src.chunks_exact(8);
-    for (d, s) in (&mut dst_chunks).zip(&mut src_chunks) {
-        for i in 0..8 {
-            d[i] ^= lo[(s[i] & 0xF) as usize] ^ hi[(s[i] >> 4) as usize];
-        }
-    }
-    for (d, s) in dst_chunks
-        .into_remainder()
-        .iter_mut()
-        .zip(src_chunks.remainder())
-    {
-        *d ^= lo[(s & 0xF) as usize] ^ hi[(s >> 4) as usize];
-    }
+    crate::kernel().mul_acc(c, src, dst);
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn scalar_mul(c: u8, x: u8) -> u8 {
         (Gf256::new(c) * Gf256::new(x)).value()
     }
 
     #[test]
-    fn mul_slice_matches_scalar() {
-        let src: Vec<u8> = (0..=255).collect();
-        let mut dst = vec![0u8; 256];
-        for c in [0u8, 1, 2, 0x1D, 0x85, 0xFF] {
-            mul_slice(Gf256::new(c), &src, &mut dst);
-            for (i, &d) in dst.iter().enumerate() {
-                assert_eq!(d, scalar_mul(c, src[i]));
-            }
-        }
-    }
+    fn shims_delegate_to_default_kernel() {
+        let src: Vec<u8> = (0..300).map(|i| (i * 31 + 5) as u8).collect();
+        let c = Gf256::new(0x9E);
 
-    #[test]
-    fn mul_acc_slice_accumulates() {
-        let src: Vec<u8> = (0..100).map(|i| (i * 7 + 3) as u8).collect();
-        let mut dst: Vec<u8> = (0..100).map(|i| (i * 13 + 1) as u8).collect();
-        let before = dst.clone();
-        mul_acc_slice(Gf256::new(0x3C), &src, &mut dst);
-        for i in 0..100 {
-            assert_eq!(dst[i], before[i] ^ scalar_mul(0x3C, src[i]));
-        }
-    }
-
-    #[test]
-    fn mul_acc_zero_coefficient_is_noop() {
-        let src = vec![0xAB; 64];
-        let mut dst = vec![0x12; 64];
-        mul_acc_slice(Gf256::ZERO, &src, &mut dst);
-        assert_eq!(dst, vec![0x12; 64]);
-    }
-
-    #[test]
-    fn in_place_matches_out_of_place() {
-        let src: Vec<u8> = (0..77).map(|i| (i * 31) as u8).collect();
-        let mut a = src.clone();
-        let mut b = vec![0u8; src.len()];
-        mul_slice_in_place(Gf256::new(0x9E), &mut a);
-        mul_slice(Gf256::new(0x9E), &src, &mut b);
-        assert_eq!(a, b);
-    }
-
-    proptest! {
-        #[test]
-        fn prop_mul_slice_elementwise(c in 0u8..=255, data in proptest::collection::vec(any::<u8>(), 0..200)) {
-            let mut dst = vec![0u8; data.len()];
-            mul_slice(Gf256::new(c), &data, &mut dst);
-            for i in 0..data.len() {
-                prop_assert_eq!(dst[i], scalar_mul(c, data[i]));
-            }
+        let mut shim = vec![0u8; src.len()];
+        mul_slice(c, &src, &mut shim);
+        let mut handle = vec![0u8; src.len()];
+        crate::kernel().mul(c, &src, &mut handle);
+        assert_eq!(shim, handle);
+        for (s, d) in src.iter().zip(&shim) {
+            assert_eq!(*d, scalar_mul(0x9E, *s));
         }
 
-        #[test]
-        fn prop_mul_acc_is_linear(
-            c1 in 0u8..=255, c2 in 0u8..=255,
-            data in proptest::collection::vec(any::<u8>(), 1..200),
-        ) {
-            // (c1 + c2) * x == c1 * x + c2 * x, accumulated into one buffer.
-            let mut acc = vec![0u8; data.len()];
-            mul_acc_slice(Gf256::new(c1), &data, &mut acc);
-            mul_acc_slice(Gf256::new(c2), &data, &mut acc);
-            let mut direct = vec![0u8; data.len()];
-            mul_acc_slice(Gf256::new(c1) + Gf256::new(c2), &data, &mut direct);
-            prop_assert_eq!(acc, direct);
+        let mut acc = vec![0x12u8; src.len()];
+        mul_acc_slice(c, &src, &mut acc);
+        for (s, d) in src.iter().zip(&acc) {
+            assert_eq!(*d, 0x12 ^ scalar_mul(0x9E, *s));
         }
 
-        #[test]
-        fn prop_add_assign_is_involutive(data in proptest::collection::vec(any::<u8>(), 0..200)) {
-            let mut dst = vec![0x5Au8; data.len()];
-            let orig = dst.clone();
-            add_assign_slice(&mut dst, &data);
-            add_assign_slice(&mut dst, &data);
-            prop_assert_eq!(dst, orig);
-        }
+        let mut in_place = src.clone();
+        mul_slice_in_place(c, &mut in_place);
+        assert_eq!(in_place, shim);
+
+        let mut xored = vec![0x5Au8; src.len()];
+        add_assign_slice(&mut xored, &src);
+        add_assign_slice(&mut xored, &src);
+        assert_eq!(xored, vec![0x5Au8; src.len()]);
     }
 }

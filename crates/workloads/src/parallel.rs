@@ -1,11 +1,18 @@
-//! A small std-thread worker pool for per-stripe fan-out.
+//! A reusable std-thread worker pool for per-stripe fan-out.
 //!
 //! Stripes of a file are independent under every code in this workspace,
 //! so encode and decode parallelize trivially across them. This module
-//! gives the write path of the networked cluster (`crates/cluster`) and
-//! `carousel-tool --threads` a dependency-free way to use all cores: a
-//! work-stealing index loop over scoped threads — no channels, no unsafe,
-//! no allocation beyond the result vector.
+//! gives the write path of the networked cluster (`crates/cluster`),
+//! `carousel-tool --threads` and the bench binaries a dependency-free way
+//! to use all cores: a [`ParallelCtx`] handle, built once per process via
+//! [`ParallelCtx::builder`], that runs work-stealing index loops over
+//! scoped threads — no channels, no unsafe, no allocation beyond the
+//! result vector.
+//!
+//! The handle resolves its thread count once (including the
+//! `available_parallelism` probe for `threads(0)`) and is then passed by
+//! reference through every parallel entry point, replacing the old
+//! per-call `threads: usize` parameter threading.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -21,57 +28,130 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Applies `f` to every index in `0..items` on up to `threads` scoped
-/// worker threads, returning the results in index order. Workers pull the
-/// next index from a shared atomic, so uneven item costs balance
-/// automatically. With `threads <= 1` (or fewer than two items) this runs
-/// inline with no thread spawns.
+/// A reusable parallel-execution context.
 ///
-/// # Panics
+/// Build one per process with [`ParallelCtx::builder`] and pass it by
+/// reference to [`encode_file`], [`decode_file`] and [`ParallelCtx::run`].
+/// Construction is where the thread-count policy lives (explicit count, or
+/// the `available_parallelism` probe for `0`/unset); execution reuses that
+/// decision for every call.
 ///
-/// Propagates a panic from `f` (the scope joins all workers first).
-pub fn parallel_map<R, F>(threads: usize, items: usize, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(usize) -> R + Sync,
-{
-    let threads = threads.clamp(1, items.max(1));
-    if threads <= 1 || items <= 1 {
-        return (0..items).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items {
-                            break;
-                        }
-                        out.push((i, f(i)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
-    let mut slots: Vec<Option<R>> = (0..items).map(|_| None).collect();
-    for (i, r) in per_worker.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|r| r.expect("every index produced a result"))
-        .collect()
+/// # Examples
+///
+/// ```
+/// use workloads::parallel::ParallelCtx;
+///
+/// let ctx = ParallelCtx::builder().threads(4).build();
+/// assert_eq!(ctx.threads(), 4);
+/// let squares = ctx.run(5, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelCtx {
+    threads: usize,
 }
 
-/// Encodes a whole file with per-stripe fan-out across `threads` workers.
+/// Builder for [`ParallelCtx`]. Obtained from [`ParallelCtx::builder`].
+#[derive(Debug, Default, Clone)]
+pub struct ParallelCtxBuilder {
+    threads: Option<usize>,
+}
+
+impl ParallelCtxBuilder {
+    /// Sets the worker-thread count. `0` (and not calling this at all)
+    /// means "use all available cores", resolved once at [`build`] time.
+    ///
+    /// [`build`]: ParallelCtxBuilder::build
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Resolves the configuration into a ready-to-share context.
+    pub fn build(self) -> ParallelCtx {
+        let threads = match self.threads {
+            Some(0) | None => available_threads(),
+            Some(t) => t,
+        };
+        ParallelCtx { threads }
+    }
+}
+
+impl Default for ParallelCtx {
+    /// A context using all available cores.
+    fn default() -> Self {
+        ParallelCtx::builder().build()
+    }
+}
+
+impl ParallelCtx {
+    /// Starts building a context.
+    pub fn builder() -> ParallelCtxBuilder {
+        ParallelCtxBuilder::default()
+    }
+
+    /// A single-threaded context (everything runs inline on the caller).
+    pub fn sequential() -> Self {
+        ParallelCtx { threads: 1 }
+    }
+
+    /// The resolved worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every index in `0..items` on the context's workers,
+    /// returning the results in index order. Workers pull the next index
+    /// from a shared atomic, so uneven item costs balance automatically.
+    /// With one thread (or fewer than two items) this runs inline with no
+    /// thread spawns.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the scope joins all workers first).
+    pub fn run<R, F>(&self, items: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let threads = self.threads.clamp(1, items.max(1));
+        if threads <= 1 || items <= 1 {
+            return (0..items).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items {
+                                break;
+                            }
+                            out.push((i, f(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<R>> = (0..items).map(|_| None).collect();
+        for (i, r) in per_worker.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index produced a result"))
+            .collect()
+    }
+}
+
+/// Encodes a whole file with per-stripe fan-out on `ctx`'s workers.
 /// Produces exactly the same [`EncodedFile`] as [`FileCodec::encode`].
 ///
 /// # Errors
@@ -81,7 +161,7 @@ where
 pub fn encode_file<C>(
     codec: &FileCodec<C>,
     data: &[u8],
-    threads: usize,
+    ctx: &ParallelCtx,
 ) -> Result<EncodedFile<C>, FileError>
 where
     C: ErasureCode + Clone + Sync,
@@ -93,7 +173,7 @@ where
     }
     let sdb = codec.stripe_data_bytes();
     let chunks: Vec<&[u8]> = data.chunks(sdb).collect();
-    let stripes = parallel_map(threads, chunks.len(), |s| codec.encode_stripe(chunks[s]));
+    let stripes = ctx.run(chunks.len(), |s| codec.encode_stripe(chunks[s]));
     let meta = FileMeta {
         file_len: data.len() as u64,
         block_bytes: codec.block_bytes(),
@@ -112,18 +192,18 @@ where
     Ok(file)
 }
 
-/// Decodes a whole file with per-stripe fan-out across `threads` workers.
+/// Decodes a whole file with per-stripe fan-out on `ctx`'s workers.
 /// Produces exactly the same bytes as [`EncodedFile::decode`].
 ///
 /// # Errors
 ///
 /// Returns [`FileError::StripeUnrecoverable`] naming the first
 /// unrecoverable stripe, like the sequential path.
-pub fn decode_file<C>(file: &EncodedFile<C>, threads: usize) -> Result<Vec<u8>, FileError>
+pub fn decode_file<C>(file: &EncodedFile<C>, ctx: &ParallelCtx) -> Result<Vec<u8>, FileError>
 where
     C: AccessCode + Sync,
 {
-    let parts = parallel_map(threads, file.stripes(), |s| file.decode_stripe_at(s));
+    let parts = ctx.run(file.stripes(), |s| file.decode_stripe_at(s));
     let mut out = Vec::with_capacity(file.meta().file_len as usize);
     for part in parts {
         out.extend_from_slice(&part?);
@@ -142,14 +222,39 @@ mod tests {
         (0..len).map(|i| (i * 131 + 7) as u8).collect()
     }
 
+    fn ctx(threads: usize) -> ParallelCtx {
+        ParallelCtx::builder().threads(threads).build()
+    }
+
     #[test]
-    fn parallel_map_preserves_order_and_covers_all() {
+    fn builder_resolves_thread_count_once() {
+        assert_eq!(ctx(3).threads(), 3);
+        assert_eq!(ParallelCtx::sequential().threads(), 1);
+        // 0 and "unset" both mean "all cores", probed at build time.
+        assert_eq!(ctx(0).threads(), available_threads());
+        assert_eq!(
+            ParallelCtx::builder().build().threads(),
+            available_threads()
+        );
+        assert_eq!(ParallelCtx::default().threads(), available_threads());
+    }
+
+    #[test]
+    fn run_preserves_order_and_covers_all() {
         for threads in [1, 2, 3, 8, 64] {
-            let got = parallel_map(threads, 100, |i| i * i);
+            let got = ctx(threads).run(100, |i| i * i);
             let want: Vec<usize> = (0..100).map(|i| i * i).collect();
             assert_eq!(got, want, "threads={threads}");
         }
-        assert!(parallel_map(4, 0, |i| i).is_empty());
+        assert!(ctx(4).run(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn context_is_reusable_across_calls() {
+        let ctx = ctx(4);
+        for _ in 0..3 {
+            assert_eq!(ctx.run(10, |i| i + 1), (1..=10).collect::<Vec<_>>());
+        }
     }
 
     #[test]
@@ -157,7 +262,7 @@ mod tests {
         let codec = FileCodec::new(Carousel::new(6, 3, 3, 6).unwrap(), 120).unwrap();
         let file = data(3000);
         let seq = codec.encode(&file).unwrap();
-        let par = encode_file(&codec, &file, 4).unwrap();
+        let par = encode_file(&codec, &file, &ctx(4)).unwrap();
         assert_eq!(par.meta(), seq.meta());
         for s in 0..seq.stripes() {
             for b in 0..seq.meta().n {
@@ -174,19 +279,19 @@ mod tests {
         for s in 0..enc.stripes() {
             enc.drop_block(s, (s * 2) % 6);
         }
-        assert_eq!(decode_file(&enc, 4).unwrap(), file);
-        assert_eq!(decode_file(&enc, 1).unwrap(), file);
+        assert_eq!(decode_file(&enc, &ctx(4)).unwrap(), file);
+        assert_eq!(decode_file(&enc, &ParallelCtx::sequential()).unwrap(), file);
     }
 
     #[test]
     fn parallel_errors_propagate() {
         let codec = FileCodec::new(ReedSolomon::new(4, 2).unwrap(), 64).unwrap();
-        assert!(encode_file(&codec, &[], 4).is_err());
+        assert!(encode_file(&codec, &[], &ctx(4)).is_err());
         let mut enc = codec.encode(&data(400)).unwrap();
         for b in 0..3 {
             enc.drop_block(1, b);
         }
-        match decode_file(&enc, 4) {
+        match decode_file(&enc, &ctx(4)) {
             Err(FileError::StripeUnrecoverable { stripe, .. }) => assert_eq!(stripe, 1),
             other => panic!("expected StripeUnrecoverable, got {other:?}"),
         }

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut store: Vec<Vec<Option<Vec<u8>>>> = Vec::new();
     let meta = encode_stream(&codec, &input[..], |s, blocks| {
         assert_eq!(s, store.len());
-        store.push(blocks.into_iter().map(Some).collect());
+        store.push(blocks.iter().cloned().map(Some).collect());
         Ok(())
     })?;
     println!(

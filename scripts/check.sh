@@ -27,6 +27,19 @@ if [ -n "$guard_hits" ]; then
   exit 1
 fi
 
+step "kernel guard: crates outside gf256 use the kernel engine"
+# The slice free functions (mul_slice & co.) are deprecated shims kept for
+# external callers; everything in-tree must go through gf256::kernel().
+guard_hits=$(grep -rnE "\b(mul_slice|mul_acc_slice|add_assign_slice|mul_slice_in_place)\b" \
+  --include='*.rs' src tests examples \
+  crates/access crates/bench crates/cluster crates/core crates/dfs crates/erasure \
+  crates/filestore crates/lrc crates/mapreduce crates/msr crates/rs crates/simcore \
+  crates/telemetry crates/workloads || true)
+if [ -n "$guard_hits" ]; then
+  printf 'use gf256::kernel() instead of the deprecated slice helpers:\n%s\n' "$guard_hits" >&2
+  exit 1
+fi
+
 step "cargo clippy (default features, -D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
@@ -49,12 +62,18 @@ cargo test --workspace --offline -q
 step "cluster loopback smoke test (telemetry on)"
 cargo test --offline -q --test cluster_loopback
 
+step "kernel bench smoke (telemetry on)"
+cargo run --release --offline -p carousel-bench --bin ext_kernels -- --smoke
+
 if [ "$mode" != "fast" ]; then
   step "cargo test (--no-default-features: telemetry compiled out)"
   cargo test --workspace --no-default-features --offline -q
 
   step "cluster loopback smoke test (telemetry off)"
   cargo test --offline -q --no-default-features --test cluster_loopback
+
+  step "kernel bench smoke (telemetry off)"
+  cargo run --release --offline -p carousel-bench --no-default-features --bin ext_kernels -- --smoke
 fi
 
 step "build ext_cluster (real-TCP experiment binary)"

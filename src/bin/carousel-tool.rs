@@ -33,6 +33,7 @@ use filestore::format::{self, AnyCode, CodeSpec};
 use filestore::{FileCodec, FileError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use workloads::parallel::ParallelCtx;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,7 +91,7 @@ fn encode(args: &[String]) -> Result<(), String> {
         p: 12,
     };
     let mut block_bytes: Option<usize> = None;
-    let mut threads = 1usize;
+    let mut ctx = ParallelCtx::sequential();
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -105,7 +106,7 @@ fn encode(args: &[String]) -> Result<(), String> {
                 i += 2;
             }
             "--threads" => {
-                threads = parse_threads(args.get(i + 1))?;
+                ctx = parse_threads(args.get(i + 1))?;
                 i += 2;
             }
             other => return Err(format!("encode: unknown flag {other:?}")),
@@ -119,29 +120,27 @@ fn encode(args: &[String]) -> Result<(), String> {
         .unwrap_or_else(|| (data.len().div_ceil(code.k())).max(sub))
         .next_multiple_of(sub);
     let codec = FileCodec::new(code, block_bytes).map_err(err_str)?;
-    let encoded = workloads::parallel::encode_file(&codec, &data, threads).map_err(err_str)?;
+    let encoded = workloads::parallel::encode_file(&codec, &data, &ctx).map_err(err_str)?;
     format::save(Path::new(dir), spec, &encoded).map_err(err_str)?;
     println!(
-        "encoded {} bytes with {spec}: {} stripe(s) x {} blocks of {} bytes -> {dir} ({threads} thread(s))",
+        "encoded {} bytes with {spec}: {} stripe(s) x {} blocks of {} bytes -> {dir} ({} thread(s))",
         data.len(),
         encoded.stripes(),
         encoded.meta().n,
-        block_bytes
+        block_bytes,
+        ctx.threads()
     );
     Ok(())
 }
 
-/// Parses a `--threads` value; `0` means "all available cores".
-fn parse_threads(value: Option<&String>) -> Result<usize, String> {
+/// Parses a `--threads` value into a parallel context; `0` means "all
+/// available cores" (resolved once by the builder).
+fn parse_threads(value: Option<&String>) -> Result<ParallelCtx, String> {
     let v: usize = value
         .ok_or("--threads needs a value")?
         .parse()
         .map_err(|_| "invalid --threads")?;
-    Ok(if v == 0 {
-        workloads::parallel::available_threads()
-    } else {
-        v
-    })
+    Ok(ParallelCtx::builder().threads(v).build())
 }
 
 fn load_dir(args: &[String]) -> Result<(PathBuf, filestore::EncodedFile<AnyCode>), String> {
@@ -153,22 +152,23 @@ fn load_dir(args: &[String]) -> Result<(PathBuf, filestore::EncodedFile<AnyCode>
 fn decode(args: &[String]) -> Result<(), String> {
     let (_, file) = load_dir(args)?;
     let output = args.get(1).ok_or("decode: missing <output>")?;
-    let mut threads = 1usize;
+    let mut ctx = ParallelCtx::sequential();
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
             "--threads" => {
-                threads = parse_threads(args.get(i + 1))?;
+                ctx = parse_threads(args.get(i + 1))?;
                 i += 2;
             }
             other => return Err(format!("decode: unknown flag {other:?}")),
         }
     }
-    let data = workloads::parallel::decode_file(&file, threads).map_err(err_str)?;
+    let data = workloads::parallel::decode_file(&file, &ctx).map_err(err_str)?;
     std::fs::write(output, &data).map_err(err_str)?;
     println!(
-        "decoded {} bytes -> {output} ({threads} thread(s))",
-        data.len()
+        "decoded {} bytes -> {output} ({} thread(s))",
+        data.len(),
+        ctx.threads()
     );
     Ok(())
 }
@@ -397,7 +397,7 @@ fn put_cluster(args: &[String]) -> Result<(), String> {
         p: 9,
     };
     let mut block_bytes: Option<usize> = None;
-    let mut threads = 1usize;
+    let mut ctx = ParallelCtx::sequential();
     let mut seed = 17u64;
     let mut i = 2;
     while i < args.len() {
@@ -417,7 +417,7 @@ fn put_cluster(args: &[String]) -> Result<(), String> {
                 i += 2;
             }
             "--threads" => {
-                threads = parse_threads(args.get(i + 1))?;
+                ctx = parse_threads(args.get(i + 1))?;
                 i += 2;
             }
             "--seed" => {
@@ -451,7 +451,7 @@ fn put_cluster(args: &[String]) -> Result<(), String> {
             &data,
             spec,
             block_bytes,
-            threads,
+            &ctx,
             dfs::Placement::Random,
             &mut rng,
         )

@@ -16,6 +16,7 @@ use filestore::FileCodec;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use workloads::parallel::ParallelCtx;
 
 /// Small Carousel geometries every stack supports, with distinct
 /// sub-packetizations (RS regime d = k here keeps clusters tiny).
@@ -74,7 +75,15 @@ proptest! {
         let spec = CodeSpec::Carousel { n, k, d, p };
         let mut rng = StdRng::seed_from_u64(7);
         client
-            .put_file("f", &data, spec, block_bytes, 1, Placement::Random, &mut rng)
+            .put_file(
+                "f",
+                &data,
+                spec,
+                block_bytes,
+                &ParallelCtx::sequential(),
+                Placement::Random,
+                &mut rng,
+            )
             .unwrap();
         for &node in &roles {
             cluster.fail(node);
@@ -162,4 +171,101 @@ fn fixed_pattern_degraded_read_hits_cache_ninety_percent() {
     }
     assert_eq!(file.decode().unwrap(), decoded);
     assert_eq!(uncached.plan_cache().hits(), 0);
+}
+
+/// The fixed tri-stack scenario run by
+/// [`tri_stack_bytes_identical_for_every_kernel`] in a child process with
+/// `CAROUSEL_KERNEL` pinned to one registered kernel. Marked `#[ignore]`
+/// so it only ever runs with that variable set by the parent test.
+#[test]
+#[ignore = "spawned per kernel by tri_stack_bytes_identical_for_every_kernel"]
+fn tri_stack_scenario_for_pinned_kernel() {
+    let kernel = std::env::var("CAROUSEL_KERNEL").expect("parent pins CAROUSEL_KERNEL");
+    assert_eq!(
+        gf256::kernel().name(),
+        kernel,
+        "pinned kernel must win dispatch"
+    );
+
+    let (n, k, d, p) = (6, 3, 3, 6);
+    let code = Carousel::new(n, k, d, p).unwrap();
+    let block_bytes = code.linear().sub() * 16;
+    let data: Vec<u8> = (0..4096usize).map(|i| (i * 137 + 11) as u8).collect();
+    let roles = failure_roles(n, n - k, 1);
+
+    let codec = FileCodec::new(code.clone(), block_bytes).unwrap();
+    let mut file = codec.encode(&data).unwrap();
+    for s in 0..file.stripes() {
+        for &r in &roles {
+            file.drop_block(s, r);
+        }
+    }
+    assert_eq!(
+        file.decode().unwrap(),
+        data,
+        "filestore under kernel {kernel}"
+    );
+
+    let mut store = SimStore::encode(Box::new(code), block_bytes, &data).unwrap();
+    for &r in &roles {
+        store.fail_role(r);
+    }
+    assert_eq!(
+        store.download(&PlanCache::new(8)).unwrap(),
+        data,
+        "sim DFS under kernel {kernel}"
+    );
+
+    let mut cluster = LocalCluster::start(n).unwrap();
+    let mut client = cluster.client();
+    let spec = CodeSpec::Carousel { n, k, d, p };
+    let mut rng = StdRng::seed_from_u64(7);
+    client
+        .put_file(
+            "f",
+            &data,
+            spec,
+            block_bytes,
+            &ParallelCtx::sequential(),
+            Placement::Random,
+            &mut rng,
+        )
+        .unwrap();
+    for &node in &roles {
+        cluster.fail(node);
+    }
+    assert_eq!(
+        client.get_file("f").unwrap(),
+        data,
+        "cluster under kernel {kernel}"
+    );
+}
+
+/// One tri-stack byte-identity case per registered kernel: re-runs
+/// [`tri_stack_scenario_for_pinned_kernel`] in a child process with
+/// `CAROUSEL_KERNEL` set, so every kernel — not just the process default —
+/// drives the filestore, simulated-DFS and TCP-cluster read paths
+/// end to end, including the env-override dispatch itself.
+#[test]
+fn tri_stack_bytes_identical_for_every_kernel() {
+    let exe = std::env::current_exe().expect("test binary path");
+    for kernel in gf256::kernels() {
+        let output = std::process::Command::new(&exe)
+            .args([
+                "--exact",
+                "tri_stack_scenario_for_pinned_kernel",
+                "--ignored",
+                "--test-threads=1",
+            ])
+            .env("CAROUSEL_KERNEL", kernel.name())
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            output.status.success(),
+            "tri-stack identity failed under kernel {}:\n{}\n{}",
+            kernel.name(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
 }

@@ -9,6 +9,11 @@ use dfs::Placement;
 use filestore::format::CodeSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use workloads::parallel::ParallelCtx;
+
+fn ctx(threads: usize) -> ParallelCtx {
+    ParallelCtx::builder().threads(threads).build()
+}
 
 fn payload(len: usize) -> Vec<u8> {
     (0..len).map(|i| (i * 31 + 17) as u8).collect()
@@ -32,7 +37,15 @@ fn carousel_9_6_cluster_survives_kill_and_repair() {
     let data = payload(2500); // 4 stripes, last one partial
     let mut rng = StdRng::seed_from_u64(11);
     let fp = client
-        .put_file("movie", &data, spec, 120, 3, Placement::Random, &mut rng)
+        .put_file(
+            "movie",
+            &data,
+            spec,
+            120,
+            &ctx(3),
+            Placement::Random,
+            &mut rng,
+        )
         .unwrap();
     assert!(fp.stripes >= 2, "need a multi-stripe file");
 
@@ -89,7 +102,7 @@ fn msr_regime_repair_moves_optimal_traffic() {
             &data,
             spec,
             block_bytes,
-            2,
+            &ctx(2),
             Placement::Random,
             &mut rng,
         )
@@ -127,7 +140,15 @@ fn rs_cluster_reads_and_degrades() {
     let data = payload(1000);
     let mut rng = StdRng::seed_from_u64(9);
     let fp = client
-        .put_file("log", &data, spec, 100, 1, Placement::Random, &mut rng)
+        .put_file(
+            "log",
+            &data,
+            spec,
+            100,
+            &ctx(1),
+            Placement::Random,
+            &mut rng,
+        )
         .unwrap();
     assert_eq!(client.get_file("log").unwrap(), data);
     // Kill whichever node holds the first data block of stripe 0.
@@ -155,7 +176,7 @@ fn manifest_reconnect_reads_same_bytes() {
     let data = payload(700);
     let mut rng = StdRng::seed_from_u64(3);
     client
-        .put_file("doc", &data, spec, 60, 2, Placement::Random, &mut rng)
+        .put_file("doc", &data, spec, 60, &ctx(2), Placement::Random, &mut rng)
         .unwrap();
     let path = std::env::temp_dir().join(format!("cluster-manifest-{}.txt", std::process::id()));
     client.coordinator().save_manifest(&path).unwrap();
