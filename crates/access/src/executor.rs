@@ -6,12 +6,25 @@
 //! cluster where nodes keep failing mid-read must not livelock), and generic
 //! over [`BlockSource`] — so the in-memory store, the simulator and the TCP
 //! client cannot diverge from each other or from the paper's math.
+//!
+//! Every fetch of a plan — the per-node unit reads of a stripe read, and
+//! all `d` helper reads of a repair — is issued as *one*
+//! [`BlockSource::fetch_batch`] call, so a transport can fan the requests
+//! out to distinct nodes concurrently. Failures are collected per batch:
+//! one replan routes around *every* node that failed in the round, not one
+//! node at a time.
+
+use std::sync::{Arc, LazyLock};
 
 use erasure::CodeError;
 
 use crate::cache::PlanCache;
-use crate::source::{BlockSource, Fetch};
+use crate::plan::ReadPlan;
+use crate::source::{BatchRequest, BlockSource, Fetch};
 use crate::{AccessCode, ReadMode};
+
+static FETCH_FANOUT: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("access.fetch.fanout"));
 
 /// Default bound on mid-operation replans before giving up.
 pub const DEFAULT_MAX_REPLANS: usize = 8;
@@ -70,6 +83,44 @@ pub struct StripeRead {
     pub replans: usize,
 }
 
+/// A fetched-but-not-yet-decoded stripe: the payloads of a successful
+/// plan, still attached to the plan that knows how to decode them.
+///
+/// Splitting the fetch from the decode is what makes stripe pipelining
+/// possible: the fetch half runs on a worker while the caller decodes the
+/// previous stripe. The struct is pure data (the plan is `Arc`-shared pure
+/// data too), so it crosses threads freely.
+#[derive(Debug, Clone)]
+pub struct FetchedStripe {
+    plan: Arc<ReadPlan>,
+    units: Vec<Vec<u8>>,
+    replans: usize,
+}
+
+impl FetchedStripe {
+    /// The read mode of the plan that succeeded.
+    pub fn mode(&self) -> ReadMode {
+        self.plan.mode()
+    }
+
+    /// Mid-read replans that were needed (0 = first plan worked).
+    pub fn replans(&self) -> usize {
+        self.replans
+    }
+
+    /// Decodes the fetched units into the stripe's original data
+    /// (padding included) — the deferred half of
+    /// [`PlanExecutor::read_stripe`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures from the plan.
+    pub fn decode(&self) -> Result<Vec<u8>, CodeError> {
+        let slices: Vec<&[u8]> = self.units.iter().map(Vec::as_slice).collect();
+        self.plan.decode_units(&slices)
+    }
+}
+
 /// A reconstructed block data region, with how it was obtained.
 #[derive(Debug, Clone)]
 pub struct RegionRead {
@@ -114,37 +165,37 @@ impl<'a> PlanExecutor<'a> {
         self
     }
 
-    /// Reads one stripe's original data, degrading and replanning as nodes
-    /// fail.
+    /// Fetches one stripe's units without decoding them: the plan and its
+    /// payloads come back as a [`FetchedStripe`] whose
+    /// [`decode`](FetchedStripe::decode) can run later, on another thread,
+    /// overlapped with the next stripe's fetch.
     ///
     /// # Errors
     ///
     /// [`ExecError::Code`] when too few blocks remain, [`ExecError::Source`]
     /// on transport faults, [`ExecError::ReplansExhausted`] when the budget
     /// runs out.
-    pub fn read_stripe<S: BlockSource>(
+    pub fn fetch_stripe<S: BlockSource>(
         &self,
         code: &dyn AccessCode,
         source: &mut S,
-    ) -> Result<StripeRead, ExecError<S::Error>> {
+    ) -> Result<FetchedStripe, ExecError<S::Error>> {
         let mut available = source.available();
         available.sort_unstable();
         let w = source.unit_bytes();
         let mut replans = 0;
         loop {
             let plan = self.cache.read_plan(code, &available)?;
-            match fetch_all(plan.sources(), w, source).map_err(ExecError::Source)? {
+            match batch_units(plan.sources(), w, source).map_err(ExecError::Source)? {
                 Ok(units) => {
-                    let slices: Vec<&[u8]> = units.iter().map(Vec::as_slice).collect();
-                    let data = plan.decode_units(&slices)?;
-                    return Ok(StripeRead {
-                        data,
-                        mode: plan.mode(),
+                    return Ok(FetchedStripe {
+                        plan,
+                        units,
                         replans,
-                    });
+                    })
                 }
                 Err(dead) => {
-                    available.retain(|&n| n != dead);
+                    available.retain(|n| !dead.contains(n));
                     replans += 1;
                     if replans > self.max_replans {
                         return Err(ExecError::ReplansExhausted { attempts: replans });
@@ -154,12 +205,31 @@ impl<'a> PlanExecutor<'a> {
         }
     }
 
+    /// Reads one stripe's original data, degrading and replanning as nodes
+    /// fail.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PlanExecutor::fetch_stripe`].
+    pub fn read_stripe<S: BlockSource>(
+        &self,
+        code: &dyn AccessCode,
+        source: &mut S,
+    ) -> Result<StripeRead, ExecError<S::Error>> {
+        let fetched = self.fetch_stripe(code, source)?;
+        Ok(StripeRead {
+            data: fetched.decode()?,
+            mode: fetched.mode(),
+            replans: fetched.replans(),
+        })
+    }
+
     /// Rebuilds the data region of block `target` (typically lost) without
     /// reading the whole stripe.
     ///
     /// # Errors
     ///
-    /// As for [`PlanExecutor::read_stripe`].
+    /// As for [`PlanExecutor::fetch_stripe`].
     pub fn read_block_region<S: BlockSource>(
         &self,
         code: &dyn AccessCode,
@@ -173,14 +243,14 @@ impl<'a> PlanExecutor<'a> {
         let mut replans = 0;
         loop {
             let plan = self.cache.degraded_plan(code, target, &available)?;
-            match fetch_all(&plan.sources(), w, source).map_err(ExecError::Source)? {
+            match batch_units(&plan.sources(), w, source).map_err(ExecError::Source)? {
                 Ok(units) => {
                     let slices: Vec<&[u8]> = units.iter().map(Vec::as_slice).collect();
                     let data = plan.decode_units(&slices)?;
                     return Ok(RegionRead { data, replans });
                 }
                 Err(dead) => {
-                    available.retain(|&n| n != dead);
+                    available.retain(|n| !dead.contains(n));
                     replans += 1;
                     if replans > self.max_replans {
                         return Err(ExecError::ReplansExhausted { attempts: replans });
@@ -191,11 +261,12 @@ impl<'a> PlanExecutor<'a> {
     }
 
     /// Repairs block `failed` from `d` helpers, swapping in fresh helpers
-    /// (and re-deriving coefficients) when one dies mid-repair.
+    /// (and re-deriving coefficients) when one dies mid-repair. All `d`
+    /// helper reads of a plan go out as one batch.
     ///
     /// # Errors
     ///
-    /// As for [`PlanExecutor::read_stripe`].
+    /// As for [`PlanExecutor::fetch_stripe`].
     pub fn repair_block<S: BlockSource>(
         &self,
         code: &dyn AccessCode,
@@ -217,76 +288,106 @@ impl<'a> PlanExecutor<'a> {
             }
             let helpers: Vec<usize> = available.iter().copied().take(d).collect();
             let plan = self.cache.repair_plan(code, failed, &helpers)?;
+            let requests: Vec<BatchRequest<'_>> = plan
+                .helpers()
+                .iter()
+                .map(|task| BatchRequest::Repair {
+                    node: task.node,
+                    task,
+                })
+                .collect();
+            record_fanout(requests.len());
+            let fetches = source.fetch_batch(&requests).map_err(ExecError::Source)?;
             let mut payloads = Vec::with_capacity(d);
-            let mut dead = None;
-            for task in plan.helpers() {
-                match source
-                    .repair_read(task.node, task)
-                    .map_err(ExecError::Source)?
-                {
+            let mut dead = Vec::new();
+            for (task, fetch) in plan.helpers().iter().zip(fetches) {
+                match fetch {
                     Fetch::Data(bytes) if bytes.len() == task.beta() * w => payloads.push(bytes),
-                    _ => {
-                        dead = Some(task.node);
-                        break;
-                    }
+                    _ => dead.push(task.node),
                 }
             }
-            match dead {
-                None => {
-                    let payload_bytes = payloads.iter().map(Vec::len).sum();
-                    let block = plan.combine_payloads(&payloads)?;
-                    return Ok(RepairOutcome {
-                        block,
-                        payload_bytes,
-                        replans,
-                    });
-                }
-                Some(node) => {
-                    available.retain(|&n| n != node);
-                    replans += 1;
-                    if replans > self.max_replans {
-                        return Err(ExecError::ReplansExhausted { attempts: replans });
-                    }
-                }
+            if dead.is_empty() && payloads.len() == plan.helpers().len() {
+                let payload_bytes = payloads.iter().map(Vec::len).sum();
+                let block = plan.combine_payloads(&payloads)?;
+                return Ok(RepairOutcome {
+                    block,
+                    payload_bytes,
+                    replans,
+                });
+            }
+            // A short batch result (a source violating the contract) with
+            // no named dead node cannot make progress; treat every helper
+            // as suspect rather than loop forever.
+            if dead.is_empty() {
+                dead = helpers;
+            }
+            available.retain(|n| !dead.contains(n));
+            replans += 1;
+            if replans > self.max_replans {
+                return Err(ExecError::ReplansExhausted { attempts: replans });
             }
         }
     }
 }
 
-/// Fetches every `(node, unit)` source, grouping per-node requests into one
-/// `fetch_units` call each. `Ok(Ok(units))` has payloads in source order;
-/// `Ok(Err(node))` names the first node that failed to serve (including
-/// wrong-length payloads, which are treated as the node lying and therefore
-/// dying); `Err` is transport-fatal.
+fn record_fanout(requests: usize) {
+    if telemetry::ENABLED {
+        FETCH_FANOUT.record(requests as u64);
+    }
+}
+
+/// Issues every `(node, unit)` source of a plan as one batch, grouping
+/// per-node requests into one [`BatchRequest::Units`] each.
+/// `Ok(Ok(units))` has payloads in source order; `Ok(Err(nodes))` lists
+/// *every* node that failed to serve this round (including wrong-length
+/// payloads, which are treated as the node lying and therefore dying);
+/// `Err` is transport-fatal.
 #[allow(clippy::type_complexity)]
-fn fetch_all<S: BlockSource>(
+fn batch_units<S: BlockSource>(
     sources: &[(usize, usize)],
     w: usize,
     source: &mut S,
-) -> Result<Result<Vec<Vec<u8>>, usize>, S::Error> {
-    // Group contiguous runs per node, remembering each unit's position.
-    let mut groups: Vec<(usize, Vec<usize>, Vec<usize>)> = Vec::new();
+) -> Result<Result<Vec<Vec<u8>>, Vec<usize>>, S::Error> {
+    // Group per-node runs, remembering each unit's position in the plan.
+    let mut requests: Vec<BatchRequest<'static>> = Vec::new();
+    let mut positions: Vec<Vec<usize>> = Vec::new();
     for (pos, &(node, unit)) in sources.iter().enumerate() {
-        match groups.iter_mut().find(|(nd, _, _)| *nd == node) {
-            Some((_, units, positions)) => {
+        match requests.iter().position(|r| r.node() == node) {
+            Some(i) => {
+                let BatchRequest::Units { units, .. } = &mut requests[i] else {
+                    unreachable!("unit batches hold only unit requests");
+                };
                 units.push(unit);
-                positions.push(pos);
+                positions[i].push(pos);
             }
-            None => groups.push((node, vec![unit], vec![pos])),
+            None => {
+                requests.push(BatchRequest::Units {
+                    node,
+                    units: vec![unit],
+                });
+                positions.push(vec![pos]);
+            }
         }
     }
+    record_fanout(requests.len());
+    let fetches = source.fetch_batch(&requests)?;
     let mut out: Vec<Vec<u8>> = vec![Vec::new(); sources.len()];
-    for (node, units, positions) in groups {
-        match source.fetch_units(node, &units)? {
-            Fetch::Data(bytes) if bytes.len() == units.len() * w => {
-                for (i, &pos) in positions.iter().enumerate() {
-                    out[pos] = bytes[i * w..(i + 1) * w].to_vec();
+    let mut failed = Vec::new();
+    for (i, request) in requests.iter().enumerate() {
+        match fetches.get(i) {
+            Some(Fetch::Data(bytes)) if bytes.len() == positions[i].len() * w => {
+                for (j, &pos) in positions[i].iter().enumerate() {
+                    out[pos] = bytes[j * w..(j + 1) * w].to_vec();
                 }
             }
-            _ => return Ok(Err(node)),
+            _ => failed.push(request.node()),
         }
     }
-    Ok(Ok(out))
+    if failed.is_empty() {
+        Ok(Ok(out))
+    } else {
+        Ok(Err(failed))
+    }
 }
 
 #[cfg(test)]
@@ -303,11 +404,11 @@ mod tests {
         (data, stripe.blocks)
     }
 
-    /// A source that silently drops a node after its first successful serve —
-    /// the kill-mid-read scenario.
+    /// A source that silently drops nodes after their first successful
+    /// serve — the kill-mid-read scenario, batched.
     struct FlakySource<'a> {
         inner: MemorySource<'a>,
-        dies_after_serving: usize,
+        dies_after_serving: Vec<usize>,
         served: bool,
     }
 
@@ -323,7 +424,7 @@ mod tests {
             self.inner.available()
         }
         fn fetch_units(&mut self, node: usize, units: &[usize]) -> Result<Fetch, Self::Error> {
-            if node == self.dies_after_serving {
+            if self.dies_after_serving.contains(&node) {
                 if self.served {
                     return Ok(Fetch::Unavailable);
                 }
@@ -371,7 +472,7 @@ mod tests {
         let refs: Vec<Option<&[u8]>> = blocks.iter().map(|b| Some(&b[..])).collect();
         let mut source = FlakySource {
             inner: MemorySource::new(refs, code.sub()),
-            dies_after_serving: 0,
+            dies_after_serving: vec![0],
             served: true, // dead from the start, but still listed available
         };
         let read = executor.read_stripe(&code, &mut source).unwrap();
@@ -379,37 +480,86 @@ mod tests {
         assert_eq!(&read.data[..data.len()], &data[..]);
     }
 
+    /// Batched replanning routes around *all* of a round's failures at
+    /// once: two nodes dead-but-listed cost one replan, not two.
+    #[test]
+    fn batch_failures_share_one_replan() {
+        let code = Carousel::new(6, 3, 3, 6).unwrap();
+        let (data, blocks) = encoded(&code, 8);
+        let cache = PlanCache::new(8);
+        let executor = PlanExecutor::new(&cache);
+        let refs: Vec<Option<&[u8]>> = blocks.iter().map(|b| Some(&b[..])).collect();
+        let mut source = FlakySource {
+            inner: MemorySource::new(refs, code.sub()),
+            dies_after_serving: vec![0, 3],
+            served: true, // both dead from the start, still listed available
+        };
+        let read = executor.read_stripe(&code, &mut source).unwrap();
+        assert_eq!(read.replans, 1, "both failures handled in one replan");
+        assert_eq!(&read.data[..data.len()], &data[..]);
+    }
+
+    #[test]
+    fn fetch_decode_split_matches_read_stripe() {
+        let code = Carousel::new(6, 3, 3, 6).unwrap();
+        let (data, blocks) = encoded(&code, 8);
+        let cache = PlanCache::new(8);
+        let executor = PlanExecutor::new(&cache);
+        let refs: Vec<Option<&[u8]>> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i != 1).then_some(&b[..]))
+            .collect();
+        let fetched = executor
+            .fetch_stripe(&code, &mut MemorySource::new(refs, code.sub()))
+            .unwrap();
+        assert_ne!(fetched.mode(), ReadMode::Direct);
+        assert_eq!(fetched.replans(), 0);
+        assert_eq!(&fetched.decode().unwrap()[..data.len()], &data[..]);
+    }
+
     #[test]
     fn replan_budget_is_enforced() {
         let code = Carousel::new(6, 3, 3, 6).unwrap();
         let (_, blocks) = encoded(&code, 4);
 
-        /// Claims everything is available, serves nothing.
-        struct LiarSource {
-            n: usize,
-            w: usize,
+        /// Fails exactly the first request of every batch, so each round
+        /// loses one more node and the budget, not the availability set,
+        /// is what runs out.
+        struct FirstRequestFails<'a> {
+            inner: MemorySource<'a>,
         }
-        impl BlockSource for LiarSource {
+        impl BlockSource for FirstRequestFails<'_> {
             type Error = std::convert::Infallible;
             fn block_count(&self) -> usize {
-                self.n
+                self.inner.block_count()
             }
             fn unit_bytes(&self) -> usize {
-                self.w
+                self.inner.unit_bytes()
             }
             fn available(&mut self) -> Vec<usize> {
-                (0..self.n).collect()
+                self.inner.available()
             }
-            fn fetch_units(&mut self, _: usize, _: &[usize]) -> Result<Fetch, Self::Error> {
-                Ok(Fetch::Unavailable)
+            fn fetch_units(&mut self, node: usize, units: &[usize]) -> Result<Fetch, Self::Error> {
+                self.inner.fetch_units(node, units)
+            }
+            fn fetch_batch(
+                &mut self,
+                requests: &[BatchRequest<'_>],
+            ) -> Result<Vec<Fetch>, Self::Error> {
+                let mut fetches = self.inner.fetch_batch(requests)?;
+                if let Some(first) = fetches.first_mut() {
+                    *first = Fetch::Unavailable;
+                }
+                Ok(fetches)
             }
         }
 
         let cache = PlanCache::new(8);
         let executor = PlanExecutor::new(&cache).with_max_replans(2);
-        let mut source = LiarSource {
-            n: 6,
-            w: blocks[0].len() / 3,
+        let refs: Vec<Option<&[u8]>> = blocks.iter().map(|b| Some(&b[..])).collect();
+        let mut source = FirstRequestFails {
+            inner: MemorySource::new(refs, code.sub()),
         };
         match executor.read_stripe(&code, &mut source) {
             Err(ExecError::ReplansExhausted { attempts }) => assert_eq!(attempts, 3),

@@ -34,10 +34,11 @@ mod source;
 pub use cache::PlanCache;
 pub use carousel::ReadMode;
 pub use executor::{
-    ExecError, PlanExecutor, RegionRead, RepairOutcome, StripeRead, DEFAULT_MAX_REPLANS,
+    ExecError, FetchedStripe, PlanExecutor, RegionRead, RepairOutcome, StripeRead,
+    DEFAULT_MAX_REPLANS,
 };
 pub use plan::{DegradedPlan, ReadPlan, RepairPlan};
-pub use source::{BlockSource, Fetch, MemorySource};
+pub use source::{BatchRequest, BlockSource, Fetch, MemorySource};
 
 use carousel::Carousel;
 use erasure::ErasureCode;

@@ -8,6 +8,14 @@
 //! node, a missing block, a truncated payload) are reported as
 //! [`Fetch::Unavailable`], not as `Err` — `Err` is reserved for faults the
 //! executor cannot route around (protocol violations, local I/O errors).
+//!
+//! Fetches come in two shapes: the scalar [`BlockSource::fetch_units`] /
+//! [`BlockSource::repair_read`] calls, and the batched
+//! [`BlockSource::fetch_batch`], which hands a transport *every* request
+//! of one plan at once so it can fan them out to distinct nodes
+//! concurrently. The default batch implementation loops over the scalar
+//! calls, so the two shapes are semantically interchangeable — a property
+//! the consistency proptests pin down.
 
 use erasure::HelperTask;
 
@@ -19,6 +27,39 @@ pub enum Fetch {
     /// The node could not serve the request (dead, missing block…); the
     /// executor will drop it from the availability set and replan.
     Unavailable,
+}
+
+/// One request of a batched fetch — the unit the executor hands to
+/// [`BlockSource::fetch_batch`]. Each request targets one node; a plan's
+/// batch never addresses the same node twice, so a transport may serve
+/// every request of a batch concurrently.
+#[derive(Debug, Clone)]
+pub enum BatchRequest<'a> {
+    /// Fetch the listed stored units of `node`, concatenated in order —
+    /// the batched form of [`BlockSource::fetch_units`].
+    Units {
+        /// The node (block slot) to read from.
+        node: usize,
+        /// Stored unit indices, in the order wanted back.
+        units: Vec<usize>,
+    },
+    /// Helper-side repair read of `node` under `task` — the batched form
+    /// of [`BlockSource::repair_read`].
+    Repair {
+        /// The helper node to read from.
+        node: usize,
+        /// The helper's `β × sub` coefficient task.
+        task: &'a HelperTask,
+    },
+}
+
+impl BatchRequest<'_> {
+    /// The node this request targets.
+    pub fn node(&self) -> usize {
+        match self {
+            BatchRequest::Units { node, .. } | BatchRequest::Repair { node, .. } => *node,
+        }
+    }
 }
 
 /// One stripe's worth of remotely (or locally) stored blocks.
@@ -62,6 +103,37 @@ pub trait BlockSource {
             Fetch::Unavailable => Ok(Fetch::Unavailable),
         }
     }
+
+    /// Serves every request of one plan in a single call.
+    ///
+    /// The contract, which the default sequential loop realizes trivially
+    /// and which every override must preserve:
+    ///
+    /// * **ordering** — the result has exactly one [`Fetch`] per request,
+    ///   at the request's index;
+    /// * **partial failure** — a node that cannot serve yields
+    ///   [`Fetch::Unavailable`] *at its slot* without disturbing the other
+    ///   requests; the executor collects every failed slot of the batch
+    ///   and replans once around all of them;
+    /// * **fatal failure** — `Err` aborts the whole batch, exactly as a
+    ///   scalar `Err` aborts the operation.
+    ///
+    /// Transports whose requests leave the process (the TCP cluster)
+    /// override this to fan the batch out to all nodes concurrently —
+    /// that is where planned parallelism becomes wall-clock parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Only for transport-fatal faults.
+    fn fetch_batch(&mut self, requests: &[BatchRequest<'_>]) -> Result<Vec<Fetch>, Self::Error> {
+        requests
+            .iter()
+            .map(|request| match request {
+                BatchRequest::Units { node, units } => self.fetch_units(*node, units),
+                BatchRequest::Repair { node, task } => self.repair_read(*node, task),
+            })
+            .collect()
+    }
 }
 
 /// A [`BlockSource`] over blocks already in memory — the `filestore`
@@ -85,6 +157,28 @@ impl<'a> MemorySource<'a> {
             unit_bytes: block_bytes / sub.max(1),
         }
     }
+
+    /// The stored block at `node`, if present and well-formed.
+    fn whole_block(&self, node: usize) -> Option<&'a [u8]> {
+        let block = self.blocks.get(node).copied().flatten()?;
+        (block.len() == self.sub * self.unit_bytes).then_some(block)
+    }
+
+    /// Serves one unit-fetch request without going through `&mut self`.
+    fn serve_units(&self, node: usize, units: &[usize]) -> Fetch {
+        let Some(block) = self.whole_block(node) else {
+            return Fetch::Unavailable;
+        };
+        let w = self.unit_bytes;
+        let mut out = Vec::with_capacity(units.len() * w);
+        for &u in units {
+            if u >= self.sub {
+                return Fetch::Unavailable;
+            }
+            out.extend_from_slice(&block[u * w..(u + 1) * w]);
+        }
+        Fetch::Data(out)
+    }
 }
 
 impl BlockSource for MemorySource<'_> {
@@ -105,21 +199,24 @@ impl BlockSource for MemorySource<'_> {
     }
 
     fn fetch_units(&mut self, node: usize, units: &[usize]) -> Result<Fetch, Self::Error> {
-        let Some(block) = self.blocks.get(node).copied().flatten() else {
-            return Ok(Fetch::Unavailable);
-        };
-        let w = self.unit_bytes;
-        if block.len() != self.sub * w {
-            return Ok(Fetch::Unavailable);
-        }
-        let mut out = Vec::with_capacity(units.len() * w);
-        for &u in units {
-            if u >= self.sub {
-                return Ok(Fetch::Unavailable);
-            }
-            out.extend_from_slice(&block[u * w..(u + 1) * w]);
-        }
-        Ok(Fetch::Data(out))
+        Ok(self.serve_units(node, units))
+    }
+
+    /// Native batch entry: every block is already in memory, so the whole
+    /// batch is answered in one pass with no per-request dispatch. Repair
+    /// requests run the helper task directly on the stored block slice,
+    /// skipping the default path's intermediate block copy.
+    fn fetch_batch(&mut self, requests: &[BatchRequest<'_>]) -> Result<Vec<Fetch>, Self::Error> {
+        Ok(requests
+            .iter()
+            .map(|request| match request {
+                BatchRequest::Units { node, units } => self.serve_units(*node, units),
+                BatchRequest::Repair { node, task } => match self.whole_block(*node) {
+                    Some(block) => task.run(block).map_or(Fetch::Unavailable, Fetch::Data),
+                    None => Fetch::Unavailable,
+                },
+            })
+            .collect())
     }
 }
 
@@ -141,5 +238,36 @@ mod tests {
         );
         assert_eq!(src.fetch_units(1, &[0]).unwrap(), Fetch::Unavailable);
         assert_eq!(src.fetch_units(2, &[7]).unwrap(), Fetch::Unavailable);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_isolates_failures() {
+        let a = [1u8, 2, 3, 4];
+        let b = [5u8, 6, 7, 8];
+        let mut src = MemorySource::new(vec![Some(&a[..]), None, Some(&b[..])], 2);
+        let requests = vec![
+            BatchRequest::Units {
+                node: 2,
+                units: vec![0],
+            },
+            BatchRequest::Units {
+                node: 1,
+                units: vec![0],
+            },
+            BatchRequest::Units {
+                node: 0,
+                units: vec![1, 0],
+            },
+        ];
+        assert_eq!(requests[1].node(), 1);
+        let fetches = src.fetch_batch(&requests).unwrap();
+        assert_eq!(
+            fetches,
+            vec![
+                Fetch::Data(vec![5, 6]),
+                Fetch::Unavailable,
+                Fetch::Data(vec![3, 4, 1, 2]),
+            ]
+        );
     }
 }

@@ -15,6 +15,19 @@
 //!   `β × sub` coefficient matrix ([`Request::RepairRead`]) so only
 //!   `d/(d−k+1)` block-sizes cross the network in the MSR regime.
 //!
+//! Planned parallelism becomes *wall-clock* parallelism in two layers:
+//!
+//! * **fan-out** — every fetch of a plan arrives at the [`StripeSource`]
+//!   as one `fetch_batch`, and the source spreads the per-node requests
+//!   over the client's [`ParallelCtx`] workers, each on its own cached
+//!   connection, so one stripe's `p` unit reads (or `d` helper reads) hit
+//!   all nodes concurrently instead of paying `p` sequential round trips;
+//! * **stripe pipelining** — [`ClusterClient::get_file`] keeps up to `W`
+//!   ([`ClusterClient::with_pipeline_depth`]) stripes in flight, decoding
+//!   stripe `i` while stripe `i+1` is being fetched, and
+//!   [`ClusterClient::put_file`] overlaps stripe encoding with block
+//!   uploads, recycling `EncodedStripe` buffers through the pipeline.
+//!
 //! Decode plans are memoized in an [`access::PlanCache`] keyed by the
 //! availability pattern, and mid-operation replanning is bounded: a cluster
 //! whose nodes keep failing surfaces [`ClusterError::ReplansExhausted`]
@@ -22,20 +35,25 @@
 //!
 //! Every byte in and out of the client is counted (and exported through
 //! `carousel-telemetry` when the `telemetry` feature is on), so repair
-//! and read traffic are *measured*, not asserted.
+//! and read traffic are *measured*, not asserted. Workers count bytes in
+//! private [`Tally`] values folded into the client's totals after each
+//! operation — no shared counter is touched on the hot path.
 
 use std::collections::HashMap;
 use std::net::TcpStream;
-use std::sync::{Arc, LazyLock};
-use std::time::Duration;
+use std::ops::AddAssign;
+use std::sync::{Arc, LazyLock, Mutex};
+use std::time::{Duration, Instant};
 
-use access::{BlockSource, ExecError, Fetch, PlanCache, PlanExecutor, ReadMode};
+use access::{
+    BatchRequest, BlockSource, ExecError, Fetch, FetchedStripe, PlanCache, PlanExecutor, ReadMode,
+};
 use dfs::Placement;
 use erasure::{CodeError, ErasureCode as _, HelperTask};
 use filestore::format::CodeSpec;
-use filestore::FileCodec;
+use filestore::{FileCodec, FileError};
 use rand::Rng;
-use workloads::parallel::ParallelCtx;
+use workloads::parallel::{self, ParallelCtx};
 
 use crate::coordinator::{Coordinator, FilePlacement};
 use crate::error::ClusterError;
@@ -53,10 +71,17 @@ static REPAIR_BLOCKS: LazyLock<&'static telemetry::Counter> =
     LazyLock::new(|| telemetry::counter("cluster.repair.blocks"));
 static REPAIR_WIRE: LazyLock<&'static telemetry::Counter> =
     LazyLock::new(|| telemetry::counter("cluster.repair.wire_bytes"));
+static PIPELINE_INFLIGHT: LazyLock<&'static telemetry::Gauge> =
+    LazyLock::new(|| telemetry::gauge("cluster.pipeline.inflight"));
+static FETCH_STALL: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("cluster.fetch.stall_us"));
 
 /// Decode plans cached per client (more than enough for the handful of
 /// distinct failure patterns a session sees).
 const PLAN_CACHE_CAPACITY: usize = 64;
+
+/// Default bound on stripes in flight in the get/put pipelines.
+const DEFAULT_PIPELINE_DEPTH: usize = 2;
 
 /// What a [`ClusterClient::repair_file`] pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -70,68 +95,133 @@ pub struct RepairReport {
     pub wire_bytes: u64,
 }
 
+/// Wire bytes one worker moved: its private slice of the client's tx/rx
+/// counters. Workers return tallies by value and the client folds them in
+/// after the fan-out joins, so the hot path shares no counter state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Tally {
+    tx: u64,
+    rx: u64,
+}
+
+impl AddAssign for Tally {
+    fn add_assign(&mut self, rhs: Tally) {
+        self.tx += rhs.tx;
+        self.rx += rhs.rx;
+    }
+}
+
+/// One cached datanode connection plus its frame-payload scratch buffer
+/// (reused by `read_response_into`, so steady-state reads allocate
+/// nothing for framing).
+#[derive(Debug)]
+struct NodeConn {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
 /// The connection/accounting half of the client: cached datanode sockets
-/// plus wire counters, with no planning knowledge at all.
+/// behind a mutex, with no planning knowledge at all. The mutex guards
+/// only the cache map — a connection is *taken out* for the duration of
+/// an exchange, so concurrent workers talk to different nodes without
+/// ever serializing on each other's I/O.
 #[derive(Debug)]
 struct Link {
     coord: Arc<Coordinator>,
-    conns: HashMap<usize, TcpStream>,
+    conns: Mutex<HashMap<usize, NodeConn>>,
     timeout: Duration,
-    tx_bytes: u64,
-    rx_bytes: u64,
 }
 
 impl Link {
+    fn take_conn(&self, node: usize) -> Option<NodeConn> {
+        self.conns.lock().expect("conn cache lock").remove(&node)
+    }
+
+    fn put_conn(&self, node: usize, conn: NodeConn) {
+        self.conns
+            .lock()
+            .expect("conn cache lock")
+            .insert(node, conn);
+    }
+
     /// One request/response exchange with a datanode, reusing a cached
     /// connection when possible and retrying once on a fresh connection
     /// if the cached one failed (it may simply have idled out).
     ///
+    /// Fault taxonomy: a connect failure, EOF or socket error means the
+    /// *node* is unreachable — it is reported dead to the coordinator and
+    /// surfaces as [`ClusterError::NodeDown`]. A CRC/framing violation on
+    /// a response means the *connection* is unusable — it is dropped and
+    /// the exchange retried once on a fresh socket, and if that also
+    /// fails the [`ClusterError::Protocol`] error is returned without
+    /// touching the coordinator's liveness view (a corrupt frame is not
+    /// evidence the node is down).
+    ///
     /// # Errors
     ///
-    /// Returns [`ClusterError::NodeDown`] when the node cannot be
-    /// reached; the node is also reported dead to the coordinator.
-    fn call(&mut self, node: usize, request: &Request) -> Result<Response, ClusterError> {
+    /// [`ClusterError::NodeDown`] for unreachable nodes,
+    /// [`ClusterError::Protocol`] for persistent framing faults.
+    fn call(&self, node: usize, request: &Request) -> Result<(Response, Tally), ClusterError> {
         let addr = self
             .coord
             .node_addr(node)
             .ok_or(ClusterError::NodeDown { node })?;
-        let down = |link: &mut Self| {
-            link.conns.remove(&node);
-            link.coord.mark_dead(node);
+        let down = || {
+            self.coord.mark_dead(node);
             ClusterError::NodeDown { node }
         };
         for attempt in 0..2u8 {
-            let had_cached = self.conns.contains_key(&node);
-            if !had_cached {
-                match TcpStream::connect_timeout(&addr, self.timeout) {
+            let cached = self.take_conn(node);
+            let had_cached = cached.is_some();
+            let mut conn = match cached {
+                Some(conn) => conn,
+                None => match TcpStream::connect_timeout(&addr, self.timeout) {
                     Ok(stream) => {
                         let _ = stream.set_read_timeout(Some(self.timeout));
                         let _ = stream.set_write_timeout(Some(self.timeout));
                         let _ = stream.set_nodelay(true);
-                        self.conns.insert(node, stream);
+                        NodeConn {
+                            stream,
+                            scratch: Vec::new(),
+                        }
                     }
-                    Err(_) => return Err(down(self)),
-                }
-            }
-            let stream = self.conns.get_mut(&node).expect("just ensured");
-            let exchange = protocol::write_request(stream, request)
-                .and_then(|tx| Ok((tx, protocol::read_response(stream)?)));
+                    Err(_) => return Err(down()),
+                },
+            };
+            let exchange = protocol::write_request(&mut conn.stream, request).and_then(|tx| {
+                Ok((
+                    tx,
+                    protocol::read_response_into(&mut conn.stream, &mut conn.scratch)?,
+                ))
+            });
             match exchange {
                 Ok((tx, Some((response, rx)))) => {
-                    self.tx_bytes += tx as u64;
-                    self.rx_bytes += rx as u64;
+                    self.put_conn(node, conn);
                     if telemetry::ENABLED {
                         CLIENT_TX.add(tx as u64);
                         CLIENT_RX.add(rx as u64);
                     }
-                    return Ok(response);
+                    return Ok((
+                        response,
+                        Tally {
+                            tx: tx as u64,
+                            rx: rx as u64,
+                        },
+                    ));
                 }
-                // EOF or transport/framing failure: drop the connection;
-                // retry once only if a stale cached connection was used.
+                // A corrupt frame poisons the connection, not the node:
+                // drop the socket and retry once on a fresh one.
+                Err(e @ ClusterError::Protocol { .. }) => {
+                    if attempt == 1 {
+                        return Err(e);
+                    }
+                }
+                // EOF or socket failure: the node itself is suspect.
+                // Retry once only if a stale cached connection may be to
+                // blame.
                 Ok((_, None)) | Err(_) => {
-                    self.conns.remove(&node);
                     if !had_cached || attempt == 1 {
-                        return Err(down(self));
+                        return Err(down());
                     }
                 }
             }
@@ -140,13 +230,32 @@ impl Link {
     }
 }
 
+/// Performs one exchange and classifies the outcome for the executor:
+/// payloads are data, remote refusals and dead nodes are `Unavailable`
+/// (the executor replans around them), anything else is transport-fatal.
+fn exchange_on(
+    link: &Link,
+    node: usize,
+    request: &Request,
+) -> Result<(Fetch, Tally), ClusterError> {
+    match link.call(node, request) {
+        Ok((Response::Data(bytes), tally)) => Ok((Fetch::Data(bytes), tally)),
+        Ok((_, tally)) => Ok((Fetch::Unavailable, tally)),
+        Err(ClusterError::NodeDown { .. }) => Ok((Fetch::Unavailable, Tally::default())),
+        Err(e) => Err(e),
+    }
+}
+
 /// One stripe's datanodes seen as a [`BlockSource`]: fetches become
 /// [`Request::GetUnits`], helper repair reads become
 /// [`Request::RepairRead`], and a node that cannot serve (dead, missing or
 /// corrupt block) answers [`Fetch::Unavailable`] so the executor replans
-/// around it.
+/// around it. The batched entry point fans one plan's requests out over
+/// the client's worker pool — this is where the paper's `p`-server data
+/// parallelism turns into concurrent wire traffic.
 struct StripeSource<'a> {
-    link: &'a mut Link,
+    link: &'a Link,
+    ctx: &'a ParallelCtx,
     name: &'a str,
     stripe: usize,
     /// Role → datanode id for this stripe.
@@ -156,6 +265,42 @@ struct StripeSource<'a> {
     /// Roles known present (repair's Stat-probed list); `None` means trust
     /// the coordinator's node liveness.
     present: Option<&'a [usize]>,
+    /// Wire bytes this source moved, folded into the client afterwards.
+    tally: Tally,
+}
+
+impl StripeSource<'_> {
+    /// The wire request realizing one batch request.
+    fn wire_request(&self, request: &BatchRequest<'_>) -> Request {
+        match request {
+            BatchRequest::Units { node: role, units } => Request::GetUnits {
+                id: block_id(self.name, self.stripe, *role),
+                sub: self.sub as u32,
+                units: units.iter().map(|&u| u as u32).collect(),
+            },
+            BatchRequest::Repair { node: role, task } => {
+                let beta = task.beta();
+                let mut coeffs = Vec::with_capacity(beta * self.sub);
+                for r in 0..beta {
+                    for c in 0..self.sub {
+                        coeffs.push(task.coeffs.get(r, c).value());
+                    }
+                }
+                Request::RepairRead {
+                    id: block_id(self.name, self.stripe, *role),
+                    rows: beta as u32,
+                    cols: self.sub as u32,
+                    coeffs,
+                }
+            }
+        }
+    }
+
+    fn exchange(&mut self, role: usize, request: &Request) -> Result<Fetch, ClusterError> {
+        let (fetch, tally) = exchange_on(self.link, self.row[role], request)?;
+        self.tally += tally;
+        Ok(fetch)
+    }
 }
 
 impl BlockSource for StripeSource<'_> {
@@ -179,37 +324,37 @@ impl BlockSource for StripeSource<'_> {
     }
 
     fn fetch_units(&mut self, role: usize, units: &[usize]) -> Result<Fetch, ClusterError> {
-        let request = Request::GetUnits {
-            id: block_id(self.name, self.stripe, role),
-            sub: self.sub as u32,
-            units: units.iter().map(|&u| u as u32).collect(),
-        };
-        match self.link.call(self.row[role], &request) {
-            Ok(Response::Data(bytes)) => Ok(Fetch::Data(bytes)),
-            Ok(_) | Err(ClusterError::NodeDown { .. }) => Ok(Fetch::Unavailable),
-            Err(e) => Err(e),
-        }
+        let request = self.wire_request(&BatchRequest::Units {
+            node: role,
+            units: units.to_vec(),
+        });
+        self.exchange(role, &request)
     }
 
     fn repair_read(&mut self, role: usize, task: &HelperTask) -> Result<Fetch, ClusterError> {
-        let beta = task.beta();
-        let mut coeffs = Vec::with_capacity(beta * self.sub);
-        for r in 0..beta {
-            for c in 0..self.sub {
-                coeffs.push(task.coeffs.get(r, c).value());
-            }
+        let request = self.wire_request(&BatchRequest::Repair { node: role, task });
+        self.exchange(role, &request)
+    }
+
+    /// Fans one plan's requests out to all their nodes concurrently on
+    /// the client's worker pool. Each request targets a distinct node (the
+    /// executor's contract), so workers never contend for a connection.
+    fn fetch_batch(&mut self, requests: &[BatchRequest<'_>]) -> Result<Vec<Fetch>, ClusterError> {
+        let wire: Vec<(usize, Request)> = requests
+            .iter()
+            .map(|r| (self.row[r.node()], self.wire_request(r)))
+            .collect();
+        let link = self.link;
+        let results = self
+            .ctx
+            .run(wire.len(), |i| exchange_on(link, wire[i].0, &wire[i].1));
+        let mut fetches = Vec::with_capacity(results.len());
+        for result in results {
+            let (fetch, tally) = result?;
+            self.tally += tally;
+            fetches.push(fetch);
         }
-        let request = Request::RepairRead {
-            id: block_id(self.name, self.stripe, role),
-            rows: beta as u32,
-            cols: self.sub as u32,
-            coeffs,
-        };
-        match self.link.call(self.row[role], &request) {
-            Ok(Response::Data(bytes)) => Ok(Fetch::Data(bytes)),
-            Ok(_) | Err(ClusterError::NodeDown { .. }) => Ok(Fetch::Unavailable),
-            Err(e) => Err(e),
-        }
+        Ok(fetches)
     }
 }
 
@@ -222,21 +367,31 @@ pub struct ClusterClient {
     link: Link,
     plans: PlanCache,
     max_replans: usize,
+    /// Worker pool for per-node request fan-out.
+    ctx: ParallelCtx,
+    /// Stripes kept in flight by the get/put pipelines (`0` = no
+    /// pipelining, everything inline).
+    pipeline_depth: usize,
+    tx_bytes: u64,
+    rx_bytes: u64,
 }
 
 impl ClusterClient {
-    /// Creates a client with a 10-second I/O timeout.
+    /// Creates a client with a 10-second I/O timeout, a default-sized
+    /// fan-out pool and a pipeline depth of 2.
     pub fn new(coord: Arc<Coordinator>) -> Self {
         ClusterClient {
             link: Link {
                 coord,
-                conns: HashMap::new(),
+                conns: Mutex::new(HashMap::new()),
                 timeout: Duration::from_secs(10),
-                tx_bytes: 0,
-                rx_bytes: 0,
             },
             plans: PlanCache::new(PLAN_CACHE_CAPACITY),
             max_replans: access::DEFAULT_MAX_REPLANS,
+            ctx: ParallelCtx::default(),
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            tx_bytes: 0,
+            rx_bytes: 0,
         }
     }
 
@@ -254,6 +409,26 @@ impl ClusterClient {
         self
     }
 
+    /// Overrides the worker pool fanning one plan's fetches out to the
+    /// datanodes. [`ParallelCtx::sequential`] restores the serial
+    /// one-request-at-a-time wire behavior. Fan-out is latency-bound, not
+    /// CPU-bound: a pool about as wide as the code's `n` is reasonable
+    /// even on few cores.
+    #[must_use]
+    pub fn with_fanout(mut self, ctx: ParallelCtx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
+    /// Overrides the number of stripes the get/put pipelines keep in
+    /// flight (the `W` knob). `0` disables pipelining: every stripe is
+    /// fetched, decoded and stored strictly in sequence on the caller.
+    #[must_use]
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
     /// The coordinator this client plans against.
     pub fn coordinator(&self) -> &Arc<Coordinator> {
         &self.link.coord
@@ -267,12 +442,19 @@ impl ClusterClient {
     /// Total `(sent, received)` bytes over this client's lifetime,
     /// including framing — the measured network traffic.
     pub fn wire_counters(&self) -> (u64, u64) {
-        (self.link.tx_bytes, self.link.rx_bytes)
+        (self.tx_bytes, self.rx_bytes)
     }
 
-    /// Encodes `data` with `spec` (fanning stripes out over `ctx`'s
-    /// encoder workers), places it across the alive nodes, and uploads
-    /// every block.
+    fn fold(&mut self, tally: Tally) {
+        self.tx_bytes += tally.tx;
+        self.rx_bytes += tally.rx;
+    }
+
+    /// Encodes `data` with `spec`, places it across the alive nodes, and
+    /// uploads every block. With a nonzero pipeline depth the stripe
+    /// encoder runs ahead of the uploads, recycling a fixed ring of
+    /// `EncodedStripe` buffers; each stripe's `n` block uploads fan out
+    /// over `ctx`'s workers.
     ///
     /// # Errors
     ///
@@ -289,51 +471,103 @@ impl ClusterClient {
         placement: Placement,
         rng: &mut impl Rng,
     ) -> Result<FilePlacement, ClusterError> {
+        if data.is_empty() {
+            return Err(FileError::BadGeometry {
+                reason: "cannot encode an empty file".into(),
+            }
+            .into());
+        }
         let code = spec.build()?;
         let codec = FileCodec::new(code, block_bytes)?;
-        let encoded = workloads::parallel::encode_file(&codec, data, ctx)?;
+        let sdb = codec.stripe_data_bytes();
+        let chunks: Vec<&[u8]> = data.chunks(sdb).collect();
         let fp = self.link.coord.place_file(
             name,
             spec,
             data.len() as u64,
             block_bytes,
-            encoded.stripes(),
+            chunks.len(),
             placement,
             rng,
         )?;
-        for (s, row) in fp.nodes.iter().enumerate() {
-            for (role, &node) in row.iter().enumerate() {
-                let bytes = encoded
-                    .block(s, role)
-                    .expect("freshly encoded file has every block")
-                    .to_vec();
-                let request = Request::PutBlock {
-                    id: block_id(name, s, role),
-                    data: bytes,
-                };
-                match self.link.call(node, &request)? {
-                    Response::Done => {}
-                    Response::Error(message) => {
-                        return Err(ClusterError::Remote { message });
-                    }
-                    other => {
-                        return Err(ClusterError::Protocol {
-                            reason: format!("unexpected reply to PutBlock: {other:?}"),
-                        });
-                    }
-                }
+
+        let link = &self.link;
+        let depth = self.pipeline_depth;
+        let mut tally = Tally::default();
+        let mut outcome: Result<(), ClusterError> = Ok(());
+
+        if depth == 0 || chunks.len() <= 1 {
+            let mut stripe = codec.empty_stripe();
+            for (s, chunk) in chunks.iter().enumerate() {
+                codec.encode_stripe_into(chunk, &mut stripe)?;
+                tally += send_stripe(link, ctx, name, s, &fp.nodes[s], &stripe.blocks)?;
             }
+        } else {
+            // Encode on a worker, upload on the caller, with `depth`
+            // stripes buffered between them and `depth + 2` stripe
+            // buffers recycled through the loop (one being encoded, one
+            // being sent, `depth` in the channel).
+            let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<erasure::EncodedStripe>();
+            for _ in 0..depth + 2 {
+                recycle_tx
+                    .send(codec.empty_stripe())
+                    .expect("recycle channel open");
+            }
+            let rows = &fp.nodes;
+            let (encoded, sent) = parallel::pipeline(
+                depth,
+                move |pipe| -> Result<(), FileError> {
+                    for (s, chunk) in chunks.iter().enumerate() {
+                        let Ok(mut stripe) = recycle_rx.recv() else {
+                            return Ok(()); // consumer bailed; its error wins
+                        };
+                        codec.encode_stripe_into(chunk, &mut stripe)?;
+                        if telemetry::ENABLED {
+                            PIPELINE_INFLIGHT.add(1);
+                        }
+                        if pipe.send((s, stripe)).is_err() {
+                            return Ok(());
+                        }
+                    }
+                    Ok(())
+                },
+                |pipe| {
+                    let mut tally = Tally::default();
+                    loop {
+                        let wait = Instant::now();
+                        let Ok((s, stripe)) = pipe.recv() else { break };
+                        if telemetry::ENABLED {
+                            FETCH_STALL.record(wait.elapsed().as_micros() as u64);
+                            PIPELINE_INFLIGHT.add(-1);
+                        }
+                        match send_stripe(link, ctx, name, s, &rows[s], &stripe.blocks) {
+                            Ok(t) => tally += t,
+                            Err(e) => return (tally, Err(e)),
+                        }
+                        let _ = recycle_tx.send(stripe);
+                    }
+                    (tally, Ok(()))
+                },
+            );
+            let (sent_tally, sent) = sent;
+            tally += sent_tally;
+            encoded?;
+            outcome = sent;
         }
+        self.fold(tally);
+        outcome?;
         Ok(fp)
     }
 
     /// Reads a whole file back, byte-identical to what was stored.
     ///
     /// Per stripe the executor plans against the roles whose nodes the
-    /// coordinator believes alive, fetches, and — if any fetch fails
-    /// mid-read — excludes the failed role and *replans*, degrading from
-    /// the direct parallel path to the degraded/fallback paths without
-    /// surfacing the failure to the caller.
+    /// coordinator believes alive, fetches the whole plan as one
+    /// fanned-out batch, and — if any fetch fails mid-read — excludes
+    /// *all* failed roles and replans, degrading from the direct parallel
+    /// path to the degraded/fallback paths without surfacing the failure
+    /// to the caller. With a nonzero pipeline depth, stripe `i` decodes
+    /// while stripe `i+1` is being fetched.
     ///
     /// # Errors
     ///
@@ -358,39 +592,113 @@ impl ClusterClient {
         let w = fp.block_bytes / sub;
         let sdb = code.k() * fp.block_bytes;
         let executor = PlanExecutor::new(&self.plans).with_max_replans(self.max_replans);
-        let mut data = Vec::with_capacity(fp.stripes * sdb);
-        let mut degraded = false;
-        for (s, row) in fp.nodes.iter().enumerate() {
+        let link = &self.link;
+        let ctx = &self.ctx;
+        let fp = &fp;
+        let code = &code;
+
+        // Fetch one stripe's plan-worth of units (no decode yet).
+        let fetch_one = |s: usize| -> (Result<FetchedStripe, ClusterError>, Tally) {
             let mut source = StripeSource {
-                link: &mut self.link,
+                link,
+                ctx,
                 name,
                 stripe: s,
-                row,
+                row: &fp.nodes[s],
                 sub,
                 w,
                 present: None,
+                tally: Tally::default(),
             };
-            let read = executor
-                .read_stripe(&code, &mut source)
-                .map_err(|e| read_error(name, s, e))?;
-            if read.mode != ReadMode::Direct || read.replans > 0 {
+            let fetched = executor
+                .fetch_stripe(code, &mut source)
+                .map_err(|e| read_error(name, s, e));
+            (fetched, source.tally)
+        };
+
+        // Decode a fetched stripe straight into its slice of the output.
+        let mut out = vec![0u8; fp.file_len as usize];
+        let mut degraded = false;
+        let mut decode_into = |s: usize,
+                               fetched: Result<FetchedStripe, ClusterError>,
+                               out: &mut [u8]|
+         -> Result<(), ClusterError> {
+            let fetched = fetched?;
+            if fetched.mode() != ReadMode::Direct || fetched.replans() > 0 {
                 degraded = true;
             }
-            let take = sdb.min(read.data.len());
-            data.extend_from_slice(&read.data[..take]);
+            let data = fetched.decode().map_err(|_| unreadable(name, s))?;
+            let at = s * sdb;
+            let take = sdb.min(out.len() - at.min(out.len())).min(data.len());
+            out[at..at + take].copy_from_slice(&data[..take]);
+            Ok(())
+        };
+
+        let mut tally = Tally::default();
+        let mut outcome: Result<(), ClusterError> = Ok(());
+        if self.pipeline_depth == 0 || fp.stripes <= 1 {
+            for s in 0..fp.stripes {
+                let (fetched, t) = fetch_one(s);
+                tally += t;
+                outcome = decode_into(s, fetched, &mut out);
+                if outcome.is_err() {
+                    break;
+                }
+            }
+        } else {
+            // Fetch on a worker, decode on the caller, `depth` stripes in
+            // flight between them.
+            let out_ref = &mut out;
+            let (fetch_tally, decoded) = parallel::pipeline(
+                self.pipeline_depth,
+                move |pipe| -> Tally {
+                    let mut tally = Tally::default();
+                    for s in 0..fp.stripes {
+                        let (fetched, t) = fetch_one(s);
+                        tally += t;
+                        let failed = fetched.is_err();
+                        if telemetry::ENABLED {
+                            PIPELINE_INFLIGHT.add(1);
+                        }
+                        if pipe.send((s, fetched)).is_err() || failed {
+                            break;
+                        }
+                    }
+                    tally
+                },
+                |pipe| -> Result<(), ClusterError> {
+                    loop {
+                        let wait = Instant::now();
+                        let Ok((s, fetched)) = pipe.recv() else {
+                            return Ok(());
+                        };
+                        if telemetry::ENABLED {
+                            FETCH_STALL.record(wait.elapsed().as_micros() as u64);
+                            PIPELINE_INFLIGHT.add(-1);
+                        }
+                        // An error drops the receiver on return, which
+                        // stops the producer at its next send.
+                        decode_into(s, fetched, out_ref)?;
+                    }
+                },
+            );
+            tally += fetch_tally;
+            outcome = decoded;
         }
-        data.truncate(fp.file_len as usize);
+        self.fold(tally);
+        outcome?;
         if degraded && telemetry::ENABLED {
             READS_DEGRADED.inc();
         }
-        Ok(data)
+        Ok(out)
     }
 
     /// Finds and rebuilds every missing block of `name`, executing the
     /// code's repair plan over the network: each helper node compresses
     /// its block locally with the shipped coefficients and returns
     /// `β/sub` of a block, so MSR-regime repair moves `d/(d−k+1)`
-    /// block-sizes instead of `k`.
+    /// block-sizes instead of `k`. Presence probes and the `d` helper
+    /// reads of each repair fan out over the client's worker pool.
     ///
     /// The rebuilt block goes back to its original node if that node is
     /// reachable (e.g. after a quarantined corruption), otherwise to an
@@ -414,89 +722,134 @@ impl ClusterClient {
         let d = code.d();
         let executor = PlanExecutor::new(&self.plans).with_max_replans(self.max_replans);
         let mut report = RepairReport::default();
-        for (s, row) in fp.nodes.iter().enumerate() {
-            // Keep a local copy so a block re-homed during this stripe's
-            // repair can serve as a helper for the next one.
-            let mut row = row.clone();
-            // Probe which roles are actually present (node up AND block
-            // stored uncorrupted).
-            let mut present = Vec::new();
-            let mut missing = Vec::new();
-            for (role, &node) in row.iter().enumerate() {
-                let ok = self.link.coord.is_alive(node)
-                    && matches!(
-                        self.link.call(
-                            node,
-                            &Request::Stat {
-                                id: block_id(name, s, role)
-                            }
-                        ),
-                        Ok(Response::Data(_))
-                    );
-                if ok {
-                    present.push(role);
-                } else {
-                    missing.push(role);
+        let mut tally = Tally::default();
+        let mut run = || -> Result<(), ClusterError> {
+            let link = &self.link;
+            for (s, row) in fp.nodes.iter().enumerate() {
+                // Keep a local copy so a block re-homed during this
+                // stripe's repair can serve as a helper for the next one.
+                let mut row = row.clone();
+                // Probe which roles are actually present (node up AND
+                // block stored uncorrupted), all roles concurrently.
+                let probes = self.ctx.run(row.len(), |role| {
+                    let node = row[role];
+                    if !link.coord.is_alive(node) {
+                        return (false, Tally::default());
+                    }
+                    let request = Request::Stat {
+                        id: block_id(name, s, role),
+                    };
+                    match link.call(node, &request) {
+                        Ok((Response::Data(_), t)) => (true, t),
+                        Ok((_, t)) => (false, t),
+                        Err(_) => (false, Tally::default()),
+                    }
+                });
+                let mut present = Vec::new();
+                let mut missing = Vec::new();
+                for (role, (ok, t)) in probes.into_iter().enumerate() {
+                    tally += t;
+                    if ok {
+                        present.push(role);
+                    } else {
+                        missing.push(role);
+                    }
                 }
-            }
-            for failed in missing {
-                let rx_before = self.link.rx_bytes;
-                let outcome = {
+                for failed in missing {
                     let mut source = StripeSource {
-                        link: &mut self.link,
+                        link,
+                        ctx: &self.ctx,
                         name,
                         stripe: s,
                         row: &row,
                         sub,
                         w,
                         present: Some(&present),
+                        tally: Tally::default(),
                     };
-                    executor
+                    let outcome = executor
                         .repair_block(&code, failed, &mut source)
-                        .map_err(|e| repair_error(name, s, d, e))?
-                };
-                report.helper_payload_bytes += outcome.payload_bytes as u64;
-                report.wire_bytes += self.link.rx_bytes - rx_before;
-                let target = if self.link.coord.is_alive(row[failed]) {
-                    row[failed]
-                } else {
-                    self.link
-                        .coord
-                        .alive_nodes()
-                        .into_iter()
-                        .find(|node| !row.contains(node))
-                        .ok_or_else(|| ClusterError::Unavailable {
-                            reason: format!(
-                                "stripe {s} of {name:?}: no spare node for block {failed}"
-                            ),
-                        })?
-                };
-                match self.link.call(
-                    target,
-                    &Request::PutBlock {
+                        .map_err(|e| repair_error(name, s, d, e));
+                    // Helper traffic = everything the repair source
+                    // received, framing included.
+                    report.wire_bytes += source.tally.rx;
+                    tally += source.tally;
+                    let outcome = outcome?;
+                    report.helper_payload_bytes += outcome.payload_bytes as u64;
+                    let target = if link.coord.is_alive(row[failed]) {
+                        row[failed]
+                    } else {
+                        link.coord
+                            .alive_nodes()
+                            .into_iter()
+                            .find(|node| !row.contains(node))
+                            .ok_or_else(|| ClusterError::Unavailable {
+                                reason: format!(
+                                    "stripe {s} of {name:?}: no spare node for block {failed}"
+                                ),
+                            })?
+                    };
+                    let request = Request::PutBlock {
                         id: block_id(name, s, failed),
                         data: outcome.block,
-                    },
-                )? {
-                    Response::Done => {}
-                    other => {
-                        return Err(ClusterError::Protocol {
-                            reason: format!("unexpected PutBlock reply: {other:?}"),
-                        });
+                    };
+                    match link.call(target, &request)? {
+                        (Response::Done, t) => tally += t,
+                        (other, _) => {
+                            return Err(ClusterError::Protocol {
+                                reason: format!("unexpected PutBlock reply: {other:?}"),
+                            });
+                        }
                     }
+                    link.coord.set_block_node(name, s, failed, target);
+                    row[failed] = target;
+                    present.push(failed);
+                    report.blocks_repaired += 1;
                 }
-                self.link.coord.set_block_node(name, s, failed, target);
-                row[failed] = target;
-                present.push(failed);
-                report.blocks_repaired += 1;
             }
-        }
+            Ok(())
+        };
+        let outcome = run();
+        self.fold(tally);
+        outcome?;
         if telemetry::ENABLED {
             REPAIR_BLOCKS.add(report.blocks_repaired as u64);
             REPAIR_WIRE.add(report.wire_bytes);
         }
         Ok(report)
     }
+}
+
+/// Uploads one encoded stripe: all `n` block PutBlocks fan out over
+/// `ctx`'s workers.
+fn send_stripe(
+    link: &Link,
+    ctx: &ParallelCtx,
+    name: &str,
+    stripe: usize,
+    row: &[usize],
+    blocks: &[Vec<u8>],
+) -> Result<Tally, ClusterError> {
+    let results = ctx.run(row.len(), |role| {
+        let request = Request::PutBlock {
+            id: block_id(name, stripe, role),
+            data: blocks[role].clone(),
+        };
+        link.call(row[role], &request)
+    });
+    let mut tally = Tally::default();
+    for result in results {
+        match result? {
+            (Response::Done, t) => tally += t,
+            (Response::Error(message), _) => return Err(ClusterError::Remote { message }),
+            (other, _) => {
+                return Err(ClusterError::Protocol {
+                    reason: format!("unexpected reply to PutBlock: {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(tally)
 }
 
 fn block_id(name: &str, stripe: usize, role: usize) -> BlockId {
@@ -539,5 +892,86 @@ fn repair_error(name: &str, stripe: usize, d: usize, e: ExecError<ClusterError>)
             stripe,
             attempts,
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::LocalCluster;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// `StripeSource::fetch_batch` (fanned out over workers) must produce
+    /// exactly the Fetch sequence of the scalar calls it replaces, against
+    /// a real TCP cluster — including the Unavailable slot of a dead node.
+    #[test]
+    fn stripe_source_batch_matches_scalar_over_tcp() {
+        let mut cluster = LocalCluster::start(6).unwrap();
+        let mut client = cluster.client();
+        let spec = CodeSpec::Carousel {
+            n: 6,
+            k: 3,
+            d: 3,
+            p: 6,
+        };
+        let data: Vec<u8> = (0..720).map(|i| (i * 13 + 5) as u8).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let fp = client
+            .put_file(
+                "batchfile",
+                &data,
+                spec,
+                120,
+                &ParallelCtx::sequential(),
+                Placement::Random,
+                &mut rng,
+            )
+            .unwrap();
+        cluster.fail(fp.nodes[0][2]);
+
+        let code = spec.build().unwrap();
+        let sub = code.linear().sub();
+        let fanout = ParallelCtx::builder().threads(6).build();
+        fn make<'a>(
+            link: &'a Link,
+            ctx: &'a ParallelCtx,
+            row: &'a [usize],
+            sub: usize,
+        ) -> StripeSource<'a> {
+            StripeSource {
+                link,
+                ctx,
+                name: "batchfile",
+                stripe: 0,
+                row,
+                sub,
+                w: 120 / sub,
+                present: None,
+                tally: Tally::default(),
+            }
+        }
+
+        let requests: Vec<BatchRequest<'_>> = (0..6)
+            .map(|role| BatchRequest::Units {
+                node: role,
+                units: vec![0, sub - 1],
+            })
+            .collect();
+        let mut batched = make(&client.link, &fanout, &fp.nodes[0], sub);
+        let got = batched.fetch_batch(&requests).unwrap();
+
+        let sequential = ParallelCtx::sequential();
+        let mut scalar = make(&client.link, &sequential, &fp.nodes[0], sub);
+        let want: Vec<Fetch> = (0..6)
+            .map(|role| scalar.fetch_units(role, &[0, sub - 1]).unwrap())
+            .collect();
+
+        assert_eq!(got, want);
+        assert_eq!(got[2], Fetch::Unavailable, "dead node's slot");
+        assert!(got.iter().filter(|f| matches!(f, Fetch::Data(_))).count() == 5);
+        // Both sources moved the same number of payload bytes.
+        assert_eq!(batched.tally.rx, scalar.tally.rx);
+        assert_eq!(batched.tally.tx, scalar.tally.tx);
     }
 }

@@ -48,6 +48,11 @@ pub struct DataNodeConfig {
     pub coordinator: Option<Arc<Coordinator>>,
     /// Heartbeat period when a coordinator is attached.
     pub heartbeat_every: Duration,
+    /// Artificial per-request service delay, applied before each request
+    /// is executed. Zero (the default) for production use; the pipeline
+    /// bench sets it to model the network/disk service time of a real
+    /// (non-loopback) datanode, which is what concurrent fan-out overlaps.
+    pub request_delay: Duration,
 }
 
 impl DataNodeConfig {
@@ -60,6 +65,7 @@ impl DataNodeConfig {
             read_timeout: Duration::from_secs(30),
             coordinator: None,
             heartbeat_every: Duration::from_millis(200),
+            request_delay: Duration::ZERO,
         }
     }
 
@@ -67,6 +73,14 @@ impl DataNodeConfig {
     #[must_use]
     pub fn with_coordinator(mut self, coordinator: Arc<Coordinator>) -> Self {
         self.coordinator = Some(coordinator);
+        self
+    }
+
+    /// Sets an artificial per-request service delay (see
+    /// [`DataNodeConfig::request_delay`]).
+    #[must_use]
+    pub fn with_request_delay(mut self, delay: Duration) -> Self {
+        self.request_delay = delay;
         self
     }
 }
@@ -109,6 +123,7 @@ impl DataNode {
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
             let read_timeout = config.read_timeout;
+            let request_delay = config.request_delay;
             let node_id = config.id;
             std::thread::Builder::new()
                 .name(format!("datanode-{node_id}-accept"))
@@ -127,7 +142,7 @@ impl DataNode {
                         let store = Arc::clone(&store);
                         let handle = std::thread::Builder::new()
                             .name(format!("datanode-{node_id}-conn"))
-                            .spawn(move || serve_connection(stream, &store))
+                            .spawn(move || serve_connection(stream, &store, request_delay))
                             .expect("spawn connection worker");
                         workers.push(handle);
                         // Reap finished workers so long-lived nodes don't
@@ -197,7 +212,7 @@ impl DataNode {
 }
 
 /// Per-connection request loop.
-fn serve_connection(mut stream: TcpStream, store: &BlockStore) {
+fn serve_connection(mut stream: TcpStream, store: &BlockStore, request_delay: Duration) {
     loop {
         let (request, rx_bytes) = match protocol::read_request(&mut stream) {
             Ok(Some(pair)) => pair,
@@ -211,6 +226,9 @@ fn serve_connection(mut stream: TcpStream, store: &BlockStore) {
                 return;
             }
         };
+        if !request_delay.is_zero() {
+            std::thread::sleep(request_delay);
+        }
         let _timer = if telemetry::ENABLED {
             Some(telemetry::span("cluster.node.request.ns"))
         } else {

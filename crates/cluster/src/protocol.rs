@@ -301,6 +301,22 @@ fn deframe(buf: &[u8]) -> Result<&[u8], ClusterError> {
 /// Reads one frame's payload from a stream. Returns `Ok(None)` on a clean
 /// EOF at a frame boundary (the peer closed the connection).
 fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ClusterError> {
+    let mut payload = Vec::new();
+    Ok(read_frame_into(r, &mut payload)?.map(|len| {
+        payload.truncate(len);
+        payload
+    }))
+}
+
+/// Reads one frame's payload into `scratch` (resized to fit, capacity
+/// reused across calls), returning the payload length. `Ok(None)` on a
+/// clean EOF at a frame boundary. This is the hot-path variant behind
+/// [`read_response_into`]: a long-lived connection reads every frame into
+/// one buffer instead of allocating a fresh `Vec` per response.
+fn read_frame_into(
+    r: &mut impl Read,
+    scratch: &mut Vec<u8>,
+) -> Result<Option<usize>, ClusterError> {
     let mut header = [0u8; 9];
     // Read the first byte separately to distinguish clean EOF from a
     // truncated frame.
@@ -331,16 +347,17 @@ fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ClusterError> {
             reason: format!("bad payload length {len}"),
         });
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    scratch.resize(len, 0);
+    let payload = &mut scratch[..len];
+    r.read_exact(payload)?;
     let mut crc = [0u8; 4];
     r.read_exact(&mut crc)?;
-    if crc32(&payload) != u32::from_le_bytes(crc) {
+    if crc32(payload) != u32::from_le_bytes(crc) {
         return Err(ClusterError::Protocol {
             reason: "payload CRC mismatch".into(),
         });
     }
-    Ok(Some(payload))
+    Ok(Some(len))
 }
 
 // ---------------------------------------------------------------------
@@ -564,11 +581,27 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<usize, Clus
 /// Returns [`ClusterError::Protocol`] on malformed frames and
 /// [`ClusterError::Io`] on socket failures.
 pub fn read_response(r: &mut impl Read) -> Result<Option<(Response, usize)>, ClusterError> {
-    match read_frame(r)? {
+    let mut scratch = Vec::new();
+    read_response_into(r, &mut scratch)
+}
+
+/// [`read_response`] with a caller-owned scratch buffer for the frame
+/// payload, so a long-lived connection (the client's per-node `Link`
+/// entries) reads every response without a fresh per-frame allocation.
+/// The scratch is an opaque workspace: only its capacity carries over.
+///
+/// # Errors
+///
+/// As for [`read_response`].
+pub fn read_response_into(
+    r: &mut impl Read,
+    scratch: &mut Vec<u8>,
+) -> Result<Option<(Response, usize)>, ClusterError> {
+    match read_frame_into(r, scratch)? {
         None => Ok(None),
-        Some(payload) => {
-            let wire = frame_bytes(payload.len());
-            Ok(Some((Response::from_payload(&payload)?, wire)))
+        Some(len) => {
+            let wire = frame_bytes(len);
+            Ok(Some((Response::from_payload(&scratch[..len])?, wire)))
         }
     }
 }
@@ -633,6 +666,32 @@ mod tests {
             let bytes = resp.encode();
             assert_eq!(Response::decode(&bytes).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn scratch_reads_match_allocating_reads() {
+        let responses = [
+            Response::Pong,
+            Response::Data(vec![7u8; 300]),
+            Response::Data(vec![1u8; 4]), // shrinks: stale scratch must not leak
+            Response::Error("gone".into()),
+        ];
+        let mut stream = Vec::new();
+        for resp in &responses {
+            stream.extend_from_slice(&resp.encode());
+        }
+        let mut scratch = Vec::new();
+        let mut cursor = &stream[..];
+        for resp in &responses {
+            let (got, wire) = read_response_into(&mut cursor, &mut scratch)
+                .unwrap()
+                .unwrap();
+            assert_eq!(&got, resp);
+            assert_eq!(wire, resp.encode().len());
+        }
+        assert!(read_response_into(&mut cursor, &mut scratch)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

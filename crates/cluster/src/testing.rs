@@ -29,6 +29,7 @@ pub struct LocalCluster {
     nodes: Vec<Option<DataNode>>,
     roots: Vec<PathBuf>,
     base: PathBuf,
+    request_delay: Duration,
 }
 
 impl LocalCluster {
@@ -40,6 +41,19 @@ impl LocalCluster {
     ///
     /// Propagates bind and filesystem failures.
     pub fn start(n: usize) -> Result<Self, ClusterError> {
+        Self::start_with_delay(n, Duration::ZERO)
+    }
+
+    /// Like [`LocalCluster::start`], but every datanode sleeps
+    /// `request_delay` before serving each request — a stand-in for the
+    /// network/disk service time of a real (non-loopback) cluster, which
+    /// is what the client's concurrent fan-out overlaps. Used by the
+    /// `ext_pipeline` bench.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and filesystem failures.
+    pub fn start_with_delay(n: usize, request_delay: Duration) -> Result<Self, ClusterError> {
         let base = std::env::temp_dir().join(format!(
             "carousel-cluster-{}-{}",
             std::process::id(),
@@ -52,7 +66,9 @@ impl LocalCluster {
         let mut roots = Vec::with_capacity(n);
         for id in 0..n {
             let root = base.join(format!("node{id:02}"));
-            let config = DataNodeConfig::new(id, &root).with_coordinator(Arc::clone(&coordinator));
+            let config = DataNodeConfig::new(id, &root)
+                .with_coordinator(Arc::clone(&coordinator))
+                .with_request_delay(request_delay);
             nodes.push(Some(DataNode::spawn("127.0.0.1:0", config)?));
             roots.push(root);
         }
@@ -61,6 +77,7 @@ impl LocalCluster {
             nodes,
             roots,
             base,
+            request_delay,
         })
     }
 
@@ -113,7 +130,8 @@ impl LocalCluster {
             let _ = std::fs::remove_dir_all(&self.roots[id]);
         }
         let config = DataNodeConfig::new(id, &self.roots[id])
-            .with_coordinator(Arc::clone(&self.coordinator));
+            .with_coordinator(Arc::clone(&self.coordinator))
+            .with_request_delay(self.request_delay);
         self.nodes[id] = Some(DataNode::spawn("127.0.0.1:0", config)?);
         Ok(())
     }

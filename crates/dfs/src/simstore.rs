@@ -7,7 +7,7 @@
 //! TCP cluster use. That makes the simulated DFS a third transport the
 //! consistency proptests can compare byte-for-byte against the other two.
 
-use access::{AccessCode, BlockSource, ExecError, Fetch, PlanCache, PlanExecutor};
+use access::{AccessCode, BatchRequest, BlockSource, ExecError, Fetch, PlanCache, PlanExecutor};
 use erasure::{CodeError, SparseEncoder};
 
 /// Collapses an executor error over an infallible transport into the
@@ -228,19 +228,51 @@ impl BlockSource for SimNodes<'_> {
     }
 
     fn fetch_units(&mut self, node: usize, units: &[usize]) -> Result<Fetch, Self::Error> {
-        if !self.stripe.alive.get(node).copied().unwrap_or(false) {
-            return Ok(Fetch::Unavailable);
-        }
-        let block = &self.stripe.blocks[node];
+        Ok(self.serve_units(node, units))
+    }
+
+    /// Native batch entry mirroring `MemorySource`: the simulated
+    /// datanodes are plain memory, so the whole batch is answered in one
+    /// pass, with repair requests running their helper task directly on
+    /// the stored block.
+    fn fetch_batch(&mut self, requests: &[BatchRequest<'_>]) -> Result<Vec<Fetch>, Self::Error> {
+        Ok(requests
+            .iter()
+            .map(|request| match request {
+                BatchRequest::Units { node, units } => self.serve_units(*node, units),
+                BatchRequest::Repair { node, task } => match self.live_block(*node) {
+                    Some(block) => task.run(block).map_or(Fetch::Unavailable, Fetch::Data),
+                    None => Fetch::Unavailable,
+                },
+            })
+            .collect())
+    }
+}
+
+impl SimNodes<'_> {
+    /// The block at `node`, if that simulated datanode is alive.
+    fn live_block(&self, node: usize) -> Option<&[u8]> {
+        self.stripe
+            .alive
+            .get(node)
+            .copied()
+            .unwrap_or(false)
+            .then(|| self.stripe.blocks[node].as_slice())
+    }
+
+    fn serve_units(&self, node: usize, units: &[usize]) -> Fetch {
+        let Some(block) = self.live_block(node) else {
+            return Fetch::Unavailable;
+        };
         let w = self.unit_bytes;
         let mut out = Vec::with_capacity(units.len() * w);
         for &u in units {
             if u >= self.sub {
-                return Ok(Fetch::Unavailable);
+                return Fetch::Unavailable;
             }
             out.extend_from_slice(&block[u * w..(u + 1) * w]);
         }
-        Ok(Fetch::Data(out))
+        Fetch::Data(out)
     }
 }
 

@@ -151,6 +151,38 @@ impl ParallelCtx {
     }
 }
 
+/// Runs a two-stage producer/consumer pipeline over a bounded channel of
+/// depth `depth` — the primitive behind the cluster client's stripe
+/// pipelining, where the fetch (or encode) of stripe `i+1` overlaps the
+/// decode (or send) of stripe `i`.
+///
+/// The producer runs on one scoped worker thread and receives the sending
+/// half; the consumer runs inline on the caller with the receiving half.
+/// At most `depth` items sit in the channel, bounding memory to
+/// `depth + 2` stripes regardless of file size. If the consumer drops its
+/// receiver early (e.g. on a decode error), the producer's next `send`
+/// fails and it can stop — no deadlock, no leak: the scope still joins the
+/// producer before returning. Both closures' results come back to the
+/// caller.
+///
+/// # Panics
+///
+/// Propagates a panic from the producer (the scope joins it first).
+pub fn pipeline<T, P, C, PR, CR>(depth: usize, producer: P, consumer: C) -> (PR, CR)
+where
+    T: Send,
+    PR: Send,
+    P: FnOnce(std::sync::mpsc::SyncSender<T>) -> PR + Send,
+    C: FnOnce(std::sync::mpsc::Receiver<T>) -> CR,
+{
+    let (tx, rx) = std::sync::mpsc::sync_channel(depth.max(1));
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(move || producer(tx));
+        let consumed = consumer(rx);
+        (handle.join().expect("pipeline producer panicked"), consumed)
+    })
+}
+
 /// Encodes a whole file with per-stripe fan-out on `ctx`'s workers.
 /// Produces exactly the same [`EncodedFile`] as [`FileCodec::encode`].
 ///
@@ -255,6 +287,49 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(ctx.run(10, |i| i + 1), (1..=10).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn pipeline_preserves_order_and_returns_both_results() {
+        for depth in [1, 2, 7] {
+            let (sent, got) = pipeline(
+                depth,
+                |tx| {
+                    for i in 0..50 {
+                        if tx.send(i).is_err() {
+                            return i;
+                        }
+                    }
+                    50
+                },
+                |rx| rx.iter().collect::<Vec<i32>>(),
+            );
+            assert_eq!(sent, 50, "depth={depth}");
+            assert_eq!(got, (0..50).collect::<Vec<_>>(), "depth={depth}");
+        }
+    }
+
+    #[test]
+    fn pipeline_survives_early_consumer_exit() {
+        // Consumer bails after 3 items; the producer sees the send error
+        // and stops instead of deadlocking on the bounded channel.
+        let (sent, got) = pipeline(
+            1,
+            |tx| {
+                let mut sent = 0;
+                while tx.send(sent).is_ok() {
+                    sent += 1;
+                }
+                sent
+            },
+            |rx| {
+                let got: Vec<i32> = rx.iter().take(3).collect();
+                drop(rx);
+                got
+            },
+        );
+        assert_eq!(got, vec![0, 1, 2]);
+        assert!(sent >= 3);
     }
 
     #[test]

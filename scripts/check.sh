@@ -27,6 +27,20 @@ if [ -n "$guard_hits" ]; then
   exit 1
 fi
 
+step "concurrency guard: client-side fan-out goes through workloads::parallel"
+# Wire concurrency on the client/transport side must use the shared
+# ParallelCtx pool (and its pipeline helper), not hand-rolled threads —
+# that is what keeps fan-out width a single knob and tallies race-free.
+# crates/cluster/src/datanode.rs is the one exclusion: a datanode is a
+# *server* and legitimately owns its accept/connection/heartbeat threads.
+guard_hits=$(grep -rnE "thread::(spawn|scope|Builder)" \
+  crates/cluster/src crates/dfs/src crates/filestore/src crates/access/src \
+  | grep -v 'crates/cluster/src/datanode\.rs' || true)
+if [ -n "$guard_hits" ]; then
+  printf 'use workloads::parallel (ParallelCtx / pipeline) instead of raw threads:\n%s\n' "$guard_hits" >&2
+  exit 1
+fi
+
 step "kernel guard: crates outside gf256 use the kernel engine"
 # The slice free functions (mul_slice & co.) are deprecated shims kept for
 # external callers; everything in-tree must go through gf256::kernel().
@@ -65,6 +79,9 @@ cargo test --offline -q --test cluster_loopback
 step "kernel bench smoke (telemetry on)"
 cargo run --release --offline -p carousel-bench --bin ext_kernels -- --smoke
 
+step "wire-parallelism bench smoke (telemetry on)"
+cargo run --release --offline -p carousel-bench --bin ext_pipeline -- --smoke
+
 if [ "$mode" != "fast" ]; then
   step "cargo test (--no-default-features: telemetry compiled out)"
   cargo test --workspace --no-default-features --offline -q
@@ -74,6 +91,9 @@ if [ "$mode" != "fast" ]; then
 
   step "kernel bench smoke (telemetry off)"
   cargo run --release --offline -p carousel-bench --no-default-features --bin ext_kernels -- --smoke
+
+  step "wire-parallelism bench smoke (telemetry off)"
+  cargo run --release --offline -p carousel-bench --no-default-features --bin ext_pipeline -- --smoke
 fi
 
 step "build ext_cluster (real-TCP experiment binary)"
