@@ -25,6 +25,8 @@ use crate::{AccessCode, ReadMode};
 
 static FETCH_FANOUT: LazyLock<&'static telemetry::Histogram> =
     LazyLock::new(|| telemetry::histogram("access.fetch.fanout"));
+static REPAIR_DECODE: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("access.phase.decode_us"));
 
 /// Default bound on mid-operation replans before giving up.
 pub const DEFAULT_MAX_REPLANS: usize = 8;
@@ -308,7 +310,11 @@ impl<'a> PlanExecutor<'a> {
             }
             if dead.is_empty() && payloads.len() == plan.helpers().len() {
                 let payload_bytes = payloads.iter().map(Vec::len).sum();
+                let combined_at = telemetry::ENABLED.then(std::time::Instant::now);
                 let block = plan.combine_payloads(&payloads)?;
+                if let Some(t) = combined_at {
+                    REPAIR_DECODE.record(t.elapsed().as_micros() as u64);
+                }
                 return Ok(RepairOutcome {
                     block,
                     payload_bytes,

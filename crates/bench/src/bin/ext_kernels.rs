@@ -79,7 +79,10 @@ fn measure_fused(
 }
 
 /// Serializes the samples as a JSON document (no serde in this workspace).
-fn to_json(reps: usize, smoke: bool, raw: &[Sample], fused: &[Sample]) -> String {
+/// The `config` block makes the file self-describing: which kernel the
+/// runtime dispatcher picked on this machine and how much data each rep
+/// processed, so archived results can be compared apples-to-apples.
+fn to_json(reps: usize, smoke: bool, per_rep: usize, raw: &[Sample], fused: &[Sample]) -> String {
     let rows = |samples: &[Sample]| -> String {
         samples
             .iter()
@@ -94,7 +97,11 @@ fn to_json(reps: usize, smoke: bool, raw: &[Sample], fused: &[Sample]) -> String
     };
     format!(
         "{{\n  \"bench\": \"kernels\",\n  \"reps\": {reps},\n  \"smoke\": {smoke},\n  \
+         \"config\": {{\"dispatched_kernel\": \"{}\", \"bytes_per_rep\": {per_rep}, \
+         \"kernels\": {}}},\n  \
          \"mul_acc\": [\n{}\n  ],\n  \"fused_encode\": [\n{}\n  ]\n}}\n",
+        gf256::kernel().name(),
+        gf256::kernels().len(),
         rows(raw),
         rows(fused)
     )
@@ -174,7 +181,7 @@ fn main() {
         swar / scalar.max(1e-9)
     );
 
-    let json = to_json(reps, smoke, &raw, &fused);
+    let json = to_json(reps, smoke, per_rep, &raw, &fused);
     let path = if smoke {
         std::env::temp_dir().join("BENCH_kernels.smoke.json")
     } else {

@@ -52,12 +52,15 @@ fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
+#[allow(clippy::too_many_arguments)]
 fn to_json(
     smoke: bool,
     reps: usize,
     delay_us: usize,
     stripes: usize,
     block_bytes: usize,
+    fanout: usize,
+    depth: usize,
     samples: &[Sample],
 ) -> String {
     let rows = samples
@@ -82,8 +85,11 @@ fn to_json(
     format!(
         "{{\n  \"bench\": \"pipeline\",\n  \"smoke\": {smoke},\n  \"reps\": {reps},\n  \
          \"geometry\": \"carousel(8,4,6,8)\",\n  \"request_delay_us\": {delay_us},\n  \
-         \"stripes\": {stripes},\n  \"block_bytes\": {block_bytes},\n  \"samples\": [\n{rows}\n  ],\n  \
+         \"stripes\": {stripes},\n  \"block_bytes\": {block_bytes},\n  \
+         \"config\": {{\"kernel\": \"{}\", \"fanout\": {fanout}, \"pipeline_depth\": {depth}, \
+         \"request_delay_us\": {delay_us}}},\n  \"samples\": [\n{rows}\n  ],\n  \
          \"speedup\": {{\"put\": {:.2}, \"get\": {:.2}, \"degraded_get\": {:.2}, \"repair\": {:.2}}}\n}}\n",
+        gf256::kernel().name(),
         ratio("put"),
         ratio("get"),
         ratio("degraded_get"),
@@ -263,7 +269,16 @@ fn main() {
         );
     }
 
-    let json = to_json(smoke, reps, delay_us, stripes, block_bytes, &samples);
+    let json = to_json(
+        smoke,
+        reps,
+        delay_us,
+        stripes,
+        block_bytes,
+        fanout_width,
+        depth,
+        &samples,
+    );
     let path = if smoke {
         std::env::temp_dir().join("BENCH_pipeline.smoke.json")
     } else {

@@ -75,6 +75,24 @@ static PIPELINE_INFLIGHT: LazyLock<&'static telemetry::Gauge> =
     LazyLock::new(|| telemetry::gauge("cluster.pipeline.inflight"));
 static FETCH_STALL: LazyLock<&'static telemetry::Histogram> =
     LazyLock::new(|| telemetry::histogram("cluster.fetch.stall_us"));
+// Per-exchange phase timings: where a slow request actually spent its
+// time. `connect` is only recorded when a fresh socket is opened, so its
+// count doubles as a cache-miss counter.
+static PHASE_CONNECT: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("cluster.phase.connect_us"));
+static PHASE_SEND: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("cluster.phase.send_us"));
+static PHASE_WAIT: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("cluster.phase.wait_us"));
+static PHASE_RECV: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("cluster.phase.recv_us"));
+static PHASE_DECODE: LazyLock<&'static telemetry::Histogram> =
+    LazyLock::new(|| telemetry::histogram("cluster.phase.decode_us"));
+
+/// One node's scraped telemetry registry, as returned by
+/// [`ClusterClient::node_stats`]. With the `telemetry` feature off this
+/// is always empty.
+pub type NodeStats = telemetry::Snapshot;
 
 /// Decode plans cached per client (more than enough for the handful of
 /// distinct failure patterns a session sees).
@@ -161,7 +179,12 @@ impl Link {
     ///
     /// [`ClusterError::NodeDown`] for unreachable nodes,
     /// [`ClusterError::Protocol`] for persistent framing faults.
-    fn call(&self, node: usize, request: &Request) -> Result<(Response, Tally), ClusterError> {
+    fn call(
+        &self,
+        node: usize,
+        request: &Request,
+        trace: telemetry::trace::TraceCtx,
+    ) -> Result<(Response, Tally), ClusterError> {
         let addr = self
             .coord
             .node_addr(node)
@@ -170,36 +193,50 @@ impl Link {
             self.coord.mark_dead(node);
             ClusterError::NodeDown { node }
         };
+        let wire = protocol::WireTrace::from_ctx(&trace);
         for attempt in 0..2u8 {
             let cached = self.take_conn(node);
             let had_cached = cached.is_some();
             let mut conn = match cached {
                 Some(conn) => conn,
-                None => match TcpStream::connect_timeout(&addr, self.timeout) {
-                    Ok(stream) => {
-                        let _ = stream.set_read_timeout(Some(self.timeout));
-                        let _ = stream.set_write_timeout(Some(self.timeout));
-                        let _ = stream.set_nodelay(true);
-                        NodeConn {
-                            stream,
-                            scratch: Vec::new(),
+                None => {
+                    let dialed = telemetry::ENABLED.then(Instant::now);
+                    match TcpStream::connect_timeout(&addr, self.timeout) {
+                        Ok(stream) => {
+                            if let Some(t) = dialed {
+                                PHASE_CONNECT.record(t.elapsed().as_micros() as u64);
+                            }
+                            let _ = stream.set_read_timeout(Some(self.timeout));
+                            let _ = stream.set_write_timeout(Some(self.timeout));
+                            let _ = stream.set_nodelay(true);
+                            NodeConn {
+                                stream,
+                                scratch: Vec::new(),
+                            }
                         }
+                        Err(_) => return Err(down()),
                     }
-                    Err(_) => return Err(down()),
-                },
+                }
             };
-            let exchange = protocol::write_request(&mut conn.stream, request).and_then(|tx| {
-                Ok((
-                    tx,
-                    protocol::read_response_into(&mut conn.stream, &mut conn.scratch)?,
-                ))
-            });
+            let sent = telemetry::ENABLED.then(Instant::now);
+            let exchange = protocol::write_request_traced(&mut conn.stream, request, wire)
+                .and_then(|tx| {
+                    if let Some(t) = sent {
+                        PHASE_SEND.record(t.elapsed().as_micros() as u64);
+                    }
+                    Ok((
+                        tx,
+                        protocol::read_response_timed(&mut conn.stream, &mut conn.scratch)?,
+                    ))
+                });
             match exchange {
-                Ok((tx, Some((response, rx)))) => {
+                Ok((tx, Some((response, rx, timing)))) => {
                     self.put_conn(node, conn);
                     if telemetry::ENABLED {
                         CLIENT_TX.add(tx as u64);
                         CLIENT_RX.add(rx as u64);
+                        PHASE_WAIT.record(timing.wait_ns / 1_000);
+                        PHASE_RECV.record(timing.recv_ns / 1_000);
                     }
                     return Ok((
                         response,
@@ -237,8 +274,9 @@ fn exchange_on(
     link: &Link,
     node: usize,
     request: &Request,
+    trace: telemetry::trace::TraceCtx,
 ) -> Result<(Fetch, Tally), ClusterError> {
-    match link.call(node, request) {
+    match link.call(node, request, trace) {
         Ok((Response::Data(bytes), tally)) => Ok((Fetch::Data(bytes), tally)),
         Ok((_, tally)) => Ok((Fetch::Unavailable, tally)),
         Err(ClusterError::NodeDown { .. }) => Ok((Fetch::Unavailable, Tally::default())),
@@ -265,6 +303,9 @@ struct StripeSource<'a> {
     /// Roles known present (repair's Stat-probed list); `None` means trust
     /// the coordinator's node liveness.
     present: Option<&'a [usize]>,
+    /// Trace context stamped on every wire request this source issues, so
+    /// the serving nodes' spans land in the caller's trace.
+    trace: telemetry::trace::TraceCtx,
     /// Wire bytes this source moved, folded into the client afterwards.
     tally: Tally,
 }
@@ -297,7 +338,7 @@ impl StripeSource<'_> {
     }
 
     fn exchange(&mut self, role: usize, request: &Request) -> Result<Fetch, ClusterError> {
-        let (fetch, tally) = exchange_on(self.link, self.row[role], request)?;
+        let (fetch, tally) = exchange_on(self.link, self.row[role], request, self.trace)?;
         self.tally += tally;
         Ok(fetch)
     }
@@ -345,9 +386,10 @@ impl BlockSource for StripeSource<'_> {
             .map(|r| (self.row[r.node()], self.wire_request(r)))
             .collect();
         let link = self.link;
-        let results = self
-            .ctx
-            .run(wire.len(), |i| exchange_on(link, wire[i].0, &wire[i].1));
+        let trace = self.trace;
+        let results = self.ctx.run(wire.len(), |i| {
+            exchange_on(link, wire[i].0, &wire[i].1, trace)
+        });
         let mut fetches = Vec::with_capacity(results.len());
         for result in results {
             let (fetch, tally) = result?;
@@ -495,12 +537,14 @@ impl ClusterClient {
         let depth = self.pipeline_depth;
         let mut tally = Tally::default();
         let mut outcome: Result<(), ClusterError> = Ok(());
+        let op = telemetry::trace::TraceCtx::root().child("cluster.op.put_us");
+        let op_ctx = op.ctx();
 
         if depth == 0 || chunks.len() <= 1 {
             let mut stripe = codec.empty_stripe();
             for (s, chunk) in chunks.iter().enumerate() {
                 codec.encode_stripe_into(chunk, &mut stripe)?;
-                tally += send_stripe(link, ctx, name, s, &fp.nodes[s], &stripe.blocks)?;
+                tally += send_stripe(link, ctx, name, s, &fp.nodes[s], &stripe.blocks, op_ctx)?;
             }
         } else {
             // Encode on a worker, upload on the caller, with `depth`
@@ -540,7 +584,7 @@ impl ClusterClient {
                             FETCH_STALL.record(wait.elapsed().as_micros() as u64);
                             PIPELINE_INFLIGHT.add(-1);
                         }
-                        match send_stripe(link, ctx, name, s, &rows[s], &stripe.blocks) {
+                        match send_stripe(link, ctx, name, s, &rows[s], &stripe.blocks, op_ctx) {
                             Ok(t) => tally += t,
                             Err(e) => return (tally, Err(e)),
                         }
@@ -582,6 +626,11 @@ impl ClusterClient {
         } else {
             None
         };
+        // The whole read is one trace: per-stripe fetch/decode spans hang
+        // off this root, and every wire request carries its ids so the
+        // serving nodes' spans land in the same trace.
+        let op = telemetry::trace::TraceCtx::root().child("cluster.op.get_us");
+        let op_ctx = op.ctx();
         let fp = self
             .link
             .coord
@@ -599,6 +648,7 @@ impl ClusterClient {
 
         // Fetch one stripe's plan-worth of units (no decode yet).
         let fetch_one = |s: usize| -> (Result<FetchedStripe, ClusterError>, Tally) {
+            let span = op_ctx.child("cluster.fetch.stripe_us");
             let mut source = StripeSource {
                 link,
                 ctx,
@@ -608,6 +658,7 @@ impl ClusterClient {
                 sub,
                 w,
                 present: None,
+                trace: span.ctx(),
                 tally: Tally::default(),
             };
             let fetched = executor
@@ -627,7 +678,12 @@ impl ClusterClient {
             if fetched.mode() != ReadMode::Direct || fetched.replans() > 0 {
                 degraded = true;
             }
+            let _span = op_ctx.child("cluster.decode.stripe_us");
+            let decoded_at = telemetry::ENABLED.then(Instant::now);
             let data = fetched.decode().map_err(|_| unreadable(name, s))?;
+            if let Some(t) = decoded_at {
+                PHASE_DECODE.record(t.elapsed().as_micros() as u64);
+            }
             let at = s * sdb;
             let take = sdb.min(out.len() - at.min(out.len())).min(data.len());
             out[at..at + take].copy_from_slice(&data[..take]);
@@ -723,6 +779,8 @@ impl ClusterClient {
         let executor = PlanExecutor::new(&self.plans).with_max_replans(self.max_replans);
         let mut report = RepairReport::default();
         let mut tally = Tally::default();
+        let op = telemetry::trace::TraceCtx::root().child("cluster.op.repair_us");
+        let op_ctx = op.ctx();
         let mut run = || -> Result<(), ClusterError> {
             let link = &self.link;
             for (s, row) in fp.nodes.iter().enumerate() {
@@ -739,7 +797,7 @@ impl ClusterClient {
                     let request = Request::Stat {
                         id: block_id(name, s, role),
                     };
-                    match link.call(node, &request) {
+                    match link.call(node, &request, op_ctx) {
                         Ok((Response::Data(_), t)) => (true, t),
                         Ok((_, t)) => (false, t),
                         Err(_) => (false, Tally::default()),
@@ -765,6 +823,7 @@ impl ClusterClient {
                         sub,
                         w,
                         present: Some(&present),
+                        trace: op_ctx,
                         tally: Tally::default(),
                     };
                     let outcome = executor
@@ -793,7 +852,7 @@ impl ClusterClient {
                         id: block_id(name, s, failed),
                         data: outcome.block,
                     };
-                    match link.call(target, &request)? {
+                    match link.call(target, &request, op_ctx)? {
                         (Response::Done, t) => tally += t,
                         (other, _) => {
                             return Err(ClusterError::Protocol {
@@ -818,10 +877,32 @@ impl ClusterClient {
         }
         Ok(report)
     }
+
+    /// Scrapes one datanode's full telemetry registry over the wire via
+    /// [`Request::Stats`]. With the `telemetry` feature compiled out (on
+    /// either end) the snapshot is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NodeDown`] for unreachable nodes, or a protocol
+    /// error when the reply cannot be decoded.
+    pub fn node_stats(&mut self, node: usize) -> Result<NodeStats, ClusterError> {
+        let op = telemetry::trace::TraceCtx::root().child("cluster.op.stats_us");
+        let (response, tally) = self.link.call(node, &Request::Stats, op.ctx())?;
+        self.fold(tally);
+        match response {
+            Response::Data(bytes) => protocol::decode_stats(&bytes),
+            Response::Error(message) => Err(ClusterError::Remote { message }),
+            other => Err(ClusterError::Protocol {
+                reason: format!("unexpected Stats reply: {other:?}"),
+            }),
+        }
+    }
 }
 
 /// Uploads one encoded stripe: all `n` block PutBlocks fan out over
 /// `ctx`'s workers.
+#[allow(clippy::too_many_arguments)]
 fn send_stripe(
     link: &Link,
     ctx: &ParallelCtx,
@@ -829,13 +910,14 @@ fn send_stripe(
     stripe: usize,
     row: &[usize],
     blocks: &[Vec<u8>],
+    trace: telemetry::trace::TraceCtx,
 ) -> Result<Tally, ClusterError> {
     let results = ctx.run(row.len(), |role| {
         let request = Request::PutBlock {
             id: block_id(name, stripe, role),
             data: blocks[role].clone(),
         };
-        link.call(row[role], &request)
+        link.call(row[role], &request, trace)
     });
     let mut tally = Tally::default();
     for result in results {
@@ -948,6 +1030,7 @@ mod tests {
                 sub,
                 w: 120 / sub,
                 present: None,
+                trace: telemetry::trace::TraceCtx::root(),
                 tally: Tally::default(),
             }
         }

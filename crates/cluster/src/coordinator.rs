@@ -242,6 +242,13 @@ impl Coordinator {
         }
     }
 
+    /// A snapshot of this process's telemetry registry — what the
+    /// coordinator would serve for a `Stats` scrape. Empty with the
+    /// `telemetry` feature compiled out.
+    pub fn stats(&self) -> telemetry::Snapshot {
+        telemetry::Registry::global().snapshot()
+    }
+
     /// Serializes nodes and file placements to a manifest file — the
     /// `key=value` format documented in `docs/CLUSTER.md`.
     ///

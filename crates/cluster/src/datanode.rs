@@ -214,8 +214,8 @@ impl DataNode {
 /// Per-connection request loop.
 fn serve_connection(mut stream: TcpStream, store: &BlockStore, request_delay: Duration) {
     loop {
-        let (request, rx_bytes) = match protocol::read_request(&mut stream) {
-            Ok(Some(pair)) => pair,
+        let (request, rx_bytes, wire_trace) = match protocol::read_request_traced(&mut stream) {
+            Ok(Some(triple)) => triple,
             // Clean EOF: the client is done with this connection.
             Ok(None) => return,
             Err(ClusterError::Io(_)) => return, // timeout, reset, shutdown
@@ -226,15 +226,28 @@ fn serve_connection(mut stream: TcpStream, store: &BlockStore, request_delay: Du
                 return;
             }
         };
+        // Queue wait starts when the frame has fully arrived and ends when
+        // service begins — here that is the artificial request delay, the
+        // stand-in for a real node's request queue.
+        let queued_at = telemetry::ENABLED.then(std::time::Instant::now);
         if !request_delay.is_zero() {
             std::thread::sleep(request_delay);
         }
-        let _timer = if telemetry::ENABLED {
-            Some(telemetry::span("cluster.node.request.ns"))
-        } else {
-            None
+        // Adopt the client's trace (or open a local root for untraced
+        // peers): this request span and its queue/service children carry
+        // the client's TraceId, which is what lets a slow get_file be
+        // attributed to a specific node's queue or service time.
+        let ctx = telemetry::trace::TraceCtx::adopt(wire_trace.map(|t| (t.trace, t.span)));
+        let req_span = ctx.child("cluster.node.request_us");
+        if let Some(t) = queued_at {
+            req_span
+                .ctx()
+                .span_with("cluster.node.queue_us", t.elapsed());
+        }
+        let response = {
+            let _service = req_span.ctx().child("cluster.node.service_us");
+            handle(store, request)
         };
-        let response = handle(store, request);
         if telemetry::ENABLED {
             NODE_REQUESTS.inc();
             NODE_RX.add(rx_bytes as u64);
@@ -319,6 +332,13 @@ fn handle(store: &BlockStore, request: Request) -> Response {
             Ok(None) => Response::Error(format!("block {id:?} not found")),
             Err(e) => fail(e),
         },
+        // The node's full registry over the wire. All nodes of the
+        // loopback harness share one process (and thus one registry);
+        // real deployments get per-process scrapes. With telemetry
+        // compiled out the snapshot is empty.
+        Request::Stats => Response::Data(protocol::encode_stats(
+            &telemetry::Registry::global().snapshot(),
+        )),
     }
 }
 

@@ -59,7 +59,7 @@ pub mod protocol;
 mod store;
 pub mod testing;
 
-pub use client::{ClusterClient, RepairReport};
+pub use client::{ClusterClient, NodeStats, RepairReport};
 pub use coordinator::{Coordinator, FilePlacement, NodeInfo};
 pub use datanode::{serve_forever, DataNode, DataNodeConfig};
 pub use error::ClusterError;

@@ -1,15 +1,35 @@
 //! The length-prefixed binary wire protocol.
 //!
-//! Every message travels as one *frame*:
+//! Every message travels as one *frame*. The base (v1) layout:
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic  "CRSL"
-//! 4       1     version (currently 1)
+//! 4       1     version (1)
 //! 5       4     payload length `len`, little-endian (1 ..= MAX_PAYLOAD)
 //! 9       len   payload: tag byte + body
 //! 9+len   4     CRC-32 (IEEE) of the payload, little-endian
 //! ```
+//!
+//! Version 2 inserts a flags byte (and, when flag bit 0 is set, a 16-byte
+//! trace-context extension) between the version and the length:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "CRSL"
+//! 4       1     version (2)
+//! 5       1     flags (bit 0: trace extension present; others reserved)
+//! 6       16    trace id (u64 LE) ++ parent span id (u64 LE), if bit 0
+//! then          length, payload, CRC exactly as in v1
+//! ```
+//!
+//! Frames without a trace context are always emitted in the v1 layout —
+//! byte-identical to what pre-trace peers produce and accept — so the
+//! version bump only ever rides on frames that actually carry the
+//! extension, and old captures/peers remain readable. The extension
+//! itself sits *outside* the payload CRC: it is best-effort observability
+//! metadata ([`WireTrace`]) whose corruption can at worst mislabel a
+//! trace, never alter the message.
 //!
 //! The tag byte lives *inside* the checksummed payload, so a flipped tag
 //! cannot silently turn one valid message into another. Integers are
@@ -20,6 +40,7 @@
 //! pure layer without ever opening a socket.
 
 use std::io::{Read, Write};
+use std::time::Instant;
 
 use filestore::checksum::crc32;
 
@@ -27,16 +48,28 @@ use crate::error::ClusterError;
 
 /// Leading frame bytes identifying this protocol.
 pub const MAGIC: [u8; 4] = *b"CRSL";
-/// Current protocol version; bumped on any incompatible layout change.
+/// Base protocol version: the layout of every frame without a trace
+/// extension.
 pub const VERSION: u8 = 1;
+/// Extended protocol version carrying a flags byte and optional trace
+/// context; only emitted for frames that have one.
+pub const TRACED_VERSION: u8 = 2;
 /// Upper bound on a payload, rejecting absurd length prefixes before
 /// allocation (a 256 MiB block is far beyond anything this workspace
 /// stripes).
 pub const MAX_PAYLOAD: usize = 256 << 20;
-/// Fixed per-frame cost: magic + version + length + trailing CRC.
+/// Fixed per-frame cost of the base layout: magic + version + length +
+/// trailing CRC. A v2 frame with a trace extension adds
+/// `1 + TRACE_EXT_BYTES` on top.
 pub const FRAME_OVERHEAD: usize = 4 + 1 + 4 + 4;
+/// Size of the optional trace-context header extension.
+pub const TRACE_EXT_BYTES: usize = 16;
 
-/// Bytes a payload of `payload_len` occupies on the wire.
+/// Flags-byte bit marking a trace extension (v2 frames only).
+const FLAG_TRACE: u8 = 0x01;
+
+/// Bytes a payload of `payload_len` occupies on the wire in the base
+/// (untraced) layout.
 pub fn frame_bytes(payload_len: usize) -> usize {
     payload_len + FRAME_OVERHEAD
 }
@@ -49,10 +82,54 @@ const TAG_GET_BLOCK: u8 = 0x03;
 const TAG_GET_UNITS: u8 = 0x04;
 const TAG_REPAIR_READ: u8 = 0x05;
 const TAG_STAT: u8 = 0x06;
+const TAG_STATS: u8 = 0x07;
 const TAG_PONG: u8 = 0x81;
 const TAG_DONE: u8 = 0x82;
 const TAG_DATA: u8 = 0x83;
 const TAG_ERROR: u8 = 0xEE;
+
+/// The trace-context frame-header extension: the client's raw
+/// `(trace, parent span)` ids, so spans a datanode opens while serving
+/// the request join the client's trace. Carried outside the payload CRC
+/// — it is best-effort observability metadata and never alters the
+/// message it rides on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTrace {
+    /// Trace id (nonzero).
+    pub trace: u64,
+    /// The sender's current span id (0 at a trace root).
+    pub span: u64,
+}
+
+impl WireTrace {
+    /// The extension `ctx` stamps on an outgoing frame; `None` when this
+    /// build does not trace (telemetry feature off), so untraced builds
+    /// keep emitting byte-identical v1 frames.
+    pub fn from_ctx(ctx: &telemetry::trace::TraceCtx) -> Option<WireTrace> {
+        ctx.wire()
+            .filter(|&(trace, _)| trace != 0)
+            .map(|(trace, span)| WireTrace { trace, span })
+    }
+
+    /// Adopts this extension as a trace context for server-side spans.
+    pub fn to_ctx(self) -> telemetry::trace::TraceCtx {
+        telemetry::trace::TraceCtx::adopt(Some((self.trace, self.span)))
+    }
+
+    fn to_bytes(self) -> [u8; TRACE_EXT_BYTES] {
+        let mut b = [0u8; TRACE_EXT_BYTES];
+        b[..8].copy_from_slice(&self.trace.to_le_bytes());
+        b[8..].copy_from_slice(&self.span.to_le_bytes());
+        b
+    }
+
+    fn from_bytes(b: &[u8; TRACE_EXT_BYTES]) -> WireTrace {
+        WireTrace {
+            trace: u64::from_le_bytes(b[..8].try_into().expect("8 bytes")),
+            span: u64::from_le_bytes(b[8..].try_into().expect("8 bytes")),
+        }
+    }
+}
 
 /// Addresses one stored block: `(file, stripe, block-in-stripe)`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -146,6 +223,11 @@ pub enum Request {
         /// Which block.
         id: BlockId,
     },
+    /// Scrape the serving node's full telemetry registry; answered with
+    /// [`Response::Data`] holding an [`encode_stats`]-serialized
+    /// snapshot. In a build with telemetry compiled out the snapshot is
+    /// empty — the zero-cost guarantee extends over the wire.
+    Stats,
 }
 
 /// A datanode → client message.
@@ -219,6 +301,11 @@ impl<'a> Reader<'a> {
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
+    fn u64(&mut self) -> Result<u64, ClusterError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
     fn bytes(&mut self) -> Result<Vec<u8>, ClusterError> {
         let len = self.u32()? as usize;
         if len > MAX_PAYLOAD {
@@ -254,21 +341,32 @@ impl<'a> Reader<'a> {
 // Framing.
 // ---------------------------------------------------------------------
 
-/// Wraps a payload (tag + body) into a complete frame.
-fn frame(payload: &[u8]) -> Vec<u8> {
+/// Wraps a payload (tag + body) into a complete frame: the v1 layout
+/// when no trace context rides along, the v2 flags + extension layout
+/// when one does.
+fn frame(payload: &[u8], trace: Option<WireTrace>) -> Vec<u8> {
     debug_assert!(!payload.is_empty() && payload.len() <= MAX_PAYLOAD);
-    let mut out = Vec::with_capacity(frame_bytes(payload.len()));
+    let mut out =
+        Vec::with_capacity(frame_bytes(payload.len()) + trace.map_or(0, |_| 1 + TRACE_EXT_BYTES));
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    match trace {
+        None => out.push(VERSION),
+        Some(t) => {
+            out.push(TRACED_VERSION);
+            out.push(FLAG_TRACE);
+            out.extend_from_slice(&t.to_bytes());
+        }
+    }
     put_u32(&mut out, payload.len() as u32);
     out.extend_from_slice(payload);
     put_u32(&mut out, crc32(payload));
     out
 }
 
-/// Unwraps exactly one frame from `buf`, checking magic, version, length,
-/// CRC, and that nothing trails the frame. Returns the payload slice.
-fn deframe(buf: &[u8]) -> Result<&[u8], ClusterError> {
+/// Unwraps exactly one frame from `buf`, checking magic, version, flags,
+/// length, CRC, and that nothing trails the frame. Returns the trace
+/// extension (if any) and the payload slice.
+fn deframe(buf: &[u8]) -> Result<(Option<WireTrace>, &[u8]), ClusterError> {
     let err = |reason: String| Err(ClusterError::Protocol { reason });
     if buf.len() < FRAME_OVERHEAD + 1 {
         return err(format!("frame of {} bytes is too short", buf.len()));
@@ -276,48 +374,94 @@ fn deframe(buf: &[u8]) -> Result<&[u8], ClusterError> {
     if buf[..4] != MAGIC {
         return err("bad magic".into());
     }
-    if buf[4] != VERSION {
-        return err(format!("unsupported protocol version {}", buf[4]));
+    let (trace, len_at) = match buf[4] {
+        VERSION => (None, 5),
+        TRACED_VERSION => {
+            let flags = buf[5];
+            if flags & !FLAG_TRACE != 0 {
+                return err(format!("unknown header flags 0x{flags:02x}"));
+            }
+            if flags & FLAG_TRACE != 0 {
+                let ext_end = 6 + TRACE_EXT_BYTES;
+                if buf.len() < ext_end + 4 {
+                    return err(format!("frame of {} bytes is too short", buf.len()));
+                }
+                let ext: &[u8; TRACE_EXT_BYTES] = buf[6..ext_end].try_into().expect("sized slice");
+                (Some(WireTrace::from_bytes(ext)), ext_end)
+            } else {
+                (None, 6)
+            }
+        }
+        v => return err(format!("unsupported protocol version {v}")),
+    };
+    if buf.len() < len_at + 4 {
+        return err(format!("frame of {} bytes is too short", buf.len()));
     }
-    let len = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]) as usize;
+    let len = u32::from_le_bytes([
+        buf[len_at],
+        buf[len_at + 1],
+        buf[len_at + 2],
+        buf[len_at + 3],
+    ]) as usize;
     if len == 0 || len > MAX_PAYLOAD {
         return err(format!("bad payload length {len}"));
     }
-    if buf.len() != FRAME_OVERHEAD + len {
+    let expected = len_at + 4 + len + 4;
+    if buf.len() != expected {
         return err(format!(
-            "frame length {} does not match header ({})",
+            "frame length {} does not match header ({expected})",
             buf.len(),
-            FRAME_OVERHEAD + len
         ));
     }
-    let payload = &buf[9..9 + len];
-    let crc = u32::from_le_bytes([buf[9 + len], buf[10 + len], buf[11 + len], buf[12 + len]]);
+    let payload = &buf[len_at + 4..len_at + 4 + len];
+    let crc_at = len_at + 4 + len;
+    let crc = u32::from_le_bytes([
+        buf[crc_at],
+        buf[crc_at + 1],
+        buf[crc_at + 2],
+        buf[crc_at + 3],
+    ]);
     if crc32(payload) != crc {
         return err("payload CRC mismatch".into());
     }
-    Ok(payload)
+    Ok((trace, payload))
 }
 
-/// Reads one frame's payload from a stream. Returns `Ok(None)` on a clean
-/// EOF at a frame boundary (the peer closed the connection).
-fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ClusterError> {
-    let mut payload = Vec::new();
-    Ok(read_frame_into(r, &mut payload)?.map(|len| {
-        payload.truncate(len);
-        payload
-    }))
+/// Per-frame receive timings, split at the first byte: how long the
+/// reader *waited* for the peer to start answering vs how long the body
+/// took to *arrive*. All zeros when telemetry is compiled out (no clock
+/// reads on the hot path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecvTiming {
+    /// Nanoseconds from entering the read to the first header byte.
+    pub wait_ns: u64,
+    /// Nanoseconds from the first header byte to the last CRC byte.
+    pub recv_ns: u64,
 }
 
-/// Reads one frame's payload into `scratch` (resized to fit, capacity
-/// reused across calls), returning the payload length. `Ok(None)` on a
-/// clean EOF at a frame boundary. This is the hot-path variant behind
-/// [`read_response_into`]: a long-lived connection reads every frame into
-/// one buffer instead of allocating a fresh `Vec` per response.
+/// Everything `read_frame_into` learns about one frame besides the
+/// payload bytes it deposits in the scratch buffer.
+struct FrameMeta {
+    /// Payload length within the scratch buffer.
+    len: usize,
+    /// Total wire bytes consumed (header + extension + payload + CRC).
+    wire: usize,
+    /// Trace extension, if the frame carried one.
+    trace: Option<WireTrace>,
+    /// Wait/receive split of the read.
+    timing: RecvTiming,
+}
+
+/// Reads one frame into `scratch` (resized to fit, capacity reused across
+/// calls). `Ok(None)` on a clean EOF at a frame boundary (the peer closed
+/// the connection). This is the hot-path reader behind every stream
+/// adapter: a long-lived connection reads each frame into one buffer
+/// instead of allocating a fresh `Vec` per message.
 fn read_frame_into(
     r: &mut impl Read,
     scratch: &mut Vec<u8>,
-) -> Result<Option<usize>, ClusterError> {
-    let mut header = [0u8; 9];
+) -> Result<Option<FrameMeta>, ClusterError> {
+    let entered = telemetry::ENABLED.then(Instant::now);
     // Read the first byte separately to distinguish clean EOF from a
     // truncated frame.
     let mut first = [0u8; 1];
@@ -329,19 +473,46 @@ fn read_frame_into(
             Err(e) => return Err(e.into()),
         }
     }
-    header[0] = first[0];
-    r.read_exact(&mut header[1..])?;
-    if header[..4] != MAGIC {
+    let first_byte_at = telemetry::ENABLED.then(Instant::now);
+    // Rest of the magic plus the version byte.
+    let mut head = [0u8; 4];
+    r.read_exact(&mut head)?;
+    if first[0] != MAGIC[0] || head[..3] != MAGIC[1..] {
         return Err(ClusterError::Protocol {
             reason: "bad magic".into(),
         });
     }
-    if header[4] != VERSION {
-        return Err(ClusterError::Protocol {
-            reason: format!("unsupported protocol version {}", header[4]),
-        });
-    }
-    let len = u32::from_le_bytes([header[5], header[6], header[7], header[8]]) as usize;
+    let mut wire = 5usize;
+    let trace = match head[3] {
+        VERSION => None,
+        TRACED_VERSION => {
+            let mut flags = [0u8; 1];
+            r.read_exact(&mut flags)?;
+            wire += 1;
+            if flags[0] & !FLAG_TRACE != 0 {
+                return Err(ClusterError::Protocol {
+                    reason: format!("unknown header flags 0x{:02x}", flags[0]),
+                });
+            }
+            if flags[0] & FLAG_TRACE != 0 {
+                let mut ext = [0u8; TRACE_EXT_BYTES];
+                r.read_exact(&mut ext)?;
+                wire += TRACE_EXT_BYTES;
+                Some(WireTrace::from_bytes(&ext))
+            } else {
+                None
+            }
+        }
+        v => {
+            return Err(ClusterError::Protocol {
+                reason: format!("unsupported protocol version {v}"),
+            })
+        }
+    };
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    wire += 4;
+    let len = u32::from_le_bytes(len_bytes) as usize;
     if len == 0 || len > MAX_PAYLOAD {
         return Err(ClusterError::Protocol {
             reason: format!("bad payload length {len}"),
@@ -352,12 +523,25 @@ fn read_frame_into(
     r.read_exact(payload)?;
     let mut crc = [0u8; 4];
     r.read_exact(&mut crc)?;
+    wire += len + 4;
     if crc32(payload) != u32::from_le_bytes(crc) {
         return Err(ClusterError::Protocol {
             reason: "payload CRC mismatch".into(),
         });
     }
-    Ok(Some(len))
+    let timing = match (entered, first_byte_at) {
+        (Some(t0), Some(t1)) => RecvTiming {
+            wait_ns: t1.duration_since(t0).as_nanos().min(u64::MAX as u128) as u64,
+            recv_ns: t1.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        },
+        _ => RecvTiming::default(),
+    };
+    Ok(Some(FrameMeta {
+        len,
+        wire,
+        trace,
+        timing,
+    }))
 }
 
 // ---------------------------------------------------------------------
@@ -365,8 +549,14 @@ fn read_frame_into(
 // ---------------------------------------------------------------------
 
 impl Request {
-    /// Encodes this request as one complete frame.
+    /// Encodes this request as one complete frame in the base layout.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_traced(None)
+    }
+
+    /// Encodes this request as one complete frame, in the v2 layout
+    /// carrying `trace` when given, the v1 layout otherwise.
+    pub fn encode_traced(&self, trace: Option<WireTrace>) -> Vec<u8> {
         let mut p = Vec::new();
         match self {
             Request::Ping => p.push(TAG_PING),
@@ -404,8 +594,9 @@ impl Request {
                 p.push(TAG_STAT);
                 put_block_id(&mut p, id);
             }
+            Request::Stats => p.push(TAG_STATS),
         }
-        frame(&p)
+        frame(&p, trace)
     }
 
     /// Decodes exactly one framed request from `buf`.
@@ -416,7 +607,18 @@ impl Request {
     /// violation: bad magic/version/length/CRC, truncation, unknown tag,
     /// trailing bytes, or an invalid field.
     pub fn decode(buf: &[u8]) -> Result<Self, ClusterError> {
-        Self::from_payload(deframe(buf)?)
+        Ok(Self::decode_traced(buf)?.0)
+    }
+
+    /// [`Request::decode`] that also surfaces the frame's trace-context
+    /// extension (`None` for v1 frames and untraced v2 frames).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Request::decode`].
+    pub fn decode_traced(buf: &[u8]) -> Result<(Self, Option<WireTrace>), ClusterError> {
+        let (trace, payload) = deframe(buf)?;
+        Ok((Self::from_payload(payload)?, trace))
     }
 
     fn from_payload(payload: &[u8]) -> Result<Self, ClusterError> {
@@ -470,6 +672,7 @@ impl Request {
                 }
             }
             TAG_STAT => Request::Stat { id: r.block_id()? },
+            TAG_STATS => Request::Stats,
             tag => {
                 return Err(ClusterError::Protocol {
                     reason: format!("unknown request tag 0x{tag:02x}"),
@@ -487,7 +690,21 @@ impl Request {
 ///
 /// Propagates I/O failures.
 pub fn write_request(w: &mut impl Write, req: &Request) -> Result<usize, ClusterError> {
-    let bytes = req.encode();
+    write_request_traced(w, req, None)
+}
+
+/// [`write_request`] stamping the frame with a trace-context extension
+/// when `trace` is given (the frame then uses the v2 layout).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_request_traced(
+    w: &mut impl Write,
+    req: &Request,
+    trace: Option<WireTrace>,
+) -> Result<usize, ClusterError> {
+    let bytes = req.encode_traced(trace);
     w.write_all(&bytes)?;
     w.flush()?;
     Ok(bytes.len())
@@ -501,12 +718,26 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> Result<usize, Cluster
 /// Returns [`ClusterError::Protocol`] on malformed frames and
 /// [`ClusterError::Io`] on socket failures (including read timeouts).
 pub fn read_request(r: &mut impl Read) -> Result<Option<(Request, usize)>, ClusterError> {
-    match read_frame(r)? {
+    Ok(read_request_traced(r)?.map(|(req, wire, _)| (req, wire)))
+}
+
+/// [`read_request`] that also surfaces the frame's trace-context
+/// extension, so a server can adopt the caller's trace.
+///
+/// # Errors
+///
+/// As for [`read_request`].
+pub fn read_request_traced(
+    r: &mut impl Read,
+) -> Result<Option<(Request, usize, Option<WireTrace>)>, ClusterError> {
+    let mut payload = Vec::new();
+    match read_frame_into(r, &mut payload)? {
         None => Ok(None),
-        Some(payload) => {
-            let wire = frame_bytes(payload.len());
-            Ok(Some((Request::from_payload(&payload)?, wire)))
-        }
+        Some(meta) => Ok(Some((
+            Request::from_payload(&payload[..meta.len])?,
+            meta.wire,
+            meta.trace,
+        ))),
     }
 }
 
@@ -530,7 +761,9 @@ impl Response {
                 put_str(&mut p, msg);
             }
         }
-        frame(&p)
+        // Responses never carry the trace extension: the client already
+        // holds the context, so echoing it back would be dead weight.
+        frame(&p, None)
     }
 
     /// Decodes exactly one framed response from `buf`.
@@ -540,7 +773,7 @@ impl Response {
     /// Returns [`ClusterError::Protocol`] on any framing or payload
     /// violation.
     pub fn decode(buf: &[u8]) -> Result<Self, ClusterError> {
-        Self::from_payload(deframe(buf)?)
+        Self::from_payload(deframe(buf)?.1)
     }
 
     fn from_payload(payload: &[u8]) -> Result<Self, ClusterError> {
@@ -597,13 +830,145 @@ pub fn read_response_into(
     r: &mut impl Read,
     scratch: &mut Vec<u8>,
 ) -> Result<Option<(Response, usize)>, ClusterError> {
+    Ok(read_response_timed(r, scratch)?.map(|(resp, wire, _)| (resp, wire)))
+}
+
+/// [`read_response_into`] that also reports the wait/receive split of the
+/// read ([`RecvTiming`]) — the raw material for the client's per-phase
+/// latency histograms. The timings are zero when telemetry is compiled
+/// out.
+///
+/// # Errors
+///
+/// As for [`read_response`].
+pub fn read_response_timed(
+    r: &mut impl Read,
+    scratch: &mut Vec<u8>,
+) -> Result<Option<(Response, usize, RecvTiming)>, ClusterError> {
     match read_frame_into(r, scratch)? {
         None => Ok(None),
-        Some(len) => {
-            let wire = frame_bytes(len);
-            Ok(Some((Response::from_payload(&scratch[..len])?, wire)))
+        Some(meta) => Ok(Some((
+            Response::from_payload(&scratch[..meta.len])?,
+            meta.wire,
+            meta.timing,
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stats snapshots on the wire.
+// ---------------------------------------------------------------------
+
+/// Upper bound on entries per section of a stats snapshot — far above
+/// any real registry, small enough to reject allocation-bomb counts.
+const MAX_STATS_ENTRIES: usize = 1 << 20;
+
+/// Serializes a telemetry registry snapshot as the [`Response::Data`]
+/// payload answering [`Request::Stats`]: three length-prefixed sections
+/// (counters, gauges, histograms), entries as length-prefixed names plus
+/// little-endian values; histograms ship `count/sum/min/max` and their
+/// sparse `(bucket index, count)` pairs so the scraper can merge nodes
+/// bucket-wise without losing tail resolution.
+pub fn encode_stats(snap: &telemetry::Snapshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, snap.counters.len() as u32);
+    for (name, v) in &snap.counters {
+        put_str(&mut out, name);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    put_u32(&mut out, snap.gauges.len() as u32);
+    for (name, v) in &snap.gauges {
+        put_str(&mut out, name);
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    put_u32(&mut out, snap.histograms.len() as u32);
+    for (name, h) in &snap.histograms {
+        put_str(&mut out, name);
+        for v in [h.count, h.sum, h.min, h.max] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        put_u32(&mut out, h.buckets.len() as u32);
+        for &(i, c) in &h.buckets {
+            put_u32(&mut out, i);
+            out.extend_from_slice(&c.to_le_bytes());
         }
     }
+    out
+}
+
+/// Decodes an [`encode_stats`] payload back into a snapshot.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Protocol`] on truncation, trailing bytes,
+/// absurd entry counts, or histogram buckets that are out of range or
+/// not strictly ascending (the invariants the merge path relies on).
+pub fn decode_stats(buf: &[u8]) -> Result<telemetry::Snapshot, ClusterError> {
+    let section = |r: &mut Reader<'_>, what: &str| -> Result<usize, ClusterError> {
+        let n = r.u32()? as usize;
+        if n > MAX_STATS_ENTRIES {
+            return Err(ClusterError::Protocol {
+                reason: format!("stats snapshot claims {n} {what}"),
+            });
+        }
+        Ok(n)
+    };
+    let mut r = Reader::new(buf);
+    let mut counters = Vec::new();
+    for _ in 0..section(&mut r, "counters")? {
+        let name = r.str()?;
+        let v = r.u64()?;
+        counters.push((name, v));
+    }
+    let mut gauges = Vec::new();
+    for _ in 0..section(&mut r, "gauges")? {
+        let name = r.str()?;
+        let v = r.u64()? as i64;
+        gauges.push((name, v));
+    }
+    let mut histograms = Vec::new();
+    for _ in 0..section(&mut r, "histograms")? {
+        let name = r.str()?;
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let min = r.u64()?;
+        let max = r.u64()?;
+        let nb = r.u32()? as usize;
+        if nb > telemetry::snapshot::BUCKETS {
+            return Err(ClusterError::Protocol {
+                reason: format!("stats histogram {name:?} claims {nb} buckets"),
+            });
+        }
+        let mut buckets = Vec::with_capacity(nb);
+        let mut prev: Option<u32> = None;
+        for _ in 0..nb {
+            let i = r.u32()?;
+            let c = r.u64()?;
+            if i as usize >= telemetry::snapshot::BUCKETS || prev.is_some_and(|p| i <= p) {
+                return Err(ClusterError::Protocol {
+                    reason: format!("stats histogram {name:?} has bad bucket index {i}"),
+                });
+            }
+            prev = Some(i);
+            buckets.push((i, c));
+        }
+        histograms.push((
+            name,
+            telemetry::HistogramSnapshot {
+                count,
+                sum,
+                min,
+                max,
+                buckets,
+            },
+        ));
+    }
+    r.finish()?;
+    Ok(telemetry::Snapshot {
+        counters,
+        gauges,
+        histograms,
+    })
 }
 
 #[cfg(test)]
@@ -639,6 +1004,7 @@ mod tests {
                 coeffs: vec![1, 2, 3, 4, 5, 6],
             },
             Request::Stat { id: id("s", 0, 0) },
+            Request::Stats,
         ]
     }
 
@@ -706,7 +1072,7 @@ mod tests {
     #[test]
     fn version_and_magic_are_enforced() {
         let mut bytes = Request::Ping.encode();
-        bytes[4] = 2; // future version
+        bytes[4] = 3; // future version beyond both supported layouts
         match Request::decode(&bytes) {
             Err(ClusterError::Protocol { reason }) => assert!(reason.contains("version")),
             other => panic!("expected protocol error, got {other:?}"),
@@ -714,6 +1080,137 @@ mod tests {
         let mut bytes = Request::Ping.encode();
         bytes[0] = b'X';
         assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn v1_frames_without_trace_extension_still_accepted() {
+        // Untraced encodes stay on the v1 layout — byte-identical to what
+        // a pre-trace peer emits — and decode with no trace attached.
+        let req = Request::GetUnits {
+            id: id("old.bin", 4, 1),
+            sub: 6,
+            units: vec![1, 3],
+        };
+        let bytes = req.encode();
+        assert_eq!(bytes[4], VERSION, "untraced frames keep the v1 layout");
+        assert_eq!(bytes.len(), frame_bytes(bytes.len() - FRAME_OVERHEAD));
+        let (got, trace) = Request::decode_traced(&bytes).unwrap();
+        assert_eq!(got, req);
+        assert_eq!(trace, None);
+        let mut cursor = &bytes[..];
+        let (got, wire, trace) = read_request_traced(&mut cursor).unwrap().unwrap();
+        assert_eq!(got, req);
+        assert_eq!(wire, bytes.len());
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn traced_frames_use_v2_and_roundtrip() {
+        let req = Request::GetBlock { id: id("t", 9, 2) };
+        let wt = WireTrace {
+            trace: 0x1122_3344_5566_7788,
+            span: 42,
+        };
+        let bytes = req.encode_traced(Some(wt));
+        assert_eq!(bytes[4], TRACED_VERSION);
+        assert_eq!(
+            bytes.len(),
+            req.encode().len() + 1 + TRACE_EXT_BYTES,
+            "the extension costs exactly flags + 16 bytes"
+        );
+        let (got, trace) = Request::decode_traced(&bytes).unwrap();
+        assert_eq!(got, req);
+        assert_eq!(trace, Some(wt));
+        // The plain decoder accepts the frame too, dropping the trace.
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+        // Stream adapter agrees, and accounts the extension in wire bytes.
+        let mut cursor = &bytes[..];
+        let (got, wire, trace) = read_request_traced(&mut cursor).unwrap().unwrap();
+        assert_eq!(got, req);
+        assert_eq!(wire, bytes.len());
+        assert_eq!(trace, Some(wt));
+        // Unknown flag bits are rejected, not silently skipped: a future
+        // extension could change the layout after the flags byte.
+        let mut bad = bytes.clone();
+        bad[5] |= 0x02;
+        match Request::decode(&bad) {
+            Err(ClusterError::Protocol { reason }) => assert!(reason.contains("flags")),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        // A v2 frame with no flags set parses as untraced.
+        let p = vec![0x01u8]; // TAG_PING
+        let mut v2_plain = Vec::new();
+        v2_plain.extend_from_slice(&MAGIC);
+        v2_plain.push(TRACED_VERSION);
+        v2_plain.push(0);
+        v2_plain.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        v2_plain.extend_from_slice(&p);
+        v2_plain.extend_from_slice(&crc32(&p).to_le_bytes());
+        let (got, trace) = Request::decode_traced(&v2_plain).unwrap();
+        assert_eq!(got, Request::Ping);
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrips_and_rejects_hostile_buckets() {
+        let snap = telemetry::Snapshot {
+            counters: vec![("node.rx".into(), 123), ("node.tx".into(), u64::MAX)],
+            gauges: vec![("inflight".into(), -7)],
+            histograms: vec![
+                ("empty_us".into(), telemetry::HistogramSnapshot::new()),
+                (
+                    "lat_us".into(),
+                    telemetry::HistogramSnapshot {
+                        count: 3,
+                        sum: 2100,
+                        min: 100,
+                        max: 1100,
+                        buckets: vec![(98, 2), (160, 1)],
+                    },
+                ),
+            ],
+        };
+        let bytes = encode_stats(&snap);
+        assert_eq!(decode_stats(&bytes).unwrap(), snap);
+        // Over the wire as a full exchange.
+        let resp = Response::Data(bytes.clone());
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Data(d) => assert_eq!(decode_stats(&d).unwrap(), snap),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Truncation anywhere is an error, not a partial snapshot.
+        for cut in 0..bytes.len() {
+            assert!(decode_stats(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // Bucket indices beyond the scheme or out of order are rejected.
+        let bogus = telemetry::Snapshot {
+            histograms: vec![(
+                "h".into(),
+                telemetry::HistogramSnapshot {
+                    count: 1,
+                    sum: 1,
+                    min: 1,
+                    max: 1,
+                    buckets: vec![(telemetry::snapshot::BUCKETS as u32, 1)],
+                },
+            )],
+            ..Default::default()
+        };
+        assert!(decode_stats(&encode_stats(&bogus)).is_err());
+        let unsorted = telemetry::Snapshot {
+            histograms: vec![(
+                "h".into(),
+                telemetry::HistogramSnapshot {
+                    count: 2,
+                    sum: 2,
+                    min: 1,
+                    max: 1,
+                    buckets: vec![(5, 1), (5, 1)],
+                },
+            )],
+            ..Default::default()
+        };
+        assert!(decode_stats(&encode_stats(&unsorted)).is_err());
     }
 
     #[test]
@@ -790,6 +1287,45 @@ mod tests {
             // Any single-byte flip lands in the magic/version (explicitly
             // checked), the length (breaks the frame-size equation), or the
             // checksummed payload/CRC — never a silently different message.
+            match Request::decode(&bytes) {
+                Err(_) => {}
+                Ok(decoded) => prop_assert_eq!(decoded, req, "corruption changed the message"),
+            }
+        }
+
+        #[test]
+        fn prop_trace_ctx_roundtrips_through_extended_header(
+            trace in proptest::prelude::any::<u64>(),
+            span in proptest::prelude::any::<u64>(),
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..512),
+        ) {
+            let wt = WireTrace { trace: trace.max(1), span };
+            let req = Request::PutBlock { id: id("tr", 1, 0), data };
+            let bytes = req.encode_traced(Some(wt));
+            let (got, got_trace) = Request::decode_traced(&bytes).unwrap();
+            prop_assert_eq!(&got, &req);
+            prop_assert_eq!(got_trace, Some(wt));
+            let mut cursor = &bytes[..];
+            let (got, wire, got_trace) = read_request_traced(&mut cursor).unwrap().unwrap();
+            prop_assert_eq!(got, req);
+            prop_assert_eq!(wire, bytes.len());
+            prop_assert_eq!(got_trace, Some(wt));
+        }
+
+        #[test]
+        fn prop_single_byte_corruption_rejected_traced(
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 1..256),
+            pos_frac in 0.0f64..1.0,
+            flip in 1u8..=255,
+        ) {
+            let req = Request::PutBlock { id: id("c", 3, 1), data };
+            let wt = WireTrace { trace: 0xABCD_EF01_2345_6789, span: 5 };
+            let mut bytes = req.encode_traced(Some(wt));
+            let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+            bytes[pos] ^= flip;
+            // The trace extension sits outside the CRC, so a flip there may
+            // relabel the trace — but the *message* is still protected: it
+            // either fails to decode or decodes identically.
             match Request::decode(&bytes) {
                 Err(_) => {}
                 Ok(decoded) => prop_assert_eq!(decoded, req, "corruption changed the message"),

@@ -185,6 +185,38 @@ impl Histogram {
         }
     }
 
+    /// Folds a [`HistogramSnapshot`] into this live histogram bucket-wise.
+    ///
+    /// Counts land in the exact buckets they came from, so merging remote
+    /// snapshots (e.g. several nodes' `Stats` replies) into one histogram
+    /// keeps the same ≤ 1/16 relative quantile error as recording locally
+    /// — p99 resolution survives aggregation. Bucket indices outside the
+    /// scheme are ignored rather than trusted.
+    pub fn merge_from(&self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        let mut sum = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = sum.saturating_add(snap.sum);
+            match self
+                .sum
+                .compare_exchange_weak(sum, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => sum = seen,
+            }
+        }
+        self.min.fetch_min(snap.min, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+        for &(i, c) in &snap.buckets {
+            if let Some(b) = self.buckets.get(i as usize) {
+                b.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Clears all samples.
     pub fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);

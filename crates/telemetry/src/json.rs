@@ -121,6 +121,244 @@ pub fn u64_pairs(pairs: &[(u64, u64)]) -> String {
     out
 }
 
+/// A recursive-descent JSON syntax checker for the writer half above:
+/// validates one complete value (RFC 8259 grammar) and extracts top-level
+/// string fields, so the JSONL schema smoke check in `scripts/check.sh`
+/// needs no external parser.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos -= usize::from(self.pos > 0);
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    /// Parses a string token, returning its unescaped content.
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| self.err("bad \\u escape"))?;
+                        self.pos += 4;
+                        // Surrogates are accepted but replaced: the writer
+                        // above never emits them.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control char in string")),
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so the
+                    // sequence is valid; copy it through.
+                    let start = self.pos - 1;
+                    while matches!(self.peek(), Some(c) if c & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected fraction digit"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected exponent digit"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.object(|_, _| {})?;
+                Ok(())
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.value()?;
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(()),
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(_) => self.number(),
+            None => Err(self.err("expected value")),
+        }
+    }
+
+    /// Parses an object, handing each `(key, value_text_start)` member to
+    /// `on_member` after the key is read and before the value is parsed.
+    fn object(&mut self, mut on_member: impl FnMut(&str, usize)) -> Result<(), String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            on_member(&key, self.pos);
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing garbage"))
+        }
+    }
+}
+
+/// Validates that `s` is exactly one syntactically well-formed JSON value.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let mut p = Parser::new(s);
+    p.value()?;
+    p.finish()
+}
+
+/// If `s` is a JSON object whose top-level member `key` is a string,
+/// returns its (unescaped) value. `None` for absent keys, non-string
+/// values, or malformed input — callers wanting a syntax diagnosis run
+/// [`validate`] first.
+pub fn top_level_str(s: &str, key: &str) -> Option<String> {
+    let mut p = Parser::new(s);
+    let mut hits: Vec<usize> = Vec::new();
+    p.object(|k, value_at| {
+        if k == key {
+            hits.push(value_at);
+        }
+    })
+    .ok()?;
+    let at = *hits.first()?;
+    let mut v = Parser::new(s);
+    v.pos = at;
+    v.string().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +398,57 @@ mod tests {
     fn pair_array_encoding() {
         assert_eq!(u64_pairs(&[(1, 2), (3, 4)]), "[[1,2],[3,4]]");
         assert_eq!(u64_pairs(&[]), "[]");
+    }
+
+    #[test]
+    fn validator_accepts_everything_the_writer_emits() {
+        let line = Obj::new()
+            .str("type", "histogram")
+            .str("name", "a \"quoted\"\nname")
+            .u64("count", 42)
+            .i64("delta", -3)
+            .f64("rate", 1.5e-3)
+            .f64("nan", f64::NAN)
+            .raw("buckets", &u64_pairs(&[(16, 2), (17, 1)]))
+            .finish();
+        validate(&line).unwrap();
+        assert_eq!(top_level_str(&line, "type").as_deref(), Some("histogram"));
+        assert_eq!(
+            top_level_str(&line, "name").as_deref(),
+            Some("a \"quoted\"\nname")
+        );
+        // Non-string / absent members yield None, not a panic.
+        assert_eq!(top_level_str(&line, "count"), None);
+        assert_eq!(top_level_str(&line, "missing"), None);
+        // Nested keys are not top-level keys.
+        let nested = r#"{"outer":{"type":"inner"},"type":"real"}"#;
+        validate(nested).unwrap();
+        assert_eq!(top_level_str(nested, "type").as_deref(), Some("real"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}}",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            r#"{"a" 1}"#,
+            r#"{"a":01}"#,
+            r#"{"a":+1}"#,
+            r#"{"a":1.}"#,
+            r#"{"a":"unterminated}"#,
+            r#"{"a":truth}"#,
+            r#"[1,2"#,
+            r#"{"a":1} extra"#,
+            "{\"a\":\"raw\tcontrol\"}",
+        ] {
+            assert!(validate(bad).is_err(), "accepted malformed: {bad:?}");
+        }
+        // Scalars and arrays are valid JSON values in their own right.
+        validate("true").unwrap();
+        validate("-12.5e2").unwrap();
+        validate(" [1, [2, {\"x\": null}]] ").unwrap();
     }
 }

@@ -10,6 +10,8 @@
 //!   snapshots (relative error ≤ 1/16);
 //! * [`Span`] — RAII wall-clock timers that feed histograms and, when a
 //!   sink is installed, stream span-tree JSON lines;
+//! * [`trace`] — distributed request tracing: process-unique ids and a
+//!   by-value [`trace::TraceCtx`] whose child spans link across the wire;
 //! * [`Registry`] — the process-wide name → metric table; hot paths cache
 //!   the `&'static` handles it returns;
 //! * [`Snapshot`] — a point-in-time copy serializable to JSON-lines by a
@@ -36,6 +38,7 @@
 
 pub mod json;
 pub mod snapshot;
+pub mod trace;
 
 #[cfg(feature = "telemetry")]
 mod enabled;
@@ -78,12 +81,27 @@ mod tests {
         assert_eq!(std::mem::size_of::<Histogram>(), 0);
         assert_eq!(std::mem::size_of::<Span>(), 0);
         assert_eq!(std::mem::size_of::<Registry>(), 0);
+        assert_eq!(std::mem::size_of::<trace::TraceId>(), 0);
+        assert_eq!(std::mem::size_of::<trace::SpanId>(), 0);
+        assert_eq!(std::mem::size_of::<trace::TraceCtx>(), 0);
+        assert_eq!(std::mem::size_of::<trace::TraceSpan>(), 0);
         // And the API is callable with no effect.
         let c = counter("disabled.counter");
         c.add(10);
         assert_eq!(c.get(), 0);
         histogram("disabled.hist").record(5);
         assert!(Registry::global().snapshot().counters.is_empty());
+        // Tracing neither allocates ids nor extends the wire format.
+        let ctx = trace::TraceCtx::root();
+        assert_eq!(ctx.wire(), None, "no-op builds never extend a frame");
+        let sp = ctx.child("disabled.trace_us");
+        assert_eq!(sp.ctx().trace_id().as_u64(), 0);
+        let _ = sp;
+        // Histogram snapshots merge into a no-op histogram silently.
+        let mut donor = HistogramSnapshot::new();
+        donor.count = 3;
+        histogram("disabled.hist").merge_from(&donor);
+        assert_eq!(histogram("disabled.hist").count(), 0);
         assert!(!ENABLED);
     }
 
@@ -207,6 +225,35 @@ mod tests {
             // Merging equals recording the union directly.
             let union = mk(&[1, 2, 3, 500, 77, 77, 77, 77, 77, 77, 77, 77, 77, 77]);
             assert_eq!(a.merge(&c), union);
+        }
+
+        #[test]
+        fn merge_from_matches_snapshot_merge() {
+            let a = Histogram::new();
+            for v in [1u64, 2, 3, 500, 9_000_000] {
+                a.record(v);
+            }
+            let b = Histogram::new();
+            for v in [4u64, 4, 77, 1_000_000_000] {
+                b.record(v);
+            }
+            let expected = a.snapshot().merge(&b.snapshot());
+            a.merge_from(&b.snapshot());
+            assert_eq!(a.snapshot(), expected, "merge_from == snapshot merge");
+            assert_eq!(a.snapshot().p99(), expected.p99());
+            // Hostile bucket indices are dropped, the rest still folds in.
+            let bogus = HistogramSnapshot {
+                count: 1,
+                sum: 5,
+                min: 5,
+                max: 5,
+                buckets: vec![(1_000_000, 1)],
+            };
+            a.merge_from(&bogus);
+            let s = a.snapshot();
+            assert_eq!(s.count, expected.count + 1);
+            let in_buckets: u64 = s.buckets.iter().map(|&(_, c)| c).sum();
+            assert_eq!(in_buckets, expected.count, "out-of-range bucket ignored");
         }
 
         #[test]

@@ -86,6 +86,9 @@ impl Histogram {
     }
     /// Does nothing.
     #[inline(always)]
+    pub fn merge_from(&self, _snap: &HistogramSnapshot) {}
+    /// Does nothing.
+    #[inline(always)]
     pub fn reset(&self) {}
 }
 

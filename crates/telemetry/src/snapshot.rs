@@ -246,6 +246,39 @@ impl Snapshot {
             .collect()
     }
 
+    /// Merges another registry snapshot into this one: counters and
+    /// gauges are summed by name, histograms merged bucket-wise via
+    /// [`HistogramSnapshot::merge`] — so several nodes' `Stats` replies
+    /// aggregate into one cluster-wide view without losing p99
+    /// resolution. Associative and commutative, with [`Snapshot::new`]
+    /// as the identity (up to ordering, which is normalized by name).
+    pub fn merge(&self, other: &Snapshot) -> Snapshot {
+        use std::collections::BTreeMap;
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        for (n, v) in self.counters.iter().chain(&other.counters) {
+            let e = counters.entry(n.clone()).or_insert(0);
+            *e = e.saturating_add(*v);
+        }
+        let mut gauges: BTreeMap<String, i64> = BTreeMap::new();
+        for (n, v) in self.gauges.iter().chain(&other.gauges) {
+            let e = gauges.entry(n.clone()).or_insert(0);
+            *e = e.saturating_add(*v);
+        }
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        for (n, h) in self.histograms.iter().chain(&other.histograms) {
+            let merged = match histograms.get(n.as_str()) {
+                Some(e) => e.merge(h),
+                None => h.clone(),
+            };
+            histograms.insert(n.clone(), merged);
+        }
+        Snapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+        }
+    }
+
     /// Writes the snapshot as JSON-lines: one `meta` line, then one line
     /// per metric. `run` labels the emitting program (e.g. `"fig9"`).
     ///
@@ -313,6 +346,59 @@ mod tests {
             prev = lo;
         }
         assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn registry_snapshots_merge_by_name() {
+        let h = |values: &[u64]| {
+            let mut s = HistogramSnapshot::new();
+            for &v in values {
+                s = s.merge(&HistogramSnapshot {
+                    count: 1,
+                    sum: v,
+                    min: v,
+                    max: v,
+                    buckets: vec![(bucket_index(v) as u32, 1)],
+                });
+            }
+            s
+        };
+        let a = Snapshot {
+            counters: vec![("bytes".into(), 100), ("only.a".into(), 7)],
+            gauges: vec![("inflight".into(), 3)],
+            histograms: vec![("lat_us".into(), h(&[10, 2_000]))],
+        };
+        let b = Snapshot {
+            counters: vec![("bytes".into(), 50)],
+            gauges: vec![("inflight".into(), -1), ("only.b".into(), 4)],
+            histograms: vec![("lat_us".into(), h(&[30_000])), ("other".into(), h(&[1]))],
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.counter("bytes"), Some(150));
+        assert_eq!(m.counter("only.a"), Some(7));
+        assert_eq!(m.gauge("inflight"), Some(2));
+        assert_eq!(m.gauge("only.b"), Some(4));
+        let lat = m.histogram("lat_us").unwrap();
+        assert_eq!(lat.count, 3);
+        assert_eq!(lat.min, 10);
+        assert_eq!(lat.max, 30_000);
+        assert_eq!(m.histogram("other").unwrap().count, 1);
+        // Commutative, and the empty snapshot is the identity (merge
+        // normalizes ordering by name, so direct equality holds).
+        assert_eq!(m, b.merge(&a));
+        assert_eq!(
+            a.merge(&Snapshot::new()),
+            a.merge(&Snapshot::new()).merge(&Snapshot::new())
+        );
+        // min of an all-empty histogram merge stays the identity, not 0.
+        let empty = Snapshot {
+            histograms: vec![("lat_us".into(), HistogramSnapshot::new())],
+            ..Snapshot::new()
+        };
+        assert_eq!(
+            empty.merge(&empty).histogram("lat_us").unwrap().min,
+            u64::MAX
+        );
     }
 
     #[test]

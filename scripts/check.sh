@@ -76,11 +76,17 @@ cargo test --workspace --offline -q
 step "cluster loopback smoke test (telemetry on)"
 cargo test --offline -q --test cluster_loopback
 
-step "kernel bench smoke (telemetry on)"
-cargo run --release --offline -p carousel-bench --bin ext_kernels -- --smoke
+step "kernel bench smoke + JSONL schema check (telemetry on)"
+metrics_on=$(mktemp /tmp/carousel-metrics-on.XXXXXX.jsonl)
+cargo run --release --offline -p carousel-bench --bin ext_kernels -- --smoke --metrics "$metrics_on"
+cargo run --release --offline -p carousel-bench --bin jsonl_check -- "$metrics_on"
+rm -f "$metrics_on"
 
 step "wire-parallelism bench smoke (telemetry on)"
 cargo run --release --offline -p carousel-bench --bin ext_pipeline -- --smoke
+
+step "observability bench smoke (telemetry on)"
+cargo run --release --offline -p carousel-bench --bin ext_observe -- --smoke
 
 if [ "$mode" != "fast" ]; then
   step "cargo test (--no-default-features: telemetry compiled out)"
@@ -89,11 +95,17 @@ if [ "$mode" != "fast" ]; then
   step "cluster loopback smoke test (telemetry off)"
   cargo test --offline -q --no-default-features --test cluster_loopback
 
-  step "kernel bench smoke (telemetry off)"
-  cargo run --release --offline -p carousel-bench --no-default-features --bin ext_kernels -- --smoke
+  step "kernel bench smoke + JSONL schema check (telemetry off)"
+  metrics_off=$(mktemp /tmp/carousel-metrics-off.XXXXXX.jsonl)
+  cargo run --release --offline -p carousel-bench --no-default-features --bin ext_kernels -- --smoke --metrics "$metrics_off"
+  cargo run --release --offline -p carousel-bench --no-default-features --bin jsonl_check -- "$metrics_off"
+  rm -f "$metrics_off"
 
   step "wire-parallelism bench smoke (telemetry off)"
   cargo run --release --offline -p carousel-bench --no-default-features --bin ext_pipeline -- --smoke
+
+  step "observability bench smoke (telemetry off)"
+  cargo run --release --offline -p carousel-bench --no-default-features --bin ext_observe -- --smoke
 fi
 
 step "build ext_cluster (real-TCP experiment binary)"

@@ -14,12 +14,14 @@
 //! carousel-tool serve <store-dir> [--addr HOST:PORT] [--id N]
 //! carousel-tool put <input> <manifest> --nodes addr,addr,... [--code SPEC] [--block-bytes N] [--threads N] [--seed N]
 //! carousel-tool get <manifest> <output> [--file NAME]
+//! carousel-tool stats <addr>
 //! ```
 //!
-//! The last three commands run against a *live* TCP cluster: `serve`
+//! The last four commands run against a *live* TCP cluster: `serve`
 //! starts a foreground datanode, `put` encodes + places + uploads a file
-//! across datanodes and writes a cluster manifest, and `get` reads it
-//! back (degrading transparently if nodes died). `repair` is
+//! across datanodes and writes a cluster manifest, `get` reads it
+//! back (degrading transparently if nodes died), and `stats` scrapes one
+//! node's telemetry registry over the wire. `repair` is
 //! polymorphic: given a block directory it repairs locally, given a
 //! manifest it rebuilds missing blocks over the network.
 
@@ -54,6 +56,7 @@ fn main() -> ExitCode {
             eprintln!("  carousel-tool serve <store-dir> [--addr HOST:PORT] [--id N]");
             eprintln!("  carousel-tool put <input> <manifest> --nodes addr,addr,... [--code SPEC] [--block-bytes N] [--threads N] [--seed N]");
             eprintln!("  carousel-tool get <manifest> <output> [--file NAME]");
+            eprintln!("  carousel-tool stats <addr>");
             ExitCode::FAILURE
         }
     }
@@ -73,6 +76,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve" => serve(&args[1..]),
         "put" => put_cluster(&args[1..]),
         "get" => get_cluster(&args[1..]),
+        "stats" => stats_cluster(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -524,6 +528,59 @@ fn repair_cluster(args: &[String]) -> Result<(), String> {
             "repaired {} block(s) of {name:?}: {} helper payload bytes ({} on the wire)",
             report.blocks_repaired, report.helper_payload_bytes, report.wire_bytes
         );
+    }
+    Ok(())
+}
+
+/// Scrapes one datanode's telemetry registry over the wire
+/// ([`cluster::Request::Stats`]) and prints every metric.
+fn stats_cluster(args: &[String]) -> Result<(), String> {
+    use cluster::protocol;
+    use cluster::{Request, Response};
+
+    let addr = args.first().ok_or("stats: missing <addr>")?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("invalid node address {addr:?}"))?;
+    let timeout = std::time::Duration::from_secs(5);
+    let mut stream = std::net::TcpStream::connect_timeout(&addr, timeout).map_err(err_str)?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    protocol::write_request(&mut stream, &Request::Stats).map_err(err_str)?;
+    let mut scratch = Vec::new();
+    let reply = protocol::read_response_into(&mut stream, &mut scratch)
+        .map_err(err_str)?
+        .ok_or("stats: node closed the connection without replying")?;
+    let snap = match reply.0 {
+        Response::Data(bytes) => protocol::decode_stats(&bytes).map_err(err_str)?,
+        Response::Error(message) => return Err(format!("stats: node error: {message}")),
+        other => return Err(format!("stats: unexpected reply {other:?}")),
+    };
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+        println!("{addr}: no metrics (node built without the telemetry feature?)");
+        return Ok(());
+    }
+    for (name, v) in &snap.counters {
+        println!("counter   {name} = {v}");
+    }
+    for (name, v) in &snap.gauges {
+        println!("gauge     {name} = {v}");
+    }
+    for (name, h) in &snap.histograms {
+        if h.is_empty() {
+            println!("histogram {name}: empty");
+        } else {
+            println!(
+                "histogram {name}: count={} mean={:.1} p50={} p95={} p99={} min={} max={}",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.min,
+                h.max
+            );
+        }
     }
     Ok(())
 }

@@ -3,9 +3,13 @@
 //! (fanned out and pipelined) while another client repairs a second file
 //! — must all see byte-identical data, and every client's wire counters
 //! must account exactly for its own operations (no cross-client or
-//! cross-worker races in the tallies).
+//! cross-worker races in the tallies). With telemetry on, the storm also
+//! runs under a trace-capturing event sink, and the captured span forest
+//! must be properly partitioned: span ids unique, and every span whose
+//! parent was captured belongs to its parent's trace — concurrent
+//! pipelined readers never observe spans from another request's trace.
 
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier, Mutex};
 
 use cluster::testing::LocalCluster;
 use dfs::Placement;
@@ -16,6 +20,31 @@ use workloads::parallel::ParallelCtx;
 
 fn payload(len: usize, salt: usize) -> Vec<u8> {
     (0..len).map(|i| (i * 31 + salt * 7 + 17) as u8).collect()
+}
+
+/// A `Write` sink collecting telemetry event lines into shared memory.
+#[derive(Clone)]
+struct Capture(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for Capture {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Pulls the `"key":<digits>` value out of a raw JSON event line.
+fn num_field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let at = line.find(&tag)? + tag.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
 }
 
 #[test]
@@ -73,6 +102,14 @@ fn concurrent_clients_read_and_repair_consistently() {
         .filter(|row| row.contains(&victim))
         .count();
 
+    // Capture every trace line the storm emits (client op roots,
+    // per-stripe spans, and the datanodes' wire-propagated spans — the
+    // nodes are in-process, so their lines land in the same sink).
+    let capture = Capture(Arc::new(Mutex::new(Vec::new())));
+    if telemetry::ENABLED {
+        telemetry::set_event_sink(capture.clone());
+    }
+
     let start = Barrier::new(READERS + 1);
     let (reader_results, repair_report) = std::thread::scope(|scope| {
         let readers: Vec<_> = (0..READERS)
@@ -118,6 +155,73 @@ fn concurrent_clients_read_and_repair_consistently() {
             repairer.join().unwrap(),
         )
     });
+
+    if telemetry::ENABLED {
+        // Let the datanodes' request spans (which close just after the
+        // last response is written) drain into the sink.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        telemetry::clear_event_sink();
+        let text = String::from_utf8(capture.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("\"type\":\"trace\""))
+            .collect();
+
+        // Span ids are globally unique, and every captured span maps to
+        // exactly one trace.
+        let mut span_trace = std::collections::HashMap::new();
+        for line in &lines {
+            let trace = num_field(line, "trace").expect("trace id");
+            let span = num_field(line, "span").expect("span id");
+            assert!(
+                span_trace.insert(span, trace).is_none(),
+                "span id {span} emitted twice"
+            );
+        }
+        // Trace isolation under concurrency: a span's parent, wherever it
+        // was captured, belongs to the *same* trace — no reader's spans
+        // ever link into another request's trace. (Parents emitted after
+        // the sink closed are simply absent, which is fine.)
+        for line in &lines {
+            let trace = num_field(line, "trace").unwrap();
+            if let Some(parent) = num_field(line, "parent") {
+                if let Some(&parent_trace) = span_trace.get(&parent) {
+                    assert_eq!(
+                        parent_trace,
+                        trace,
+                        "span {} links into a foreign trace",
+                        num_field(line, "span").unwrap()
+                    );
+                }
+            }
+        }
+        // Every one of the readers' gets (and the repair) rooted its own
+        // distinct trace.
+        let get_roots: std::collections::HashSet<u64> = lines
+            .iter()
+            .filter(|l| l.contains("\"name\":\"cluster.op.get_us\""))
+            .map(|l| num_field(l, "trace").unwrap())
+            .collect();
+        assert_eq!(
+            get_roots.len(),
+            READERS * READS_EACH,
+            "expected one distinct trace per concurrent get"
+        );
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"name\":\"cluster.op.repair_us\""))
+                .count(),
+            1
+        );
+        // The wire propagated: server-side spans joined client traces.
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"name\":\"cluster.node.request_us\"")),
+            "no datanode span captured"
+        );
+    }
 
     // Per-client accounting is exact: the sum of before/after deltas of a
     // client's own operations equals its final counters — workers folding
