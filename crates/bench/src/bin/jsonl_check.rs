@@ -21,6 +21,7 @@ const KNOWN_TYPES: &[&str] = &[
     "counter",
     "gauge",
     "histogram",
+    "repair",
     "span",
     "sim",
     "trace",

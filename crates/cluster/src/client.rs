@@ -58,6 +58,7 @@ use workloads::parallel::{self, ParallelCtx};
 use crate::coordinator::{Coordinator, FilePlacement};
 use crate::error::ClusterError;
 use crate::protocol::{self, BlockId, Request, Response};
+use crate::repair::{FanInGate, RepairStatusReport};
 
 static CLIENT_TX: LazyLock<&'static telemetry::Counter> =
     LazyLock::new(|| telemetry::counter("cluster.client.tx_bytes"));
@@ -101,7 +102,8 @@ const PLAN_CACHE_CAPACITY: usize = 64;
 /// Default bound on stripes in flight in the get/put pipelines.
 const DEFAULT_PIPELINE_DEPTH: usize = 2;
 
-/// What a [`ClusterClient::repair_file`] pass did.
+/// What a [`ClusterClient::repair_file`] (or single
+/// [`ClusterClient::repair_stripe`]) pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RepairReport {
     /// Blocks reconstructed and re-stored.
@@ -111,6 +113,14 @@ pub struct RepairReport {
     pub helper_payload_bytes: u64,
     /// Total bytes received from helpers including protocol framing.
     pub wire_bytes: u64,
+}
+
+impl AddAssign for RepairReport {
+    fn add_assign(&mut self, rhs: RepairReport) {
+        self.blocks_repaired += rhs.blocks_repaired;
+        self.helper_payload_bytes += rhs.helper_payload_bytes;
+        self.wire_bytes += rhs.wire_bytes;
+    }
 }
 
 /// Wire bytes one worker moved: its private slice of the client's tx/rx
@@ -306,6 +316,9 @@ struct StripeSource<'a> {
     /// Trace context stamped on every wire request this source issues, so
     /// the serving nodes' spans land in the caller's trace.
     trace: telemetry::trace::TraceCtx,
+    /// Per-node fan-in cap applied to helper repair reads (the repair
+    /// scheduler's throttle); `None` for foreground traffic.
+    gate: Option<&'a FanInGate>,
     /// Wire bytes this source moved, folded into the client afterwards.
     tally: Tally,
 }
@@ -385,6 +398,20 @@ impl BlockSource for StripeSource<'_> {
             .iter()
             .map(|r| (self.row[r.node()], self.wire_request(r)))
             .collect();
+        // A gated repair batch takes one permit per helper node (all or
+        // nothing, so two workers can't deadlock on overlapping helper
+        // sets) before any wire traffic; foreground reads never wait here.
+        let _permit = self
+            .gate
+            .filter(|_| {
+                requests
+                    .iter()
+                    .any(|r| matches!(r, BatchRequest::Repair { .. }))
+            })
+            .map(|gate| {
+                let nodes: Vec<usize> = wire.iter().map(|&(node, _)| node).collect();
+                gate.acquire(&nodes)
+            });
         let link = self.link;
         let trace = self.trace;
         let results = self.ctx.run(wire.len(), |i| {
@@ -414,6 +441,9 @@ pub struct ClusterClient {
     /// Stripes kept in flight by the get/put pipelines (`0` = no
     /// pipelining, everything inline).
     pipeline_depth: usize,
+    /// Shared per-node fan-in cap applied to this client's helper repair
+    /// reads; set by the repair scheduler on its worker clients.
+    repair_gate: Option<Arc<FanInGate>>,
     tx_bytes: u64,
     rx_bytes: u64,
 }
@@ -432,6 +462,7 @@ impl ClusterClient {
             max_replans: access::DEFAULT_MAX_REPLANS,
             ctx: ParallelCtx::default(),
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            repair_gate: None,
             tx_bytes: 0,
             rx_bytes: 0,
         }
@@ -468,6 +499,16 @@ impl ClusterClient {
     #[must_use]
     pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
         self.pipeline_depth = depth;
+        self
+    }
+
+    /// Caps this client's concurrent helper repair reads per datanode.
+    /// The gate is shared: the repair scheduler hands every worker client
+    /// the same [`FanInGate`] so the cap holds across the whole pool.
+    /// Foreground reads (`get_file`) are never gated.
+    #[must_use]
+    pub fn with_repair_gate(mut self, gate: Arc<FanInGate>) -> Self {
+        self.repair_gate = Some(gate);
         self
     }
 
@@ -659,6 +700,7 @@ impl ClusterClient {
                 w,
                 present: None,
                 trace: span.ctx(),
+                gate: None,
                 tally: Tally::default(),
             };
             let fetched = executor
@@ -772,6 +814,50 @@ impl ClusterClient {
             .coord
             .file(name)
             .ok_or_else(|| ClusterError::UnknownFile { name: name.into() })?;
+        let op = telemetry::trace::TraceCtx::root().child("cluster.op.repair_us");
+        let mut report = RepairReport::default();
+        for s in 0..fp.stripes {
+            report += self.repair_stripe_traced(name, s, op.ctx())?;
+        }
+        Ok(report)
+    }
+
+    /// Repairs one stripe of `name`: probes presence, rebuilds every
+    /// missing block through the code's repair plan, re-homes onto the
+    /// original node or a spare, and commits the placement update. This is
+    /// the unit of work the background repair scheduler dispatches; the
+    /// placement is re-read from the coordinator on every call, so a
+    /// stripe re-homed by an earlier repair serves as a helper here.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterClient::repair_file`], plus [`ClusterError::Protocol`]
+    /// for an out-of-range stripe index.
+    pub fn repair_stripe(
+        &mut self,
+        name: &str,
+        stripe: usize,
+    ) -> Result<RepairReport, ClusterError> {
+        let op = telemetry::trace::TraceCtx::root().child("cluster.op.repair_stripe_us");
+        self.repair_stripe_traced(name, stripe, op.ctx())
+    }
+
+    fn repair_stripe_traced(
+        &mut self,
+        name: &str,
+        s: usize,
+        op_ctx: telemetry::trace::TraceCtx,
+    ) -> Result<RepairReport, ClusterError> {
+        let fp = self
+            .link
+            .coord
+            .file(name)
+            .ok_or_else(|| ClusterError::UnknownFile { name: name.into() })?;
+        let Some(row) = fp.nodes.get(s) else {
+            return Err(ClusterError::Protocol {
+                reason: format!("file {name:?} has {} stripes, no stripe {s}", fp.stripes),
+            });
+        };
         let code = fp.spec.build()?;
         let sub = code.linear().sub();
         let w = fp.block_bytes / sub;
@@ -779,96 +865,92 @@ impl ClusterClient {
         let executor = PlanExecutor::new(&self.plans).with_max_replans(self.max_replans);
         let mut report = RepairReport::default();
         let mut tally = Tally::default();
-        let op = telemetry::trace::TraceCtx::root().child("cluster.op.repair_us");
-        let op_ctx = op.ctx();
-        let mut run = || -> Result<(), ClusterError> {
+        // Keep a local copy so a block re-homed mid-stripe can serve as a
+        // helper for the stripe's next missing block.
+        let mut row = row.clone();
+        let outcome = (|| -> Result<(), ClusterError> {
             let link = &self.link;
-            for (s, row) in fp.nodes.iter().enumerate() {
-                // Keep a local copy so a block re-homed during this
-                // stripe's repair can serve as a helper for the next one.
-                let mut row = row.clone();
-                // Probe which roles are actually present (node up AND
-                // block stored uncorrupted), all roles concurrently.
-                let probes = self.ctx.run(row.len(), |role| {
-                    let node = row[role];
-                    if !link.coord.is_alive(node) {
-                        return (false, Tally::default());
-                    }
-                    let request = Request::Stat {
-                        id: block_id(name, s, role),
-                    };
-                    match link.call(node, &request, op_ctx) {
-                        Ok((Response::Data(_), t)) => (true, t),
-                        Ok((_, t)) => (false, t),
-                        Err(_) => (false, Tally::default()),
-                    }
-                });
-                let mut present = Vec::new();
-                let mut missing = Vec::new();
-                for (role, (ok, t)) in probes.into_iter().enumerate() {
-                    tally += t;
-                    if ok {
-                        present.push(role);
-                    } else {
-                        missing.push(role);
-                    }
+            // Probe which roles are actually present (node up AND block
+            // stored uncorrupted), all roles concurrently.
+            let probes = self.ctx.run(row.len(), |role| {
+                let node = row[role];
+                if !link.coord.is_alive(node) {
+                    return (false, Tally::default());
                 }
-                for failed in missing {
-                    let mut source = StripeSource {
-                        link,
-                        ctx: &self.ctx,
-                        name,
-                        stripe: s,
-                        row: &row,
-                        sub,
-                        w,
-                        present: Some(&present),
-                        trace: op_ctx,
-                        tally: Tally::default(),
-                    };
-                    let outcome = executor
-                        .repair_block(&code, failed, &mut source)
-                        .map_err(|e| repair_error(name, s, d, e));
-                    // Helper traffic = everything the repair source
-                    // received, framing included.
-                    report.wire_bytes += source.tally.rx;
-                    tally += source.tally;
-                    let outcome = outcome?;
-                    report.helper_payload_bytes += outcome.payload_bytes as u64;
-                    let target = if link.coord.is_alive(row[failed]) {
-                        row[failed]
-                    } else {
-                        link.coord
-                            .alive_nodes()
-                            .into_iter()
-                            .find(|node| !row.contains(node))
-                            .ok_or_else(|| ClusterError::Unavailable {
-                                reason: format!(
-                                    "stripe {s} of {name:?}: no spare node for block {failed}"
-                                ),
-                            })?
-                    };
-                    let request = Request::PutBlock {
-                        id: block_id(name, s, failed),
-                        data: outcome.block,
-                    };
-                    match link.call(target, &request, op_ctx)? {
-                        (Response::Done, t) => tally += t,
-                        (other, _) => {
-                            return Err(ClusterError::Protocol {
-                                reason: format!("unexpected PutBlock reply: {other:?}"),
-                            });
-                        }
-                    }
-                    link.coord.set_block_node(name, s, failed, target);
-                    row[failed] = target;
-                    present.push(failed);
-                    report.blocks_repaired += 1;
+                let request = Request::Stat {
+                    id: block_id(name, s, role),
+                };
+                match link.call(node, &request, op_ctx) {
+                    Ok((Response::Data(_), t)) => (true, t),
+                    Ok((_, t)) => (false, t),
+                    Err(_) => (false, Tally::default()),
+                }
+            });
+            let mut present = Vec::new();
+            let mut missing = Vec::new();
+            for (role, (ok, t)) in probes.into_iter().enumerate() {
+                tally += t;
+                if ok {
+                    present.push(role);
+                } else {
+                    missing.push(role);
                 }
             }
+            for failed in missing {
+                let mut source = StripeSource {
+                    link,
+                    ctx: &self.ctx,
+                    name,
+                    stripe: s,
+                    row: &row,
+                    sub,
+                    w,
+                    present: Some(&present),
+                    trace: op_ctx,
+                    gate: self.repair_gate.as_deref(),
+                    tally: Tally::default(),
+                };
+                let outcome = executor
+                    .repair_block(&code, failed, &mut source)
+                    .map_err(|e| repair_error(name, s, d, e));
+                // Helper traffic = everything the repair source received,
+                // framing included.
+                report.wire_bytes += source.tally.rx;
+                tally += source.tally;
+                let outcome = outcome?;
+                report.helper_payload_bytes += outcome.payload_bytes as u64;
+                let target = if link.coord.is_alive(row[failed]) {
+                    row[failed]
+                } else {
+                    link.coord
+                        .alive_nodes()
+                        .into_iter()
+                        .find(|node| !row.contains(node))
+                        .ok_or_else(|| ClusterError::Unavailable {
+                            reason: format!(
+                                "stripe {s} of {name:?}: no spare node for block {failed}"
+                            ),
+                        })?
+                };
+                let request = Request::PutBlock {
+                    id: block_id(name, s, failed),
+                    data: outcome.block,
+                };
+                match link.call(target, &request, op_ctx)? {
+                    (Response::Done, t) => tally += t,
+                    (other, _) => {
+                        return Err(ClusterError::Protocol {
+                            reason: format!("unexpected PutBlock reply: {other:?}"),
+                        });
+                    }
+                }
+                link.coord.set_block_node(name, s, failed, target);
+                row[failed] = target;
+                present.push(failed);
+                report.blocks_repaired += 1;
+            }
             Ok(())
-        };
-        let outcome = run();
+        })();
         self.fold(tally);
         outcome?;
         if telemetry::ENABLED {
@@ -895,6 +977,27 @@ impl ClusterClient {
             Response::Error(message) => Err(ClusterError::Remote { message }),
             other => Err(ClusterError::Protocol {
                 reason: format!("unexpected Stats reply: {other:?}"),
+            }),
+        }
+    }
+
+    /// Asks one datanode for its process's repair-scheduler status board
+    /// via [`Request::RepairStatus`]. Unlike `Stats` this works with the
+    /// `telemetry` feature compiled out — the board is plain atomics.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NodeDown`] for unreachable nodes, or a protocol
+    /// error when the reply cannot be decoded.
+    pub fn repair_status(&mut self, node: usize) -> Result<RepairStatusReport, ClusterError> {
+        let op = telemetry::trace::TraceCtx::root().child("cluster.op.repair_status_us");
+        let (response, tally) = self.link.call(node, &Request::RepairStatus, op.ctx())?;
+        self.fold(tally);
+        match response {
+            Response::Data(bytes) => protocol::decode_repair_status(&bytes),
+            Response::Error(message) => Err(ClusterError::Remote { message }),
+            other => Err(ClusterError::Protocol {
+                reason: format!("unexpected RepairStatus reply: {other:?}"),
             }),
         }
     }
@@ -1031,6 +1134,7 @@ mod tests {
                 w: 120 / sub,
                 present: None,
                 trace: telemetry::trace::TraceCtx::root(),
+                gate: None,
                 tally: Tally::default(),
             }
         }

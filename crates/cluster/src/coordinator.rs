@@ -14,6 +14,7 @@
 //! spawned as separate processes.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::net::SocketAddr;
 use std::path::Path;
 use std::sync::Mutex;
@@ -24,6 +25,24 @@ use filestore::format::CodeSpec;
 use rand::Rng;
 
 use crate::error::ClusterError;
+
+/// One liveness *transition* observed by the coordinator, delivered to
+/// the registered listener (see
+/// [`Coordinator::set_liveness_listener`]). Only genuine edges are
+/// reported: a heartbeat from an already-alive node or a repeat
+/// `mark_dead` of a dead one emits nothing, so a subscriber (the
+/// background repair scheduler) can treat every event as new work or a
+/// cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LivenessEvent {
+    /// A node came (back) up: fresh registration, re-registration after
+    /// death, or a heartbeat reviving an expired node.
+    Up(usize),
+    /// A node went down: client report or heartbeat expiry.
+    Down(usize),
+}
+
+type LivenessListener = Box<dyn Fn(LivenessEvent) + Send + Sync>;
 
 /// One registered datanode.
 #[derive(Debug, Clone)]
@@ -68,9 +87,16 @@ struct State {
 /// The cluster's metadata service. Cheap to share: all methods take
 /// `&self` behind an internal lock, so an `Arc<Coordinator>` serves the
 /// client, the datanodes' heartbeat threads, and tests concurrently.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Coordinator {
     state: Mutex<State>,
+    listener: Mutex<Option<LivenessListener>>,
+}
+
+impl fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Coordinator").finish_non_exhaustive()
+    }
 }
 
 impl Coordinator {
@@ -79,52 +105,110 @@ impl Coordinator {
         Coordinator::default()
     }
 
+    /// Installs the liveness listener, replacing any previous one. The
+    /// listener is invoked *after* the coordinator releases its state
+    /// lock, so it may call back into any coordinator method (and the
+    /// repair scheduler's does).
+    pub fn set_liveness_listener(&self, f: impl Fn(LivenessEvent) + Send + Sync + 'static) {
+        *self.listener.lock().expect("listener lock") = Some(Box::new(f));
+    }
+
+    /// Removes the liveness listener, if any.
+    pub fn clear_liveness_listener(&self) {
+        *self.listener.lock().expect("listener lock") = None;
+    }
+
+    fn notify(&self, events: &[LivenessEvent]) {
+        if events.is_empty() {
+            return;
+        }
+        let guard = self.listener.lock().expect("listener lock");
+        if let Some(listener) = guard.as_ref() {
+            for &ev in events {
+                listener(ev);
+            }
+        }
+    }
+
     /// Registers (or re-registers) a datanode, marking it alive.
     pub fn register(&self, id: usize, addr: SocketAddr) {
-        let mut st = self.state.lock().expect("coordinator lock");
-        st.nodes.insert(
-            id,
-            NodeEntry {
-                info: NodeInfo {
-                    id,
-                    addr,
-                    alive: true,
+        let was_alive = {
+            let mut st = self.state.lock().expect("coordinator lock");
+            let was = st.nodes.get(&id).is_some_and(|e| e.info.alive);
+            st.nodes.insert(
+                id,
+                NodeEntry {
+                    info: NodeInfo {
+                        id,
+                        addr,
+                        alive: true,
+                    },
+                    last_seen: Instant::now(),
                 },
-                last_seen: Instant::now(),
-            },
-        );
+            );
+            was
+        };
+        if !was_alive {
+            self.notify(&[LivenessEvent::Up(id)]);
+        }
     }
 
     /// Records a heartbeat from a node, reviving it if it was marked dead.
     pub fn heartbeat(&self, id: usize) {
-        let mut st = self.state.lock().expect("coordinator lock");
-        if let Some(entry) = st.nodes.get_mut(&id) {
-            entry.last_seen = Instant::now();
-            entry.info.alive = true;
+        let revived = {
+            let mut st = self.state.lock().expect("coordinator lock");
+            match st.nodes.get_mut(&id) {
+                Some(entry) => {
+                    let was = entry.info.alive;
+                    entry.last_seen = Instant::now();
+                    entry.info.alive = true;
+                    !was
+                }
+                None => false,
+            }
+        };
+        if revived {
+            self.notify(&[LivenessEvent::Up(id)]);
         }
     }
 
     /// Marks a node dead (reported by a client that failed to reach it, or
     /// by [`Coordinator::expire_stale`]).
     pub fn mark_dead(&self, id: usize) {
-        let mut st = self.state.lock().expect("coordinator lock");
-        if let Some(entry) = st.nodes.get_mut(&id) {
-            entry.info.alive = false;
+        let died = {
+            let mut st = self.state.lock().expect("coordinator lock");
+            match st.nodes.get_mut(&id) {
+                Some(entry) => {
+                    let was = entry.info.alive;
+                    entry.info.alive = false;
+                    was
+                }
+                None => false,
+            }
+        };
+        if died {
+            self.notify(&[LivenessEvent::Down(id)]);
         }
     }
 
     /// Marks dead every alive node whose last heartbeat is older than
     /// `ttl`, returning the ids it expired.
     pub fn expire_stale(&self, ttl: Duration) -> Vec<usize> {
-        let mut st = self.state.lock().expect("coordinator lock");
-        let now = Instant::now();
-        let mut expired = Vec::new();
-        for entry in st.nodes.values_mut() {
-            if entry.info.alive && now.duration_since(entry.last_seen) > ttl {
-                entry.info.alive = false;
-                expired.push(entry.info.id);
+        let expired = {
+            let mut st = self.state.lock().expect("coordinator lock");
+            let now = Instant::now();
+            let mut expired = Vec::new();
+            for entry in st.nodes.values_mut() {
+                if entry.info.alive && now.duration_since(entry.last_seen) > ttl {
+                    entry.info.alive = false;
+                    expired.push(entry.info.id);
+                }
             }
-        }
+            expired
+        };
+        let events: Vec<LivenessEvent> =
+            expired.iter().map(|&id| LivenessEvent::Down(id)).collect();
+        self.notify(&events);
         expired
     }
 
@@ -240,6 +324,36 @@ impl Coordinator {
                 }
             }
         }
+    }
+
+    /// Every `(file, stripe)` whose placement row contains `node` — the
+    /// stripes a node's death degrades. This is what the repair
+    /// scheduler enumerates into its queue on a `Down` event.
+    pub fn stripes_on(&self, node: usize) -> Vec<(String, usize)> {
+        let st = self.state.lock().expect("coordinator lock");
+        let mut out = Vec::new();
+        for fp in st.files.values() {
+            for (s, row) in fp.nodes.iter().enumerate() {
+                if row.contains(&node) {
+                    out.push((fp.name.clone(), s));
+                }
+            }
+        }
+        out
+    }
+
+    /// How many of a stripe's blocks live on currently-dead nodes — the
+    /// stripe's *erasure count* as far as liveness knows (a wiped disk on
+    /// an alive node is invisible here; the repair worker's presence
+    /// probe is the ground truth). Returns 0 for unknown files/stripes.
+    pub fn stripe_erasures(&self, name: &str, stripe: usize) -> usize {
+        let st = self.state.lock().expect("coordinator lock");
+        let Some(row) = st.files.get(name).and_then(|fp| fp.nodes.get(stripe)) else {
+            return 0;
+        };
+        row.iter()
+            .filter(|id| !st.nodes.get(id).is_some_and(|e| e.info.alive))
+            .count()
     }
 
     /// A snapshot of this process's telemetry registry — what the
@@ -437,6 +551,82 @@ mod tests {
                 &mut rng
             )
             .is_err());
+    }
+
+    #[test]
+    fn liveness_events_fire_only_on_transitions() {
+        use std::sync::Arc;
+
+        let c = Coordinator::new();
+        let events: Arc<Mutex<Vec<LivenessEvent>>> = Arc::default();
+        let sink = Arc::clone(&events);
+        c.set_liveness_listener(move |ev| sink.lock().unwrap().push(ev));
+
+        c.register(0, addr(9300)); // fresh → Up
+        c.register(0, addr(9300)); // already alive → nothing
+        c.heartbeat(0); // already alive → nothing
+        c.mark_dead(0); // alive → dead → Down
+        c.mark_dead(0); // already dead → nothing
+        c.heartbeat(0); // dead → alive → Up
+        c.mark_dead(0);
+        c.register(0, addr(9300)); // re-register after death → Up
+        let _ = c.expire_stale(Duration::from_nanos(0)); // alive → Down
+        assert_eq!(
+            *events.lock().unwrap(),
+            vec![
+                LivenessEvent::Up(0),
+                LivenessEvent::Down(0),
+                LivenessEvent::Up(0),
+                LivenessEvent::Down(0),
+                LivenessEvent::Up(0),
+                LivenessEvent::Down(0),
+            ]
+        );
+        c.clear_liveness_listener();
+        c.heartbeat(0);
+        assert_eq!(events.lock().unwrap().len(), 6, "cleared listener is gone");
+    }
+
+    #[test]
+    fn stripes_on_and_erasure_counts() {
+        let c = Coordinator::new();
+        for i in 0..5 {
+            c.register(i, addr(9400 + i as u16));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let fp = c
+            .place_file(
+                "f",
+                CodeSpec::Rs { n: 4, k: 2 },
+                800,
+                100,
+                3,
+                Placement::Random,
+                &mut rng,
+            )
+            .unwrap();
+        // Pick a node that appears in at least one row.
+        let victim = fp.nodes[0][0];
+        let hosted = c.stripes_on(victim);
+        let expected: Vec<(String, usize)> = fp
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| row.contains(&victim))
+            .map(|(s, _)| ("f".to_string(), s))
+            .collect();
+        assert_eq!(hosted, expected);
+        assert_eq!(c.stripe_erasures("f", 0), 0);
+        c.mark_dead(victim);
+        for &(ref name, s) in &hosted {
+            assert_eq!(c.stripe_erasures(name, s), 1);
+        }
+        // A second failure in the same row upgrades the count.
+        let second = fp.nodes[0].iter().copied().find(|&n| n != victim).unwrap();
+        c.mark_dead(second);
+        assert_eq!(c.stripe_erasures("f", 0), 2);
+        assert_eq!(c.stripe_erasures("missing", 0), 0);
+        assert_eq!(c.stripe_erasures("f", 99), 0);
     }
 
     #[test]

@@ -53,6 +53,16 @@ pub struct DataNodeConfig {
     /// bench sets it to model the network/disk service time of a real
     /// (non-loopback) datanode, which is what concurrent fan-out overlaps.
     pub request_delay: Duration,
+    /// Artificial service *rate* in bytes/sec. When set, the node serves
+    /// requests through a single service unit (one guard shared by all
+    /// connections) and each request additionally holds it for
+    /// `bytes_moved / rate` — so concurrent requests *queue* behind each
+    /// other in proportion to the bytes they move, like a single disk or
+    /// NIC. This is what makes repair traffic visibly interfere with
+    /// foreground reads in `ext_repair_storm`: a code that moves fewer
+    /// repair bytes steals less service time. `None` (the default) keeps
+    /// the fully-parallel `request_delay`-only behavior.
+    pub service_rate: Option<u64>,
 }
 
 impl DataNodeConfig {
@@ -66,6 +76,7 @@ impl DataNodeConfig {
             coordinator: None,
             heartbeat_every: Duration::from_millis(200),
             request_delay: Duration::ZERO,
+            service_rate: None,
         }
     }
 
@@ -83,6 +94,24 @@ impl DataNodeConfig {
         self.request_delay = delay;
         self
     }
+
+    /// Sets an artificial serialized service rate (see
+    /// [`DataNodeConfig::service_rate`]).
+    #[must_use]
+    pub fn with_service_rate(mut self, bytes_per_sec: u64) -> Self {
+        self.service_rate = Some(bytes_per_sec.max(1));
+        self
+    }
+}
+
+/// The node's service-time model, shared by all its connections: the
+/// fixed per-request delay, and — when a rate is set — the single
+/// service unit that serializes byte-proportional service.
+#[derive(Debug, Clone)]
+struct ServiceModel {
+    delay: Duration,
+    rate: Option<u64>,
+    unit: Arc<Mutex<()>>,
 }
 
 /// A running datanode. Dropping the handle does *not* stop the server;
@@ -123,7 +152,11 @@ impl DataNode {
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
             let read_timeout = config.read_timeout;
-            let request_delay = config.request_delay;
+            let model = ServiceModel {
+                delay: config.request_delay,
+                rate: config.service_rate,
+                unit: Arc::new(Mutex::new(())),
+            };
             let node_id = config.id;
             std::thread::Builder::new()
                 .name(format!("datanode-{node_id}-accept"))
@@ -140,9 +173,10 @@ impl DataNode {
                             conns.lock().expect("conn list lock").push(clone);
                         }
                         let store = Arc::clone(&store);
+                        let model = model.clone();
                         let handle = std::thread::Builder::new()
                             .name(format!("datanode-{node_id}-conn"))
-                            .spawn(move || serve_connection(stream, &store, request_delay))
+                            .spawn(move || serve_connection(stream, &store, &model))
                             .expect("spawn connection worker");
                         workers.push(handle);
                         // Reap finished workers so long-lived nodes don't
@@ -212,7 +246,7 @@ impl DataNode {
 }
 
 /// Per-connection request loop.
-fn serve_connection(mut stream: TcpStream, store: &BlockStore, request_delay: Duration) {
+fn serve_connection(mut stream: TcpStream, store: &BlockStore, model: &ServiceModel) {
     loop {
         let (request, rx_bytes, wire_trace) = match protocol::read_request_traced(&mut stream) {
             Ok(Some(triple)) => triple,
@@ -227,11 +261,15 @@ fn serve_connection(mut stream: TcpStream, store: &BlockStore, request_delay: Du
             }
         };
         // Queue wait starts when the frame has fully arrived and ends when
-        // service begins — here that is the artificial request delay, the
-        // stand-in for a real node's request queue.
+        // service begins. Without a rate it is the artificial request
+        // delay; with one it is the wait for the node's single service
+        // unit, i.e. the time spent behind other requests' bytes.
         let queued_at = telemetry::ENABLED.then(std::time::Instant::now);
-        if !request_delay.is_zero() {
-            std::thread::sleep(request_delay);
+        let service_unit = model
+            .rate
+            .map(|_| model.unit.lock().expect("service unit lock"));
+        if model.rate.is_none() && !model.delay.is_zero() {
+            std::thread::sleep(model.delay);
         }
         // Adopt the client's trace (or open a local root for untraced
         // peers): this request span and its queue/service children carry
@@ -246,8 +284,19 @@ fn serve_connection(mut stream: TcpStream, store: &BlockStore, request_delay: Du
         }
         let response = {
             let _service = req_span.ctx().child("cluster.node.service_us");
-            handle(store, request)
+            if model.rate.is_some() && !model.delay.is_zero() {
+                std::thread::sleep(model.delay);
+            }
+            let response = handle(store, request);
+            if let Some(rate) = model.rate {
+                // Hold the service unit for the bytes this request moved
+                // through the node, in and out.
+                let bytes = rx_bytes as u64 + response_payload_bytes(&response);
+                std::thread::sleep(Duration::from_secs_f64(bytes as f64 / rate as f64));
+            }
+            response
         };
+        drop(service_unit);
         if telemetry::ENABLED {
             NODE_REQUESTS.inc();
             NODE_RX.add(rx_bytes as u64);
@@ -339,6 +388,21 @@ fn handle(store: &BlockStore, request: Request) -> Response {
         Request::Stats => Response::Data(protocol::encode_stats(
             &telemetry::Registry::global().snapshot(),
         )),
+        // The process-wide repair scoreboard. Like `Stats`, every node of
+        // the loopback harness answers with the same numbers; a real
+        // deployment would scrape the coordinator's process.
+        Request::RepairStatus => Response::Data(protocol::encode_repair_status(
+            &crate::repair::StatusBoard::global().report(),
+        )),
+    }
+}
+
+/// Payload bytes a response puts on the wire, for the service-rate model.
+fn response_payload_bytes(response: &Response) -> u64 {
+    match response {
+        Response::Data(data) => data.len() as u64,
+        Response::Error(message) => message.len() as u64,
+        _ => 0,
     }
 }
 

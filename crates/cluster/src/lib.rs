@@ -16,7 +16,11 @@
 //! * [`ClusterClient`] — the paper's three read paths (direct `p`-way
 //!   parallel, degraded with mid-read replanning, generic `k`-block
 //!   fallback) plus optimal-traffic repair, with every wire byte
-//!   counted.
+//!   counted;
+//! * [`repair`] — the background repair scheduler: node deaths become a
+//!   priority queue of degraded stripes drained by throttled workers
+//!   (per-node fan-in cap, global bandwidth budget) while foreground
+//!   traffic keeps flowing.
 //!
 //! The crate is std-only, like the rest of the workspace. The
 //! [`testing::LocalCluster`] harness spins up `n` real datanodes on
@@ -56,13 +60,18 @@ mod coordinator;
 mod datanode;
 mod error;
 pub mod protocol;
+pub mod repair;
 mod store;
 pub mod testing;
 
 pub use client::{ClusterClient, NodeStats, RepairReport};
-pub use coordinator::{Coordinator, FilePlacement, NodeInfo};
+pub use coordinator::{Coordinator, FilePlacement, LivenessEvent, NodeInfo};
 pub use datanode::{serve_forever, DataNode, DataNodeConfig};
 pub use error::ClusterError;
 pub use protocol::{BlockId, Request, Response};
+pub use repair::{
+    FanInGate, RateLimiter, RepairConfig, RepairScheduler, RepairStatusReport, SchedulerStatus,
+    StatusBoard,
+};
 pub use store::BlockStore;
 pub use testing::LocalCluster;

@@ -83,6 +83,7 @@ const TAG_GET_UNITS: u8 = 0x04;
 const TAG_REPAIR_READ: u8 = 0x05;
 const TAG_STAT: u8 = 0x06;
 const TAG_STATS: u8 = 0x07;
+const TAG_REPAIR_STATUS: u8 = 0x08;
 const TAG_PONG: u8 = 0x81;
 const TAG_DONE: u8 = 0x82;
 const TAG_DATA: u8 = 0x83;
@@ -228,6 +229,13 @@ pub enum Request {
     /// snapshot. In a build with telemetry compiled out the snapshot is
     /// empty — the zero-cost guarantee extends over the wire.
     Stats,
+    /// Scrape the serving process's background-repair progress board;
+    /// answered with [`Response::Data`] holding an
+    /// [`encode_repair_status`]-serialized
+    /// [`RepairStatusReport`](crate::repair::RepairStatusReport). The
+    /// board is plain atomics, so — unlike [`Request::Stats`] — this
+    /// works with telemetry compiled out.
+    RepairStatus,
 }
 
 /// A datanode → client message.
@@ -595,6 +603,7 @@ impl Request {
                 put_block_id(&mut p, id);
             }
             Request::Stats => p.push(TAG_STATS),
+            Request::RepairStatus => p.push(TAG_REPAIR_STATUS),
         }
         frame(&p, trace)
     }
@@ -673,6 +682,7 @@ impl Request {
             }
             TAG_STAT => Request::Stat { id: r.block_id()? },
             TAG_STATS => Request::Stats,
+            TAG_REPAIR_STATUS => Request::RepairStatus,
             tag => {
                 return Err(ClusterError::Protocol {
                     reason: format!("unknown request tag 0x{tag:02x}"),
@@ -971,6 +981,66 @@ pub fn decode_stats(buf: &[u8]) -> Result<telemetry::Snapshot, ClusterError> {
     })
 }
 
+// ---------------------------------------------------------------------
+// Repair status on the wire.
+// ---------------------------------------------------------------------
+
+/// Version byte of the repair-status payload, bumped if fields change.
+const REPAIR_STATUS_VERSION: u8 = 1;
+
+/// Serializes the repair progress board as the [`Response::Data`] payload
+/// answering [`Request::RepairStatus`]: a version byte followed by ten
+/// little-endian `u64` fields in declaration order.
+pub fn encode_repair_status(report: &crate::repair::RepairStatusReport) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 10 * 8);
+    out.push(REPAIR_STATUS_VERSION);
+    for v in [
+        report.queue_depth,
+        report.in_flight,
+        report.enqueued,
+        report.completed,
+        report.requeued,
+        report.cancelled,
+        report.abandoned,
+        report.blocks_rebuilt,
+        report.helper_bytes,
+        report.wire_bytes,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes an [`encode_repair_status`] payload.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Protocol`] on an unknown version, truncation,
+/// or trailing bytes.
+pub fn decode_repair_status(buf: &[u8]) -> Result<crate::repair::RepairStatusReport, ClusterError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != REPAIR_STATUS_VERSION {
+        return Err(ClusterError::Protocol {
+            reason: format!("unknown repair-status version {version}"),
+        });
+    }
+    let report = crate::repair::RepairStatusReport {
+        queue_depth: r.u64()?,
+        in_flight: r.u64()?,
+        enqueued: r.u64()?,
+        completed: r.u64()?,
+        requeued: r.u64()?,
+        cancelled: r.u64()?,
+        abandoned: r.u64()?,
+        blocks_rebuilt: r.u64()?,
+        helper_bytes: r.u64()?,
+        wire_bytes: r.u64()?,
+    };
+    r.finish()?;
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1005,6 +1075,7 @@ mod tests {
             },
             Request::Stat { id: id("s", 0, 0) },
             Request::Stats,
+            Request::RepairStatus,
         ]
     }
 
@@ -1058,6 +1129,32 @@ mod tests {
         assert!(read_response_into(&mut cursor, &mut scratch)
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn repair_status_roundtrip_and_validation() {
+        let report = crate::repair::RepairStatusReport {
+            queue_depth: 3,
+            in_flight: 2,
+            enqueued: 40,
+            completed: 30,
+            requeued: 7,
+            cancelled: 4,
+            abandoned: 1,
+            blocks_rebuilt: 33,
+            helper_bytes: 123_456,
+            wire_bytes: 130_000,
+        };
+        let bytes = encode_repair_status(&report);
+        assert_eq!(decode_repair_status(&bytes).unwrap(), report);
+        // Unknown version, truncation and trailing bytes are rejected.
+        let mut wrong = bytes.clone();
+        wrong[0] = 99;
+        assert!(decode_repair_status(&wrong).is_err());
+        assert!(decode_repair_status(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_repair_status(&long).is_err());
     }
 
     #[test]

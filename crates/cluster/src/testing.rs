@@ -30,6 +30,7 @@ pub struct LocalCluster {
     roots: Vec<PathBuf>,
     base: PathBuf,
     request_delay: Duration,
+    service_rate: Option<u64>,
 }
 
 impl LocalCluster {
@@ -54,6 +55,24 @@ impl LocalCluster {
     ///
     /// Propagates bind and filesystem failures.
     pub fn start_with_delay(n: usize, request_delay: Duration) -> Result<Self, ClusterError> {
+        Self::start_with_service(n, request_delay, None)
+    }
+
+    /// Like [`LocalCluster::start_with_delay`], but additionally gives
+    /// every datanode a serialized service *rate* in bytes/sec (see
+    /// [`DataNodeConfig::service_rate`]): concurrent requests to one node
+    /// queue behind each other in proportion to the bytes they move, so
+    /// background repair traffic contends with foreground reads the way
+    /// it would on a real disk/NIC. Used by the `ext_repair_storm` bench.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and filesystem failures.
+    pub fn start_with_service(
+        n: usize,
+        request_delay: Duration,
+        service_rate: Option<u64>,
+    ) -> Result<Self, ClusterError> {
         let base = std::env::temp_dir().join(format!(
             "carousel-cluster-{}-{}",
             std::process::id(),
@@ -66,9 +85,10 @@ impl LocalCluster {
         let mut roots = Vec::with_capacity(n);
         for id in 0..n {
             let root = base.join(format!("node{id:02}"));
-            let config = DataNodeConfig::new(id, &root)
+            let mut config = DataNodeConfig::new(id, &root)
                 .with_coordinator(Arc::clone(&coordinator))
                 .with_request_delay(request_delay);
+            config.service_rate = service_rate;
             nodes.push(Some(DataNode::spawn("127.0.0.1:0", config)?));
             roots.push(root);
         }
@@ -78,6 +98,7 @@ impl LocalCluster {
             roots,
             base,
             request_delay,
+            service_rate,
         })
     }
 
@@ -152,9 +173,10 @@ impl LocalCluster {
         if wipe {
             let _ = std::fs::remove_dir_all(&self.roots[id]);
         }
-        let config = DataNodeConfig::new(id, &self.roots[id])
+        let mut config = DataNodeConfig::new(id, &self.roots[id])
             .with_coordinator(Arc::clone(&self.coordinator))
             .with_request_delay(self.request_delay);
+        config.service_rate = self.service_rate;
         self.nodes[id] = Some(DataNode::spawn("127.0.0.1:0", config)?);
         Ok(())
     }

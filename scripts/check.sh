@@ -31,11 +31,14 @@ step "concurrency guard: client-side fan-out goes through workloads::parallel"
 # Wire concurrency on the client/transport side must use the shared
 # ParallelCtx pool (and its pipeline helper), not hand-rolled threads —
 # that is what keeps fan-out width a single knob and tallies race-free.
-# crates/cluster/src/datanode.rs is the one exclusion: a datanode is a
-# *server* and legitimately owns its accept/connection/heartbeat threads.
+# crates/cluster/src/datanode.rs and crates/cluster/src/repair.rs are the
+# two exclusions: a datanode is a *server* and legitimately owns its
+# accept/connection/heartbeat threads, and the background repair
+# scheduler owns its long-lived worker/monitor threads (its *clients*
+# still fan out through ParallelCtx).
 guard_hits=$(grep -rnE "thread::(spawn|scope|Builder)" \
   crates/cluster/src crates/dfs/src crates/filestore/src crates/access/src \
-  | grep -v 'crates/cluster/src/datanode\.rs' || true)
+  | grep -vE 'crates/cluster/src/(datanode|repair)\.rs' || true)
 if [ -n "$guard_hits" ]; then
   printf 'use workloads::parallel (ParallelCtx / pipeline) instead of raw threads:\n%s\n' "$guard_hits" >&2
   exit 1
@@ -88,6 +91,9 @@ cargo run --release --offline -p carousel-bench --bin ext_pipeline -- --smoke
 step "observability bench smoke (telemetry on)"
 cargo run --release --offline -p carousel-bench --bin ext_observe -- --smoke
 
+step "repair-storm bench smoke (telemetry on)"
+cargo run --release --offline -p carousel-bench --bin ext_repair_storm -- --smoke
+
 if [ "$mode" != "fast" ]; then
   step "cargo test (--no-default-features: telemetry compiled out)"
   cargo test --workspace --no-default-features --offline -q
@@ -106,6 +112,9 @@ if [ "$mode" != "fast" ]; then
 
   step "observability bench smoke (telemetry off)"
   cargo run --release --offline -p carousel-bench --no-default-features --bin ext_observe -- --smoke
+
+  step "repair-storm bench smoke (telemetry off)"
+  cargo run --release --offline -p carousel-bench --no-default-features --bin ext_repair_storm -- --smoke
 fi
 
 step "build ext_cluster (real-TCP experiment binary)"

@@ -15,13 +15,16 @@
 //! carousel-tool put <input> <manifest> --nodes addr,addr,... [--code SPEC] [--block-bytes N] [--threads N] [--seed N]
 //! carousel-tool get <manifest> <output> [--file NAME]
 //! carousel-tool stats <addr>
+//! carousel-tool repair-status <addr>
 //! ```
 //!
-//! The last four commands run against a *live* TCP cluster: `serve`
+//! The last five commands run against a *live* TCP cluster: `serve`
 //! starts a foreground datanode, `put` encodes + places + uploads a file
 //! across datanodes and writes a cluster manifest, `get` reads it
-//! back (degrading transparently if nodes died), and `stats` scrapes one
-//! node's telemetry registry over the wire. `repair` is
+//! back (degrading transparently if nodes died), `stats` scrapes one
+//! node's telemetry registry over the wire, and `repair-status` reads
+//! the process-wide background-repair scoreboard (queue depth, in-flight
+//! rebuilds, completion counters). `repair` is
 //! polymorphic: given a block directory it repairs locally, given a
 //! manifest it rebuilds missing blocks over the network.
 
@@ -57,6 +60,7 @@ fn main() -> ExitCode {
             eprintln!("  carousel-tool put <input> <manifest> --nodes addr,addr,... [--code SPEC] [--block-bytes N] [--threads N] [--seed N]");
             eprintln!("  carousel-tool get <manifest> <output> [--file NAME]");
             eprintln!("  carousel-tool stats <addr>");
+            eprintln!("  carousel-tool repair-status <addr>");
             ExitCode::FAILURE
         }
     }
@@ -77,6 +81,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "put" => put_cluster(&args[1..]),
         "get" => get_cluster(&args[1..]),
         "stats" => stats_cluster(&args[1..]),
+        "repair-status" => repair_status_cluster(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -582,6 +587,45 @@ fn stats_cluster(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// Reads the background-repair scoreboard over the wire
+/// ([`cluster::Request::RepairStatus`]) and prints it. Unlike `stats`,
+/// this works even when the node was built without the telemetry
+/// feature: the scoreboard is plain atomics.
+fn repair_status_cluster(args: &[String]) -> Result<(), String> {
+    use cluster::protocol;
+    use cluster::{Request, Response};
+
+    let addr = args.first().ok_or("repair-status: missing <addr>")?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("invalid node address {addr:?}"))?;
+    let timeout = std::time::Duration::from_secs(5);
+    let mut stream = std::net::TcpStream::connect_timeout(&addr, timeout).map_err(err_str)?;
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    protocol::write_request(&mut stream, &Request::RepairStatus).map_err(err_str)?;
+    let mut scratch = Vec::new();
+    let reply = protocol::read_response_into(&mut stream, &mut scratch)
+        .map_err(err_str)?
+        .ok_or("repair-status: node closed the connection without replying")?;
+    let report = match reply.0 {
+        Response::Data(bytes) => protocol::decode_repair_status(&bytes).map_err(err_str)?,
+        Response::Error(message) => return Err(format!("repair-status: node error: {message}")),
+        other => return Err(format!("repair-status: unexpected reply {other:?}")),
+    };
+    println!("queue depth:     {}", report.queue_depth);
+    println!("in flight:       {}", report.in_flight);
+    println!("enqueued:        {}", report.enqueued);
+    println!("completed:       {}", report.completed);
+    println!("requeued:        {}", report.requeued);
+    println!("cancelled:       {}", report.cancelled);
+    println!("abandoned:       {}", report.abandoned);
+    println!("blocks rebuilt:  {}", report.blocks_rebuilt);
+    println!("helper bytes:    {}", report.helper_bytes);
+    println!("wire bytes:      {}", report.wire_bytes);
     Ok(())
 }
 
