@@ -16,6 +16,9 @@
 use std::process::ExitCode;
 
 /// Every `type` the telemetry writer emits; see `docs/OBSERVABILITY.md`.
+/// `meta` covers both the bench-run metadata line every capture ends
+/// with and the metadata-layer events streamed by `cluster::metalog`
+/// (log recovery, compaction).
 const KNOWN_TYPES: &[&str] = &[
     "meta",
     "counter",

@@ -59,6 +59,7 @@ use crate::coordinator::{Coordinator, FilePlacement};
 use crate::error::ClusterError;
 use crate::protocol::{self, BlockId, Request, Response};
 use crate::repair::{FanInGate, RepairStatusReport};
+use crate::router::MetaRouter;
 
 static CLIENT_TX: LazyLock<&'static telemetry::Counter> =
     LazyLock::new(|| telemetry::counter("cluster.client.tx_bytes"));
@@ -89,6 +90,12 @@ static PHASE_RECV: LazyLock<&'static telemetry::Histogram> =
     LazyLock::new(|| telemetry::histogram("cluster.phase.recv_us"));
 static PHASE_DECODE: LazyLock<&'static telemetry::Histogram> =
     LazyLock::new(|| telemetry::histogram("cluster.phase.decode_us"));
+// Client-side manifest cache outcomes: a hit is a lookup served without
+// refetching the placement from the coordinator shard.
+static META_CACHE_HIT: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("meta.cache.hit"));
+static META_CACHE_MISS: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("meta.cache.miss"));
 
 /// One node's scraped telemetry registry, as returned by
 /// [`ClusterClient::node_stats`]. With the `telemetry` feature off this
@@ -101,6 +108,9 @@ const PLAN_CACHE_CAPACITY: usize = 64;
 
 /// Default bound on stripes in flight in the get/put pipelines.
 const DEFAULT_PIPELINE_DEPTH: usize = 2;
+
+/// Files whose manifests a client caches before evicting arbitrarily.
+const MANIFEST_CACHE_CAPACITY: usize = 4096;
 
 /// What a [`ClusterClient::repair_file`] (or single
 /// [`ClusterClient::repair_stripe`]) pass did.
@@ -155,7 +165,7 @@ struct NodeConn {
 /// ever serializing on each other's I/O.
 #[derive(Debug)]
 struct Link {
-    coord: Arc<Coordinator>,
+    meta: Arc<MetaRouter>,
     conns: Mutex<HashMap<usize, NodeConn>>,
     timeout: Duration,
 }
@@ -196,11 +206,11 @@ impl Link {
         trace: telemetry::trace::TraceCtx,
     ) -> Result<(Response, Tally), ClusterError> {
         let addr = self
-            .coord
+            .meta
             .node_addr(node)
             .ok_or(ClusterError::NodeDown { node })?;
         let down = || {
-            self.coord.mark_dead(node);
+            self.meta.mark_dead(node);
             ClusterError::NodeDown { node }
         };
         let wire = protocol::WireTrace::from_ctx(&trace);
@@ -372,7 +382,7 @@ impl BlockSource for StripeSource<'_> {
         match self.present {
             Some(present) => present.to_vec(),
             None => (0..self.row.len())
-                .filter(|&r| self.link.coord.is_alive(self.row[r]))
+                .filter(|&r| self.link.meta.is_alive(self.row[r]))
                 .collect(),
         }
     }
@@ -427,7 +437,20 @@ impl BlockSource for StripeSource<'_> {
     }
 }
 
-/// A client session against one [`Coordinator`]'s cluster. Connections to
+/// One cached per-file manifest, tagged with the owning shard's epoch
+/// as observed *before* the manifest was read. A later lookup serves the
+/// cached placement only while the shard epoch still matches; any
+/// placement mutation on the shard (put, repair re-homing, delete)
+/// bumps the epoch and forces a refetch — the cache can go stale but
+/// can never be *served* stale.
+#[derive(Debug)]
+struct CachedManifest {
+    epoch: u64,
+    fp: Arc<FilePlacement>,
+}
+
+/// A client session against one [`Coordinator`]'s cluster (or several
+/// coordinator shards behind a [`MetaRouter`]). Connections to
 /// datanodes are cached and transparently re-opened; a node that cannot
 /// be reached is reported dead to the coordinator so subsequent plans
 /// avoid it.
@@ -444,6 +467,10 @@ pub struct ClusterClient {
     /// Shared per-node fan-in cap applied to this client's helper repair
     /// reads; set by the repair scheduler on its worker clients.
     repair_gate: Option<Arc<FanInGate>>,
+    /// Epoch-validated per-file manifest cache (see [`CachedManifest`]).
+    manifests: HashMap<String, CachedManifest>,
+    manifest_hits: u64,
+    manifest_misses: u64,
     tx_bytes: u64,
     rx_bytes: u64,
 }
@@ -452,9 +479,15 @@ impl ClusterClient {
     /// Creates a client with a 10-second I/O timeout, a default-sized
     /// fan-out pool and a pipeline depth of 2.
     pub fn new(coord: Arc<Coordinator>) -> Self {
+        ClusterClient::routed(MetaRouter::single(coord))
+    }
+
+    /// Creates a client against a (possibly sharded) metadata router,
+    /// with the same defaults as [`ClusterClient::new`].
+    pub fn routed(meta: Arc<MetaRouter>) -> Self {
         ClusterClient {
             link: Link {
-                coord,
+                meta,
                 conns: Mutex::new(HashMap::new()),
                 timeout: Duration::from_secs(10),
             },
@@ -463,6 +496,9 @@ impl ClusterClient {
             ctx: ParallelCtx::default(),
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             repair_gate: None,
+            manifests: HashMap::new(),
+            manifest_hits: 0,
+            manifest_misses: 0,
             tx_bytes: 0,
             rx_bytes: 0,
         }
@@ -512,9 +548,70 @@ impl ClusterClient {
         self
     }
 
-    /// The coordinator this client plans against.
+    /// The coordinator this client plans against — the first (and, for
+    /// an unsharded cluster, only) shard of its router.
     pub fn coordinator(&self) -> &Arc<Coordinator> {
-        &self.link.coord
+        &self.link.meta.shards()[0]
+    }
+
+    /// The metadata router this client plans against.
+    pub fn router(&self) -> &Arc<MetaRouter> {
+        &self.link.meta
+    }
+
+    /// Looks up a file's placement through the client's epoch-validated
+    /// manifest cache: the owning shard's epoch is read *first*, and the
+    /// cached entry is served only if its recorded epoch still matches,
+    /// so any concurrent placement mutation forces a refetch (an extra
+    /// round to the shard, never a stale manifest). This is the lookup
+    /// `get_file` runs on every call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownFile`] for unknown names.
+    pub fn file_manifest(&mut self, name: &str) -> Result<Arc<FilePlacement>, ClusterError> {
+        let epoch = self.link.meta.epoch_of(name);
+        if let Some(cached) = self.manifests.get(name) {
+            if cached.epoch == epoch {
+                self.manifest_hits += 1;
+                if telemetry::ENABLED {
+                    META_CACHE_HIT.inc();
+                }
+                return Ok(Arc::clone(&cached.fp));
+            }
+        }
+        self.manifest_misses += 1;
+        if telemetry::ENABLED {
+            META_CACHE_MISS.inc();
+        }
+        let fp = self
+            .link
+            .meta
+            .file(name)
+            .ok_or_else(|| ClusterError::UnknownFile { name: name.into() })?;
+        let fp = Arc::new(fp);
+        if self.manifests.len() >= MANIFEST_CACHE_CAPACITY && !self.manifests.contains_key(name) {
+            // Evict an arbitrary entry; the cache is a working set, not
+            // an LRU — a namespace this client sweeps uniformly gains
+            // little from recency anyway.
+            if let Some(victim) = self.manifests.keys().next().cloned() {
+                self.manifests.remove(&victim);
+            }
+        }
+        self.manifests.insert(
+            name.to_string(),
+            CachedManifest {
+                epoch,
+                fp: Arc::clone(&fp),
+            },
+        );
+        Ok(fp)
+    }
+
+    /// `(hits, misses)` of the manifest cache over this client's
+    /// lifetime. Plain counters, available with telemetry compiled out.
+    pub fn manifest_cache_stats(&self) -> (u64, u64) {
+        (self.manifest_hits, self.manifest_misses)
     }
 
     /// The client's decode-plan cache (hit/miss counters included).
@@ -564,7 +661,7 @@ impl ClusterClient {
         let codec = FileCodec::new(code, block_bytes)?;
         let sdb = codec.stripe_data_bytes();
         let chunks: Vec<&[u8]> = data.chunks(sdb).collect();
-        let fp = self.link.coord.place_file(
+        let fp = self.link.meta.place_file(
             name,
             spec,
             data.len() as u64,
@@ -672,11 +769,7 @@ impl ClusterClient {
         // serving nodes' spans land in the same trace.
         let op = telemetry::trace::TraceCtx::root().child("cluster.op.get_us");
         let op_ctx = op.ctx();
-        let fp = self
-            .link
-            .coord
-            .file(name)
-            .ok_or_else(|| ClusterError::UnknownFile { name: name.into() })?;
+        let fp = self.file_manifest(name)?;
         let code = fp.spec.build()?;
         let sub = code.linear().sub();
         let w = fp.block_bytes / sub;
@@ -811,7 +904,7 @@ impl ClusterClient {
     pub fn repair_file(&mut self, name: &str) -> Result<RepairReport, ClusterError> {
         let fp = self
             .link
-            .coord
+            .meta
             .file(name)
             .ok_or_else(|| ClusterError::UnknownFile { name: name.into() })?;
         let op = telemetry::trace::TraceCtx::root().child("cluster.op.repair_us");
@@ -848,9 +941,13 @@ impl ClusterClient {
         s: usize,
         op_ctx: telemetry::trace::TraceCtx,
     ) -> Result<RepairReport, ClusterError> {
+        // Repair deliberately bypasses the manifest cache: it must see
+        // the freshest placement (an earlier repair may have re-homed a
+        // helper this one needs), and repairs are rare enough that the
+        // extra shard round trip is noise.
         let fp = self
             .link
-            .coord
+            .meta
             .file(name)
             .ok_or_else(|| ClusterError::UnknownFile { name: name.into() })?;
         let Some(row) = fp.nodes.get(s) else {
@@ -874,7 +971,7 @@ impl ClusterClient {
             // stored uncorrupted), all roles concurrently.
             let probes = self.ctx.run(row.len(), |role| {
                 let node = row[role];
-                if !link.coord.is_alive(node) {
+                if !link.meta.is_alive(node) {
                     return (false, Tally::default());
                 }
                 let request = Request::Stat {
@@ -919,10 +1016,10 @@ impl ClusterClient {
                 tally += source.tally;
                 let outcome = outcome?;
                 report.helper_payload_bytes += outcome.payload_bytes as u64;
-                let target = if link.coord.is_alive(row[failed]) {
+                let target = if link.meta.is_alive(row[failed]) {
                     row[failed]
                 } else {
-                    link.coord
+                    link.meta
                         .alive_nodes()
                         .into_iter()
                         .find(|node| !row.contains(node))
@@ -944,7 +1041,10 @@ impl ClusterClient {
                         });
                     }
                 }
-                link.coord.set_block_node(name, s, failed, target);
+                // The commit flows through the shard's record log and
+                // bumps its epoch, invalidating every client's cached
+                // manifest of this file.
+                link.meta.set_block_node(name, s, failed, target)?;
                 row[failed] = target;
                 present.push(failed);
                 report.blocks_repaired += 1;
@@ -998,6 +1098,36 @@ impl ClusterClient {
             Response::Error(message) => Err(ClusterError::Remote { message }),
             other => Err(ClusterError::Protocol {
                 reason: format!("unexpected RepairStatus reply: {other:?}"),
+            }),
+        }
+    }
+
+    /// Fetches one file's manifest *over the wire* from a datanode via
+    /// [`Request::ManifestGet`], returning the owning shard's epoch and
+    /// the placement. A client that can reach the coordinator in-process
+    /// never needs this; it exists for tooling and peers that only see
+    /// datanodes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NodeDown`] for unreachable nodes,
+    /// [`ClusterError::Remote`] when the node serves no metadata or the
+    /// file is unknown there, or a protocol error for undecodable
+    /// replies.
+    pub fn manifest_from_node(
+        &mut self,
+        node: usize,
+        name: &str,
+    ) -> Result<(u64, FilePlacement), ClusterError> {
+        let op = telemetry::trace::TraceCtx::root().child("cluster.op.manifest_us");
+        let request = Request::ManifestGet { name: name.into() };
+        let (response, tally) = self.link.call(node, &request, op.ctx())?;
+        self.fold(tally);
+        match response {
+            Response::Data(bytes) => protocol::decode_manifest(&bytes),
+            Response::Error(message) => Err(ClusterError::Remote { message }),
+            other => Err(ClusterError::Protocol {
+                reason: format!("unexpected ManifestGet reply: {other:?}"),
             }),
         }
     }

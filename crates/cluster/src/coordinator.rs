@@ -8,16 +8,23 @@
 //! addresses and placement and reports nodes it finds unreachable, which
 //! is how a mid-read failure becomes a degraded read on the next plan.
 //!
-//! The whole cluster state serializes to a small `key=value` *manifest*
-//! (same idiom as `filestore::format`'s `meta` file) so the
-//! `carousel-tool` CLI can run `put`/`get`/`repair` against datanodes
-//! spawned as separate processes.
+//! Durability comes from [`crate::metalog`]: a coordinator opened with
+//! [`Coordinator::open_log`] appends every metadata mutation (node
+//! registrations, placements, repair re-homings, deletions) to an
+//! append-only CRC-framed record log and replays it on startup. Replayed
+//! nodes start *dead* — a cold-started coordinator must not plan reads
+//! against nodes that vanished while it was down; the first live
+//! heartbeat (or a [`Coordinator::verify_nodes`] ping sweep) revives
+//! them. Every placement mutation also advances the coordinator's
+//! *epoch*, which clients compare to validate cached per-file manifests
+//! (see [`crate::router::MetaRouter`]).
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{LazyLock, Mutex};
 use std::time::{Duration, Instant};
 
 use dfs::Placement;
@@ -25,6 +32,13 @@ use filestore::format::CodeSpec;
 use rand::Rng;
 
 use crate::error::ClusterError;
+use crate::metalog::{MetaLog, MetaRecord};
+use crate::protocol::{self, Request, Response};
+
+static SHARD_EPOCH: LazyLock<&'static telemetry::Gauge> =
+    LazyLock::new(|| telemetry::gauge("meta.shard.epoch"));
+static LOG_ERRORS: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("meta.log.errors"));
 
 /// One liveness *transition* observed by the coordinator, delivered to
 /// the registered listener (see
@@ -62,7 +76,7 @@ struct NodeEntry {
 }
 
 /// Placement of one file: which node holds each block of each stripe.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FilePlacement {
     /// File name (the key for reads and repair).
     pub name: String,
@@ -82,6 +96,61 @@ pub struct FilePlacement {
 struct State {
     nodes: BTreeMap<usize, NodeEntry>,
     files: BTreeMap<String, FilePlacement>,
+    log: Option<MetaLog>,
+}
+
+impl State {
+    /// Appends to the log when one is attached. Membership records may
+    /// tolerate failure (`required = false`): a lost `NodeRegistered`
+    /// only costs a re-announcement after the next restart, and the
+    /// datanode heartbeat path has no error channel. Placement records
+    /// are `required`: losing one silently would desynchronize
+    /// recovered state from the blocks on disk.
+    fn log_append(&mut self, rec: &MetaRecord, required: bool) -> Result<(), ClusterError> {
+        let Some(log) = self.log.as_mut() else {
+            return Ok(());
+        };
+        match log.append(rec) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                if telemetry::ENABLED {
+                    LOG_ERRORS.inc();
+                }
+                if required {
+                    Err(e)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Current state collapsed to the minimal record sequence that
+    /// recreates it — what compaction writes as the snapshot.
+    fn snapshot_records(&self) -> Vec<MetaRecord> {
+        let mut out = Vec::with_capacity(self.nodes.len() + self.files.len());
+        for entry in self.nodes.values() {
+            out.push(MetaRecord::NodeRegistered {
+                id: entry.info.id as u64,
+                addr: entry.info.addr.to_string(),
+            });
+        }
+        for fp in self.files.values() {
+            out.push(MetaRecord::FilePlaced(fp.clone()));
+        }
+        out
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.log.as_ref().is_some_and(MetaLog::needs_compaction) {
+            let snapshot = self.snapshot_records();
+            if let Some(log) = self.log.as_mut() {
+                if log.compact(&snapshot).is_err() && telemetry::ENABLED {
+                    LOG_ERRORS.inc();
+                }
+            }
+        }
+    }
 }
 
 /// The cluster's metadata service. Cheap to share: all methods take
@@ -91,6 +160,7 @@ struct State {
 pub struct Coordinator {
     state: Mutex<State>,
     listener: Mutex<Option<LivenessListener>>,
+    epoch: AtomicU64,
 }
 
 impl fmt::Debug for Coordinator {
@@ -100,9 +170,109 @@ impl fmt::Debug for Coordinator {
 }
 
 impl Coordinator {
-    /// Creates an empty coordinator.
+    /// Creates an empty in-memory coordinator (no durability).
     pub fn new() -> Self {
         Coordinator::default()
+    }
+
+    /// Creates a coordinator backed by a *fresh* record log at `path`,
+    /// truncating anything already there — what `carousel-tool put`
+    /// uses to start a new manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn create_log(path: &Path) -> Result<Self, ClusterError> {
+        let coord = Coordinator::new();
+        coord.state.lock().expect("coordinator lock").log = Some(MetaLog::create(path)?);
+        Ok(coord)
+    }
+
+    /// Opens (or creates) the record log at `path` and replays it into
+    /// a new coordinator, keeping the log attached for appends. A torn
+    /// tail is truncated (see [`crate::metalog`]). Replayed nodes start
+    /// **dead**: registration records prove a node existed, not that it
+    /// still does — the first heartbeat (or a
+    /// [`Coordinator::verify_nodes`] sweep) revives the survivors, so a
+    /// cold-started coordinator never plans reads against vanished
+    /// nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures; corruption is recovered, not
+    /// reported.
+    pub fn open_log(path: &Path) -> Result<Self, ClusterError> {
+        let (log, records) = MetaLog::open(path)?;
+        let coord = Coordinator::new();
+        let mut mutations = 0u64;
+        {
+            let mut st = coord.state.lock().expect("coordinator lock");
+            let now = Instant::now();
+            for rec in records {
+                match rec {
+                    MetaRecord::NodeRegistered { id, addr } => {
+                        let Ok(addr) = addr.parse::<SocketAddr>() else {
+                            continue;
+                        };
+                        let id = id as usize;
+                        st.nodes.insert(
+                            id,
+                            NodeEntry {
+                                info: NodeInfo {
+                                    id,
+                                    addr,
+                                    alive: false,
+                                },
+                                last_seen: now,
+                            },
+                        );
+                    }
+                    MetaRecord::FilePlaced(fp) => {
+                        mutations += 1;
+                        st.files.insert(fp.name.clone(), fp);
+                    }
+                    MetaRecord::PlacementCommitted {
+                        file,
+                        stripe,
+                        role,
+                        node,
+                    } => {
+                        mutations += 1;
+                        if let Some(slot) = st
+                            .files
+                            .get_mut(&file)
+                            .and_then(|fp| fp.nodes.get_mut(stripe as usize))
+                            .and_then(|row| row.get_mut(role as usize))
+                        {
+                            *slot = node as usize;
+                        }
+                    }
+                    MetaRecord::FileDeleted { file } => {
+                        mutations += 1;
+                        st.files.remove(&file);
+                    }
+                }
+            }
+            st.log = Some(log);
+        }
+        coord.epoch.store(mutations, Ordering::Relaxed);
+        Ok(coord)
+    }
+
+    /// The coordinator's shard epoch: a counter advanced by every
+    /// placement mutation (place, repair re-homing, delete). Clients
+    /// cache per-file manifests tagged with the epoch observed *before*
+    /// the manifest read and refetch on mismatch, so a cached manifest
+    /// can go stale but can never be served stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        let now = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        if telemetry::ENABLED {
+            SHARD_EPOCH.set(now as i64);
+        }
     }
 
     /// Installs the liveness listener, replacing any previous one. The
@@ -130,11 +300,13 @@ impl Coordinator {
         }
     }
 
-    /// Registers (or re-registers) a datanode, marking it alive.
+    /// Registers (or re-registers) a datanode, marking it alive. The
+    /// membership change is logged only when the node is new or moved
+    /// address, so periodic re-registrations don't grow the log.
     pub fn register(&self, id: usize, addr: SocketAddr) {
         let was_alive = {
             let mut st = self.state.lock().expect("coordinator lock");
-            let was = st.nodes.get(&id).is_some_and(|e| e.info.alive);
+            let prev = st.nodes.get(&id).map(|e| (e.info.alive, e.info.addr));
             st.nodes.insert(
                 id,
                 NodeEntry {
@@ -146,7 +318,15 @@ impl Coordinator {
                     last_seen: Instant::now(),
                 },
             );
-            was
+            if prev.map(|(_, a)| a) != Some(addr) {
+                let rec = MetaRecord::NodeRegistered {
+                    id: id as u64,
+                    addr: addr.to_string(),
+                };
+                let _ = st.log_append(&rec, false);
+                st.maybe_compact();
+            }
+            prev.is_some_and(|(alive, _)| alive)
         };
         if !was_alive {
             self.notify(&[LivenessEvent::Up(id)]);
@@ -212,6 +392,41 @@ impl Coordinator {
         expired
     }
 
+    /// Pings every currently-dead registered node over TCP and
+    /// heartbeats the ones that answer, returning their ids. This is
+    /// how a log-recovered coordinator (whose replayed nodes all start
+    /// dead) discovers which of them are actually still serving, without
+    /// waiting a heartbeat interval.
+    pub fn verify_nodes(&self, timeout: Duration) -> Vec<usize> {
+        let candidates: Vec<(usize, SocketAddr)> = {
+            let st = self.state.lock().expect("coordinator lock");
+            st.nodes
+                .values()
+                .filter(|e| !e.info.alive)
+                .map(|e| (e.info.id, e.info.addr))
+                .collect()
+        };
+        let mut verified = Vec::new();
+        for (id, addr) in candidates {
+            let Ok(mut stream) = TcpStream::connect_timeout(&addr, timeout) else {
+                continue;
+            };
+            let _ = stream.set_read_timeout(Some(timeout));
+            let _ = stream.set_write_timeout(Some(timeout));
+            if protocol::write_request(&mut stream, &Request::Ping).is_err() {
+                continue;
+            }
+            if matches!(
+                protocol::read_response(&mut stream),
+                Ok(Some((Response::Pong, _)))
+            ) {
+                self.heartbeat(id);
+                verified.push(id);
+            }
+        }
+        verified
+    }
+
     /// Whether the coordinator currently believes `id` is alive.
     pub fn is_alive(&self, id: usize) -> bool {
         let st = self.state.lock().expect("coordinator lock");
@@ -241,14 +456,15 @@ impl Coordinator {
     }
 
     /// Places a new file across the alive nodes with the given
-    /// [`Placement`] policy and records it. Every stripe gets `n` distinct
-    /// nodes.
+    /// [`Placement`] policy and records it (durably, when a log is
+    /// attached — the record is appended before the in-memory insert).
+    /// Every stripe gets `n` distinct nodes.
     ///
     /// # Errors
     ///
     /// Returns [`ClusterError::Unavailable`] with fewer alive nodes than
-    /// blocks per stripe, and [`ClusterError::Protocol`] when the name is
-    /// already taken.
+    /// blocks per stripe, [`ClusterError::Protocol`] when the name is
+    /// already taken, and [`ClusterError::Io`] when the log append fails.
     #[allow(clippy::too_many_arguments)]
     pub fn place_file(
         &self,
@@ -298,7 +514,10 @@ impl Coordinator {
             stripes,
             nodes,
         };
+        st.log_append(&MetaRecord::FilePlaced(fp.clone()), true)?;
         st.files.insert(name.to_string(), fp.clone());
+        st.maybe_compact();
+        self.bump_epoch();
         Ok(fp)
     }
 
@@ -308,22 +527,110 @@ impl Coordinator {
         st.files.get(name).cloned()
     }
 
+    /// The epoch *followed by* the file's placement, in that order —
+    /// the pairing a caching client needs: tagging the manifest with an
+    /// epoch read before it guarantees any concurrent mutation makes
+    /// the cache entry look stale (an extra refetch, never a stale read).
+    pub fn file_with_epoch(&self, name: &str) -> (u64, Option<FilePlacement>) {
+        let epoch = self.epoch();
+        (epoch, self.file(name))
+    }
+
     /// Names of all placed files, ascending.
     pub fn files(&self) -> Vec<String> {
         let st = self.state.lock().expect("coordinator lock");
         st.files.keys().cloned().collect()
     }
 
-    /// Re-homes one block after repair wrote it to a different node.
-    pub fn set_block_node(&self, name: &str, stripe: usize, role: usize, node: usize) {
+    /// Re-homes one block after repair wrote it to a different node,
+    /// logging a [`MetaRecord::PlacementCommitted`] and advancing the
+    /// epoch (which invalidates client-side manifest caches). Unknown
+    /// files/indices are a silent no-op, mirroring the lookup methods.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Io`] when the commit record cannot be
+    /// appended to the log; the in-memory state is left unchanged.
+    pub fn set_block_node(
+        &self,
+        name: &str,
+        stripe: usize,
+        role: usize,
+        node: usize,
+    ) -> Result<(), ClusterError> {
         let mut st = self.state.lock().expect("coordinator lock");
-        if let Some(fp) = st.files.get_mut(name) {
-            if let Some(row) = fp.nodes.get_mut(stripe) {
-                if let Some(slot) = row.get_mut(role) {
-                    *slot = node;
-                }
-            }
+        let valid = st
+            .files
+            .get(name)
+            .and_then(|fp| fp.nodes.get(stripe))
+            .is_some_and(|row| role < row.len());
+        if !valid {
+            return Ok(());
         }
+        st.log_append(
+            &MetaRecord::PlacementCommitted {
+                file: name.to_string(),
+                stripe: stripe as u32,
+                role: role as u32,
+                node: node as u64,
+            },
+            true,
+        )?;
+        if let Some(slot) = st
+            .files
+            .get_mut(name)
+            .and_then(|fp| fp.nodes.get_mut(stripe))
+            .and_then(|row| row.get_mut(role))
+        {
+            *slot = node;
+        }
+        st.maybe_compact();
+        self.bump_epoch();
+        Ok(())
+    }
+
+    /// Removes a file from the namespace, logging the deletion and
+    /// advancing the epoch. Returns whether the file existed. The blocks
+    /// themselves are not reclaimed here — datanode garbage collection
+    /// is out of scope for the metadata layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Io`] when the log append fails.
+    pub fn delete_file(&self, name: &str) -> Result<bool, ClusterError> {
+        let mut st = self.state.lock().expect("coordinator lock");
+        if !st.files.contains_key(name) {
+            return Ok(false);
+        }
+        st.log_append(
+            &MetaRecord::FileDeleted {
+                file: name.to_string(),
+            },
+            true,
+        )?;
+        st.files.remove(name);
+        st.maybe_compact();
+        self.bump_epoch();
+        Ok(true)
+    }
+
+    /// Forces a compaction of the attached log (no size trigger),
+    /// returning `false` when the coordinator is purely in-memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures from the rewrite.
+    pub fn compact_log(&self) -> Result<bool, ClusterError> {
+        let mut st = self.state.lock().expect("coordinator lock");
+        if st.log.is_none() {
+            return Ok(false);
+        }
+        let snapshot = st.snapshot_records();
+        st.log
+            .as_mut()
+            .expect("log checked above")
+            .compact(&snapshot)?;
+        Ok(true)
     }
 
     /// Every `(file, stripe)` whose placement row contains `node` — the
@@ -362,112 +669,6 @@ impl Coordinator {
     pub fn stats(&self) -> telemetry::Snapshot {
         telemetry::Registry::global().snapshot()
     }
-
-    /// Serializes nodes and file placements to a manifest file — the
-    /// `key=value` format documented in `docs/CLUSTER.md`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates filesystem failures.
-    pub fn save_manifest(&self, path: &Path) -> Result<(), ClusterError> {
-        let st = self.state.lock().expect("coordinator lock");
-        let mut text = String::from("format=carousel-cluster-v1\n");
-        for entry in st.nodes.values() {
-            text.push_str(&format!("node_{}={}\n", entry.info.id, entry.info.addr));
-        }
-        for (i, fp) in st.files.values().enumerate() {
-            text.push_str(&format!("file_{i}={}\n", fp.name));
-            text.push_str(&format!("code_{i}={}\n", fp.spec));
-            text.push_str(&format!("len_{i}={}\n", fp.file_len));
-            text.push_str(&format!("block_bytes_{i}={}\n", fp.block_bytes));
-            text.push_str(&format!("stripes_{i}={}\n", fp.stripes));
-            for (s, row) in fp.nodes.iter().enumerate() {
-                let ids: Vec<String> = row.iter().map(|n| n.to_string()).collect();
-                text.push_str(&format!("place_{i}_{s}={}\n", ids.join(",")));
-            }
-        }
-        std::fs::write(path, text)?;
-        Ok(())
-    }
-
-    /// Loads a coordinator from a manifest written by
-    /// [`Coordinator::save_manifest`]. All listed nodes start out alive;
-    /// the client discovers and reports dead ones.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ClusterError::Protocol`] on malformed manifests and
-    /// [`ClusterError::Io`] on filesystem failures.
-    pub fn load_manifest(path: &Path) -> Result<Self, ClusterError> {
-        let text = std::fs::read_to_string(path)?;
-        let bad = |why: String| ClusterError::Protocol {
-            reason: format!("manifest {}: {why}", path.display()),
-        };
-        let mut kv = BTreeMap::new();
-        for line in text.lines() {
-            if let Some((key, value)) = line.split_once('=') {
-                kv.insert(key.trim().to_string(), value.trim().to_string());
-            }
-        }
-        if kv.get("format").map(String::as_str) != Some("carousel-cluster-v1") {
-            return Err(bad("missing or unsupported format line".into()));
-        }
-        let coord = Coordinator::new();
-        for (key, value) in &kv {
-            if let Some(id) = key.strip_prefix("node_") {
-                let id: usize = id.parse().map_err(|_| bad(format!("bad node key {key}")))?;
-                let addr: SocketAddr = value
-                    .parse()
-                    .map_err(|_| bad(format!("bad address {value:?}")))?;
-                coord.register(id, addr);
-            }
-        }
-        let mut i = 0usize;
-        while let Some(name) = kv.get(&format!("file_{i}")) {
-            let field = |suffix: &str| {
-                kv.get(&format!("{suffix}_{i}"))
-                    .ok_or_else(|| bad(format!("missing {suffix}_{i}")))
-            };
-            let spec = CodeSpec::parse(field("code")?).map_err(|e| bad(e.to_string()))?;
-            let file_len: u64 = field("len")?
-                .parse()
-                .map_err(|_| bad(format!("bad len_{i}")))?;
-            let block_bytes: usize = field("block_bytes")?
-                .parse()
-                .map_err(|_| bad(format!("bad block_bytes_{i}")))?;
-            let stripes: usize = field("stripes")?
-                .parse()
-                .map_err(|_| bad(format!("bad stripes_{i}")))?;
-            let mut nodes = Vec::with_capacity(stripes);
-            for s in 0..stripes {
-                let row = kv
-                    .get(&format!("place_{i}_{s}"))
-                    .ok_or_else(|| bad(format!("missing place_{i}_{s}")))?;
-                let row: Vec<usize> = row
-                    .split(',')
-                    .map(|v| v.trim().parse())
-                    .collect::<Result<_, _>>()
-                    .map_err(|_| bad(format!("bad place_{i}_{s}")))?;
-                nodes.push(row);
-            }
-            let fp = FilePlacement {
-                name: name.clone(),
-                spec,
-                file_len,
-                block_bytes,
-                stripes,
-                nodes,
-            };
-            coord
-                .state
-                .lock()
-                .expect("coordinator lock")
-                .files
-                .insert(name.clone(), fp);
-            i += 1;
-        }
-        Ok(coord)
-    }
 }
 
 #[cfg(test)]
@@ -475,9 +676,18 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::path::PathBuf;
 
     fn addr(port: u16) -> SocketAddr {
         format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    fn tmp_log(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "carousel-coord-{tag}-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ))
     }
 
     #[test]
@@ -630,47 +840,139 @@ mod tests {
     }
 
     #[test]
-    fn manifest_roundtrip() {
+    fn log_roundtrip_recovers_placements() {
+        let path = tmp_log("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let original = {
+            let c = Coordinator::create_log(&path).unwrap();
+            for i in 0..4 {
+                c.register(i, addr(9200 + i as u16));
+            }
+            let mut rng = StdRng::seed_from_u64(1);
+            c.place_file(
+                "data.bin",
+                CodeSpec::Carousel {
+                    n: 4,
+                    k: 2,
+                    d: 2,
+                    p: 4,
+                },
+                5000,
+                300,
+                3,
+                Placement::Random,
+                &mut rng,
+            )
+            .unwrap();
+            c.set_block_node("data.bin", 1, 0, 3).unwrap();
+            c.file("data.bin").unwrap()
+        };
+        let loaded = Coordinator::open_log(&path).unwrap();
+        assert_eq!(loaded.nodes().len(), 4);
+        assert_eq!(loaded.node_addr(3), Some(addr(9203)));
+        let fp = loaded.file("data.bin").unwrap();
+        assert_eq!(fp, original, "replay reproduces placement + re-homing");
+        assert_eq!(fp.nodes[1][0], 3, "committed re-homing survives replay");
+        assert!(loaded.epoch() > 0, "replay advances the epoch");
+        let _ = std::fs::remove_file(&path);
+        assert!(Coordinator::create_log(Path::new("/nonexistent/dir/x")).is_err());
+    }
+
+    #[test]
+    fn recovered_nodes_start_dead_until_heartbeat() {
+        let path = tmp_log("dead-until-heartbeat");
+        let _ = std::fs::remove_file(&path);
+        {
+            let c = Coordinator::create_log(&path).unwrap();
+            c.register(0, addr(9500));
+            c.register(1, addr(9501));
+            assert_eq!(c.alive_nodes(), vec![0, 1]);
+        }
+        let loaded = Coordinator::open_log(&path).unwrap();
+        assert_eq!(loaded.nodes().len(), 2, "registrations replayed");
+        assert!(
+            loaded.alive_nodes().is_empty(),
+            "recovered nodes are unverified: dead until first heartbeat"
+        );
+        assert!(!loaded.is_alive(0) && !loaded.is_alive(1));
+        loaded.heartbeat(1);
+        assert_eq!(loaded.alive_nodes(), vec![1], "heartbeat revives");
+        // verify_nodes can't reach anything (nothing listens) — no revival.
+        assert!(loaded.verify_nodes(Duration::from_millis(50)).is_empty());
+        assert!(!loaded.is_alive(0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn epoch_advances_on_placement_mutations_only() {
         let c = Coordinator::new();
         for i in 0..4 {
-            c.register(i, addr(9200 + i as u16));
+            c.register(i, addr(9600 + i as u16));
         }
-        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(c.epoch(), 0, "membership does not move the epoch");
+        let mut rng = StdRng::seed_from_u64(2);
         c.place_file(
-            "data.bin",
-            CodeSpec::Carousel {
-                n: 4,
-                k: 2,
-                d: 2,
-                p: 4,
-            },
-            5000,
-            300,
-            3,
+            "f",
+            CodeSpec::Rs { n: 3, k: 2 },
+            100,
+            50,
+            1,
             Placement::Random,
             &mut rng,
         )
         .unwrap();
-        let path =
-            std::env::temp_dir().join(format!("cluster-manifest-{}.txt", std::process::id()));
-        c.save_manifest(&path).unwrap();
-        let loaded = Coordinator::load_manifest(&path).unwrap();
-        assert_eq!(loaded.nodes().len(), 4);
-        assert_eq!(loaded.node_addr(3), Some(addr(9203)));
-        let fp = loaded.file("data.bin").unwrap();
-        assert_eq!(fp.file_len, 5000);
-        assert_eq!(fp.block_bytes, 300);
-        assert_eq!(fp.nodes, c.file("data.bin").unwrap().nodes);
-        assert_eq!(
-            fp.spec,
-            CodeSpec::Carousel {
-                n: 4,
-                k: 2,
-                d: 2,
-                p: 4
-            }
-        );
+        assert_eq!(c.epoch(), 1);
+        let (epoch, fp) = c.file_with_epoch("f");
+        assert_eq!(epoch, 1);
+        let fp = fp.unwrap();
+        c.set_block_node("f", 0, 0, fp.nodes[0][1]).unwrap();
+        assert_eq!(c.epoch(), 2);
+        // No-op re-homings of unknown targets don't bump.
+        c.set_block_node("missing", 0, 0, 1).unwrap();
+        c.set_block_node("f", 99, 0, 1).unwrap();
+        assert_eq!(c.epoch(), 2);
+        assert!(c.delete_file("f").unwrap());
+        assert_eq!(c.epoch(), 3);
+        assert!(!c.delete_file("f").unwrap());
+        assert_eq!(c.epoch(), 3);
+        c.mark_dead(0);
+        c.heartbeat(0);
+        assert_eq!(c.epoch(), 3, "liveness does not move the epoch");
+    }
+
+    #[test]
+    fn log_compaction_is_transparent_to_replay() {
+        let path = tmp_log("compaction");
         let _ = std::fs::remove_file(&path);
-        assert!(Coordinator::load_manifest(Path::new("/nonexistent/x")).is_err());
+        let rows = {
+            let c = Coordinator::create_log(&path).unwrap();
+            for i in 0..6 {
+                c.register(i, addr(9700 + i as u16));
+            }
+            let mut rng = StdRng::seed_from_u64(5);
+            c.place_file(
+                "f",
+                CodeSpec::Rs { n: 4, k: 2 },
+                4000,
+                100,
+                10,
+                Placement::Random,
+                &mut rng,
+            )
+            .unwrap();
+            // Plenty of commits, then a forced compaction.
+            for s in 0..10 {
+                let fp = c.file("f").unwrap();
+                let spare = (0..6).find(|n| !fp.nodes[s].contains(n)).unwrap();
+                c.set_block_node("f", s, 0, spare).unwrap();
+            }
+            assert!(c.compact_log().unwrap());
+            c.file("f").unwrap().nodes
+        };
+        let loaded = Coordinator::open_log(&path).unwrap();
+        assert_eq!(loaded.file("f").unwrap().nodes, rows);
+        // In-memory coordinators have nothing to compact.
+        assert!(!Coordinator::new().compact_log().unwrap());
+        let _ = std::fs::remove_file(&path);
     }
 }

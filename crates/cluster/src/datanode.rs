@@ -23,6 +23,7 @@ use gf256::{Gf256, Matrix};
 use crate::coordinator::Coordinator;
 use crate::error::ClusterError;
 use crate::protocol::{self, Request, Response};
+use crate::router::MetaRouter;
 use crate::store::BlockStore;
 
 static NODE_REQUESTS: LazyLock<&'static telemetry::Counter> =
@@ -44,8 +45,11 @@ pub struct DataNodeConfig {
     /// Per-connection socket read timeout; an idle connection past it is
     /// closed (the client reconnects transparently).
     pub read_timeout: Duration,
-    /// Coordinator to register with and heartbeat to, if any.
-    pub coordinator: Option<Arc<Coordinator>>,
+    /// Metadata layer to register with, heartbeat to, and answer
+    /// [`Request::ManifestGet`] from, if any. A plain coordinator
+    /// attaches as a 1-shard router via
+    /// [`DataNodeConfig::with_coordinator`].
+    pub meta: Option<Arc<MetaRouter>>,
     /// Heartbeat period when a coordinator is attached.
     pub heartbeat_every: Duration,
     /// Artificial per-request service delay, applied before each request
@@ -73,17 +77,25 @@ impl DataNodeConfig {
             id,
             root: root.into(),
             read_timeout: Duration::from_secs(30),
-            coordinator: None,
+            meta: None,
             heartbeat_every: Duration::from_millis(200),
             request_delay: Duration::ZERO,
             service_rate: None,
         }
     }
 
-    /// Attaches a coordinator for registration + heartbeats.
+    /// Attaches a single coordinator for registration + heartbeats,
+    /// wrapped as a 1-shard [`MetaRouter`].
     #[must_use]
-    pub fn with_coordinator(mut self, coordinator: Arc<Coordinator>) -> Self {
-        self.coordinator = Some(coordinator);
+    pub fn with_coordinator(self, coordinator: Arc<Coordinator>) -> Self {
+        self.with_router(MetaRouter::single(coordinator))
+    }
+
+    /// Attaches a (possibly sharded) metadata router for registration,
+    /// heartbeats, and wire-served manifests.
+    #[must_use]
+    pub fn with_router(mut self, meta: Arc<MetaRouter>) -> Self {
+        self.meta = Some(meta);
         self
     }
 
@@ -144,13 +156,14 @@ impl DataNode {
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
 
-        if let Some(coord) = &config.coordinator {
-            coord.register(config.id, addr);
+        if let Some(meta) = &config.meta {
+            meta.register(config.id, addr);
         }
 
         let accept_thread = {
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
+            let meta = config.meta.clone();
             let read_timeout = config.read_timeout;
             let model = ServiceModel {
                 delay: config.request_delay,
@@ -174,9 +187,12 @@ impl DataNode {
                         }
                         let store = Arc::clone(&store);
                         let model = model.clone();
+                        let meta = meta.clone();
                         let handle = std::thread::Builder::new()
                             .name(format!("datanode-{node_id}-conn"))
-                            .spawn(move || serve_connection(stream, &store, &model))
+                            .spawn(move || {
+                                serve_connection(stream, &store, &model, meta.as_deref());
+                            })
                             .expect("spawn connection worker");
                         workers.push(handle);
                         // Reap finished workers so long-lived nodes don't
@@ -190,8 +206,8 @@ impl DataNode {
                 .expect("spawn accept thread")
         };
 
-        let heartbeat_thread = config.coordinator.as_ref().map(|coord| {
-            let coord = Arc::clone(coord);
+        let heartbeat_thread = config.meta.as_ref().map(|meta| {
+            let meta = Arc::clone(meta);
             let stop = Arc::clone(&stop);
             let every = config.heartbeat_every;
             let node_id = config.id;
@@ -199,7 +215,7 @@ impl DataNode {
                 .name(format!("datanode-{node_id}-heartbeat"))
                 .spawn(move || {
                     while !stop.load(Ordering::SeqCst) {
-                        coord.heartbeat(node_id);
+                        meta.heartbeat(node_id);
                         std::thread::sleep(every);
                     }
                 })
@@ -246,7 +262,12 @@ impl DataNode {
 }
 
 /// Per-connection request loop.
-fn serve_connection(mut stream: TcpStream, store: &BlockStore, model: &ServiceModel) {
+fn serve_connection(
+    mut stream: TcpStream,
+    store: &BlockStore,
+    model: &ServiceModel,
+    meta: Option<&MetaRouter>,
+) {
     loop {
         let (request, rx_bytes, wire_trace) = match protocol::read_request_traced(&mut stream) {
             Ok(Some(triple)) => triple,
@@ -287,7 +308,7 @@ fn serve_connection(mut stream: TcpStream, store: &BlockStore, model: &ServiceMo
             if model.rate.is_some() && !model.delay.is_zero() {
                 std::thread::sleep(model.delay);
             }
-            let response = handle(store, request);
+            let response = handle(store, request, meta);
             if let Some(rate) = model.rate {
                 // Hold the service unit for the bytes this request moved
                 // through the node, in and out.
@@ -316,7 +337,7 @@ fn serve_connection(mut stream: TcpStream, store: &BlockStore, model: &ServiceMo
 }
 
 /// Executes one request against the local store.
-fn handle(store: &BlockStore, request: Request) -> Response {
+fn handle(store: &BlockStore, request: Request, meta: Option<&MetaRouter>) -> Response {
     let fail = |e: ClusterError| Response::Error(e.to_string());
     match request {
         Request::Ping => Response::Pong,
@@ -394,6 +415,18 @@ fn handle(store: &BlockStore, request: Request) -> Response {
         Request::RepairStatus => Response::Data(protocol::encode_repair_status(
             &crate::repair::StatusBoard::global().report(),
         )),
+        // A file's manifest, routed to its owning shard and stamped with
+        // that shard's epoch so the caller can cache it.
+        Request::ManifestGet { name } => match meta {
+            None => Response::Error("node serves no metadata".into()),
+            Some(meta) => {
+                let (epoch, fp) = meta.file_with_epoch(&name);
+                match fp {
+                    Some(fp) => Response::Data(protocol::encode_manifest(epoch, &fp)),
+                    None => Response::Error(format!("unknown file {name:?}")),
+                }
+            }
+        },
     }
 }
 

@@ -12,7 +12,12 @@
 //!   matrix and the node returns only `β/sub` of its block;
 //! * [`Coordinator`] — the namenode analogue: registrations,
 //!   heartbeats, and file → stripe → block → node placement via
-//!   [`dfs::Placement`], serializable to a small manifest;
+//!   [`dfs::Placement`], durable through the [`metalog`] record log;
+//! * [`metalog`] / [`MetaRouter`] — the scale-out metadata layer: an
+//!   append-only CRC-framed record log with torn-tail crash recovery
+//!   and snapshot compaction, plus consistent-hash sharding of the
+//!   file namespace across multiple coordinators with per-shard
+//!   epochs that invalidate client-side manifest caches;
 //! * [`ClusterClient`] — the paper's three read paths (direct `p`-way
 //!   parallel, degraded with mid-read replanning, generic `k`-block
 //!   fallback) plus optimal-traffic repair, with every wire byte
@@ -59,8 +64,10 @@ mod client;
 mod coordinator;
 mod datanode;
 mod error;
+pub mod metalog;
 pub mod protocol;
 pub mod repair;
+pub mod router;
 mod store;
 pub mod testing;
 
@@ -68,10 +75,12 @@ pub use client::{ClusterClient, NodeStats, RepairReport};
 pub use coordinator::{Coordinator, FilePlacement, LivenessEvent, NodeInfo};
 pub use datanode::{serve_forever, DataNode, DataNodeConfig};
 pub use error::ClusterError;
+pub use metalog::{MetaLog, MetaRecord};
 pub use protocol::{BlockId, Request, Response};
 pub use repair::{
     FanInGate, RateLimiter, RepairConfig, RepairScheduler, RepairStatusReport, SchedulerStatus,
     StatusBoard,
 };
+pub use router::MetaRouter;
 pub use store::BlockStore;
 pub use testing::LocalCluster;

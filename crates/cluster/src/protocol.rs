@@ -84,6 +84,7 @@ const TAG_REPAIR_READ: u8 = 0x05;
 const TAG_STAT: u8 = 0x06;
 const TAG_STATS: u8 = 0x07;
 const TAG_REPAIR_STATUS: u8 = 0x08;
+const TAG_MANIFEST_GET: u8 = 0x09;
 const TAG_PONG: u8 = 0x81;
 const TAG_DONE: u8 = 0x82;
 const TAG_DATA: u8 = 0x83;
@@ -152,26 +153,37 @@ impl BlockId {
     ///
     /// Returns [`ClusterError::Protocol`] describing the violation.
     pub fn validate(&self) -> Result<(), ClusterError> {
-        let f = &self.file;
-        let bad = |why: &str| {
-            Err(ClusterError::Protocol {
-                reason: format!("bad file name {f:?}: {why}"),
-            })
-        };
-        if f.is_empty() {
-            return bad("empty");
-        }
-        if f.len() > 255 {
-            return bad("longer than 255 bytes");
-        }
-        if f.contains(['/', '\\', '\0']) {
-            return bad("contains a path separator or NUL");
-        }
-        if f == "." || f == ".." {
-            return bad("reserved");
-        }
-        Ok(())
+        validate_file_name(&self.file)
     }
+}
+
+/// Validates a wire-carried file name: non-empty, at most 255 bytes, and
+/// free of path separators, NUL, and dot-dot. Shared by [`BlockId`] and
+/// [`Request::ManifestGet`], both of which turn names into lookups (and,
+/// for blocks, on-disk paths) on the serving node.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Protocol`] describing the violation.
+pub fn validate_file_name(f: &str) -> Result<(), ClusterError> {
+    let bad = |why: &str| {
+        Err(ClusterError::Protocol {
+            reason: format!("bad file name {f:?}: {why}"),
+        })
+    };
+    if f.is_empty() {
+        return bad("empty");
+    }
+    if f.len() > 255 {
+        return bad("longer than 255 bytes");
+    }
+    if f.contains(['/', '\\', '\0']) {
+        return bad("contains a path separator or NUL");
+    }
+    if f == "." || f == ".." {
+        return bad("reserved");
+    }
+    Ok(())
 }
 
 /// A client → datanode message.
@@ -236,6 +248,17 @@ pub enum Request {
     /// board is plain atomics, so — unlike [`Request::Stats`] — this
     /// works with telemetry compiled out.
     RepairStatus,
+    /// Fetch one file's placement manifest from the serving node's
+    /// attached metadata router; answered with [`Response::Data`]
+    /// holding an [`encode_manifest`]-serialized `(shard epoch,
+    /// placement)` pair, or [`Response::Error`] when the file is
+    /// unknown or the node serves no metadata. The epoch rides in the
+    /// reply so a caching client can tag the manifest and later detect
+    /// staleness with a cheap epoch comparison.
+    ManifestGet {
+        /// The file whose manifest is wanted.
+        name: String,
+    },
 }
 
 /// A datanode → client message.
@@ -604,6 +627,10 @@ impl Request {
             }
             Request::Stats => p.push(TAG_STATS),
             Request::RepairStatus => p.push(TAG_REPAIR_STATUS),
+            Request::ManifestGet { name } => {
+                p.push(TAG_MANIFEST_GET);
+                put_str(&mut p, name);
+            }
         }
         frame(&p, trace)
     }
@@ -683,6 +710,11 @@ impl Request {
             TAG_STAT => Request::Stat { id: r.block_id()? },
             TAG_STATS => Request::Stats,
             TAG_REPAIR_STATUS => Request::RepairStatus,
+            TAG_MANIFEST_GET => {
+                let name = r.str()?;
+                validate_file_name(&name)?;
+                Request::ManifestGet { name }
+            }
             tag => {
                 return Err(ClusterError::Protocol {
                     reason: format!("unknown request tag 0x{tag:02x}"),
@@ -1041,6 +1073,101 @@ pub fn decode_repair_status(buf: &[u8]) -> Result<crate::repair::RepairStatusRep
     Ok(report)
 }
 
+// ---------------------------------------------------------------------
+// File manifests on the wire.
+// ---------------------------------------------------------------------
+
+/// Version byte of the manifest payload, bumped if fields change.
+const MANIFEST_VERSION: u8 = 1;
+/// Upper bound on stripes claimed by a manifest payload.
+const MAX_MANIFEST_STRIPES: usize = 1 << 22;
+/// Upper bound on one stripe row's width (nodes per stripe).
+const MAX_MANIFEST_ROW: usize = 4096;
+
+/// Serializes `(shard epoch, placement)` as the [`Response::Data`]
+/// payload answering [`Request::ManifestGet`]: a version byte, the
+/// owning shard's epoch (u64 LE), then the placement — name, code spec
+/// (display form), file length, block bytes, stripe count, and one
+/// length-prefixed node row per stripe.
+pub fn encode_manifest(epoch: u64, fp: &crate::coordinator::FilePlacement) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(MANIFEST_VERSION);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    put_str(&mut out, &fp.name);
+    put_str(&mut out, &fp.spec.to_string());
+    out.extend_from_slice(&fp.file_len.to_le_bytes());
+    out.extend_from_slice(&(fp.block_bytes as u64).to_le_bytes());
+    put_u32(&mut out, fp.stripes as u32);
+    for row in &fp.nodes {
+        put_u32(&mut out, row.len() as u32);
+        for &node in row {
+            put_u32(&mut out, node as u32);
+        }
+    }
+    out
+}
+
+/// Decodes an [`encode_manifest`] payload.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Protocol`] on an unknown version, truncation,
+/// trailing bytes, an invalid name or code spec, or absurd stripe/row
+/// counts.
+pub fn decode_manifest(
+    buf: &[u8],
+) -> Result<(u64, crate::coordinator::FilePlacement), ClusterError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != MANIFEST_VERSION {
+        return Err(ClusterError::Protocol {
+            reason: format!("unknown manifest version {version}"),
+        });
+    }
+    let epoch = r.u64()?;
+    let name = r.str()?;
+    validate_file_name(&name)?;
+    let spec_text = r.str()?;
+    let spec =
+        filestore::format::CodeSpec::parse(&spec_text).map_err(|e| ClusterError::Protocol {
+            reason: format!("manifest code spec {spec_text:?}: {e}"),
+        })?;
+    let file_len = r.u64()?;
+    let block_bytes = r.u64()? as usize;
+    let stripes = r.u32()? as usize;
+    if stripes > MAX_MANIFEST_STRIPES {
+        return Err(ClusterError::Protocol {
+            reason: format!("manifest claims {stripes} stripes"),
+        });
+    }
+    let mut nodes = Vec::with_capacity(stripes);
+    for s in 0..stripes {
+        let width = r.u32()? as usize;
+        if width > MAX_MANIFEST_ROW {
+            return Err(ClusterError::Protocol {
+                reason: format!("manifest stripe {s} claims {width} nodes"),
+            });
+        }
+        let mut row = Vec::with_capacity(width);
+        for _ in 0..width {
+            row.push(r.u32()? as usize);
+        }
+        nodes.push(row);
+    }
+    r.finish()?;
+    Ok((
+        epoch,
+        crate::coordinator::FilePlacement {
+            name,
+            spec,
+            file_len,
+            block_bytes,
+            stripes,
+            nodes,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1076,7 +1203,51 @@ mod tests {
             Request::Stat { id: id("s", 0, 0) },
             Request::Stats,
             Request::RepairStatus,
+            Request::ManifestGet {
+                name: "data.bin".into(),
+            },
         ]
+    }
+
+    #[test]
+    fn manifest_get_validates_names() {
+        for bad in ["", "a/b", "..", &"x".repeat(300)] {
+            let req = Request::ManifestGet { name: bad.into() };
+            assert!(
+                Request::decode(&req.encode()).is_err(),
+                "name {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_payload_roundtrip_and_validation() {
+        let fp = crate::coordinator::FilePlacement {
+            name: "data.bin".into(),
+            spec: filestore::format::CodeSpec::Msr { n: 6, k: 3, d: 5 },
+            file_len: 123_456,
+            block_bytes: 4096,
+            stripes: 3,
+            nodes: vec![
+                vec![0, 1, 2, 3, 4, 5],
+                vec![5, 4, 3, 2, 1, 0],
+                vec![2, 0, 4, 1, 5, 3],
+            ],
+        };
+        let payload = encode_manifest(77, &fp);
+        let (epoch, got) = decode_manifest(&payload).unwrap();
+        assert_eq!(epoch, 77);
+        assert_eq!(got, fp);
+        // Unknown version, truncation, and trailing bytes are rejected.
+        let mut wrong = payload.clone();
+        wrong[0] = 9;
+        assert!(decode_manifest(&wrong).is_err());
+        for cut in 1..payload.len() {
+            assert!(decode_manifest(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = payload;
+        trailing.push(0);
+        assert!(decode_manifest(&trailing).is_err());
     }
 
     #[test]

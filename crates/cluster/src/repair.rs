@@ -35,6 +35,13 @@
 //!   [`Request::RepairStatus`](crate::protocol::Request::RepairStatus)
 //!   (`carousel-tool repair-status`) even with telemetry compiled out.
 //!
+//! A scheduler binds to **one coordinator** — its liveness feed and its
+//! slice of the namespace. In a sharded deployment
+//! ([`MetaRouter::sharded`](crate::MetaRouter::sharded)) run one
+//! scheduler per shard: each repairs exactly the stripes its shard owns,
+//! and the placement commits flow through that shard's record log,
+//! bumping its epoch so cached client manifests invalidate.
+//!
 //! [`ClusterClient::repair_file`]: crate::ClusterClient::repair_file
 //! [`ClusterClient::repair_stripe`]: crate::ClusterClient::repair_stripe
 

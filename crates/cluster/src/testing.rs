@@ -1,5 +1,5 @@
 //! A loopback cluster harness: `n` real datanodes on ephemeral
-//! `127.0.0.1` ports plus a shared coordinator, all in one process.
+//! `127.0.0.1` ports plus a sharded metadata layer, all in one process.
 //!
 //! Used by the integration tests and the `ext_cluster` experiment binary.
 //! The crucial knob is the difference between [`LocalCluster::kill`] and
@@ -9,6 +9,13 @@
 //! paper's degraded-read path exists for. `fail` additionally marks the
 //! node dead up front, modeling a failure the namenode already knows
 //! about.
+//!
+//! Metadata runs through a [`MetaRouter`] over one or more coordinator
+//! shards (see [`LocalCluster::start_sharded`]), each with its own
+//! record log under the harness temp directory — so
+//! [`LocalCluster::restart_coordinators`] can model a namenode crash:
+//! every shard is rebuilt purely from its log and dead-until-verified
+//! nodes are revived by pinging them.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -19,13 +26,14 @@ use crate::client::ClusterClient;
 use crate::coordinator::Coordinator;
 use crate::datanode::{DataNode, DataNodeConfig};
 use crate::error::ClusterError;
+use crate::router::MetaRouter;
 
 static HARNESS_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 /// An in-process cluster of real TCP datanodes.
 #[derive(Debug)]
 pub struct LocalCluster {
-    coordinator: Arc<Coordinator>,
+    meta: Arc<MetaRouter>,
     nodes: Vec<Option<DataNode>>,
     roots: Vec<PathBuf>,
     base: PathBuf,
@@ -35,14 +43,26 @@ pub struct LocalCluster {
 
 impl LocalCluster {
     /// Starts `n` datanodes on ephemeral loopback ports, registered with
-    /// a fresh coordinator. Block stores live under a per-harness temp
-    /// directory removed on drop.
+    /// a fresh single-shard metadata layer. Block stores and the shard's
+    /// record log live under a per-harness temp directory removed on
+    /// drop.
     ///
     /// # Errors
     ///
     /// Propagates bind and filesystem failures.
     pub fn start(n: usize) -> Result<Self, ClusterError> {
         Self::start_with_delay(n, Duration::ZERO)
+    }
+
+    /// Like [`LocalCluster::start`], but with `shards` coordinator
+    /// instances serving disjoint slices of the file namespace behind
+    /// one [`MetaRouter`], each with its own record log and epoch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and filesystem failures.
+    pub fn start_sharded(n: usize, shards: usize) -> Result<Self, ClusterError> {
+        Self::start_full(n, shards, Duration::ZERO, None)
     }
 
     /// Like [`LocalCluster::start`], but every datanode sleeps
@@ -73,6 +93,15 @@ impl LocalCluster {
         request_delay: Duration,
         service_rate: Option<u64>,
     ) -> Result<Self, ClusterError> {
+        Self::start_full(n, 1, request_delay, service_rate)
+    }
+
+    fn start_full(
+        n: usize,
+        shards: usize,
+        request_delay: Duration,
+        service_rate: Option<u64>,
+    ) -> Result<Self, ClusterError> {
         let base = std::env::temp_dir().join(format!(
             "carousel-cluster-{}-{}",
             std::process::id(),
@@ -80,20 +109,23 @@ impl LocalCluster {
         ));
         let _ = std::fs::remove_dir_all(&base);
         std::fs::create_dir_all(&base)?;
-        let coordinator = Arc::new(Coordinator::new());
+        let coords: Vec<Arc<Coordinator>> = (0..shards.max(1))
+            .map(|i| Coordinator::create_log(&base.join(format!("meta{i:02}.log"))).map(Arc::new))
+            .collect::<Result<_, _>>()?;
+        let meta = MetaRouter::sharded(coords);
         let mut nodes = Vec::with_capacity(n);
         let mut roots = Vec::with_capacity(n);
         for id in 0..n {
             let root = base.join(format!("node{id:02}"));
             let mut config = DataNodeConfig::new(id, &root)
-                .with_coordinator(Arc::clone(&coordinator))
+                .with_router(Arc::clone(&meta))
                 .with_request_delay(request_delay);
             config.service_rate = service_rate;
             nodes.push(Some(DataNode::spawn("127.0.0.1:0", config)?));
             roots.push(root);
         }
         Ok(LocalCluster {
-            coordinator,
+            meta,
             nodes,
             roots,
             base,
@@ -102,14 +134,27 @@ impl LocalCluster {
         })
     }
 
-    /// The shared coordinator.
+    /// The first (or only) coordinator shard. Membership is broadcast,
+    /// so any shard answers liveness questions; file lookups on it see
+    /// only its own slice of a sharded namespace — use
+    /// [`LocalCluster::router`] for routed access.
     pub fn coordinator(&self) -> Arc<Coordinator> {
-        Arc::clone(&self.coordinator)
+        Arc::clone(&self.meta.shards()[0])
+    }
+
+    /// The metadata router over every shard.
+    pub fn router(&self) -> Arc<MetaRouter> {
+        Arc::clone(&self.meta)
+    }
+
+    /// The record-log path of shard `shard`.
+    pub fn meta_log_path(&self, shard: usize) -> PathBuf {
+        self.base.join(format!("meta{shard:02}.log"))
     }
 
     /// A fresh client with a short timeout suited to loopback tests.
     pub fn client(&self) -> ClusterClient {
-        ClusterClient::new(self.coordinator()).with_timeout(Duration::from_secs(5))
+        ClusterClient::routed(Arc::clone(&self.meta)).with_timeout(Duration::from_secs(5))
     }
 
     /// Number of node slots (running or not).
@@ -131,11 +176,11 @@ impl LocalCluster {
         }
     }
 
-    /// Stops node `id` and reports it dead to the coordinator — a known
-    /// failure rather than a surprise.
+    /// Stops node `id` and reports it dead to every metadata shard — a
+    /// known failure rather than a surprise.
     pub fn fail(&mut self, id: usize) {
         self.kill(id);
-        self.coordinator.mark_dead(id);
+        self.meta.mark_dead(id);
     }
 
     /// Scrapes every running node over the wire and merges the snapshots
@@ -174,11 +219,34 @@ impl LocalCluster {
             let _ = std::fs::remove_dir_all(&self.roots[id]);
         }
         let mut config = DataNodeConfig::new(id, &self.roots[id])
-            .with_coordinator(Arc::clone(&self.coordinator))
+            .with_router(Arc::clone(&self.meta))
             .with_request_delay(self.request_delay);
         config.service_rate = self.service_rate;
         self.nodes[id] = Some(DataNode::spawn("127.0.0.1:0", config)?);
         Ok(())
+    }
+
+    /// Models a metadata-service crash: throws away every coordinator
+    /// shard and rebuilds each one purely from its record log, then
+    /// pings the recovered (dead-until-verified) nodes to revive the
+    /// ones still serving. Returns the revived node ids.
+    ///
+    /// Running datanodes keep heartbeating the *old* shards (their
+    /// router handle is immutable), so recovered liveness rests on
+    /// [`Coordinator::verify_nodes`] — exactly the cold-start situation
+    /// a real restart faces. Clients made by [`LocalCluster::client`]
+    /// after this call see the rebuilt shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-recovery failures.
+    pub fn restart_coordinators(&mut self) -> Result<Vec<usize>, ClusterError> {
+        let shards = self.meta.shards().len();
+        let coords: Vec<Arc<Coordinator>> = (0..shards)
+            .map(|i| Coordinator::open_log(&self.meta_log_path(i)).map(Arc::new))
+            .collect::<Result<_, _>>()?;
+        self.meta = MetaRouter::sharded(coords);
+        Ok(self.meta.verify_nodes(Duration::from_millis(500)))
     }
 }
 

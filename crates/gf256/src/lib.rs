@@ -30,7 +30,6 @@ mod field;
 mod field_trait;
 mod gf65536;
 mod matrix;
-mod slice;
 mod tables;
 
 pub mod builders;
@@ -41,5 +40,3 @@ pub use field_trait::Field;
 pub use gf65536::Gf65536;
 pub use kernel::{by_name, kernel, kernels, Kernel, KernelHandle};
 pub use matrix::{Matrix, MatrixOf};
-#[allow(deprecated)]
-pub use slice::{add_assign_slice, mul_acc_slice, mul_slice, mul_slice_in_place};

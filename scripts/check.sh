@@ -44,14 +44,14 @@ if [ -n "$guard_hits" ]; then
   exit 1
 fi
 
-step "kernel guard: crates outside gf256 use the kernel engine"
-# The slice free functions (mul_slice & co.) are deprecated shims kept for
-# external callers; everything in-tree must go through gf256::kernel().
+step "kernel guard: everything goes through the kernel engine"
+# The slice free functions (mul_slice & co.) were deprecated shims and are
+# now deleted; nothing anywhere — gf256 included — may reintroduce them.
 guard_hits=$(grep -rnE "\b(mul_slice|mul_acc_slice|add_assign_slice|mul_slice_in_place)\b" \
   --include='*.rs' src tests examples \
   crates/access crates/bench crates/cluster crates/core crates/dfs crates/erasure \
-  crates/filestore crates/lrc crates/mapreduce crates/msr crates/rs crates/simcore \
-  crates/telemetry crates/workloads || true)
+  crates/filestore crates/gf256 crates/lrc crates/mapreduce crates/msr crates/rs \
+  crates/simcore crates/telemetry crates/workloads || true)
 if [ -n "$guard_hits" ]; then
   printf 'use gf256::kernel() instead of the deprecated slice helpers:\n%s\n' "$guard_hits" >&2
   exit 1
@@ -94,6 +94,12 @@ cargo run --release --offline -p carousel-bench --bin ext_observe -- --smoke
 step "repair-storm bench smoke (telemetry on)"
 cargo run --release --offline -p carousel-bench --bin ext_repair_storm -- --smoke
 
+step "metadata scale-out bench smoke + JSONL schema check (telemetry on)"
+meta_on=$(mktemp /tmp/carousel-meta-on.XXXXXX.jsonl)
+cargo run --release --offline -p carousel-bench --bin ext_metadata -- --smoke --metrics "$meta_on"
+cargo run --release --offline -p carousel-bench --bin jsonl_check -- "$meta_on"
+rm -f "$meta_on"
+
 if [ "$mode" != "fast" ]; then
   step "cargo test (--no-default-features: telemetry compiled out)"
   cargo test --workspace --no-default-features --offline -q
@@ -115,6 +121,12 @@ if [ "$mode" != "fast" ]; then
 
   step "repair-storm bench smoke (telemetry off)"
   cargo run --release --offline -p carousel-bench --no-default-features --bin ext_repair_storm -- --smoke
+
+  step "metadata scale-out bench smoke + JSONL schema check (telemetry off)"
+  meta_off=$(mktemp /tmp/carousel-meta-off.XXXXXX.jsonl)
+  cargo run --release --offline -p carousel-bench --no-default-features --bin ext_metadata -- --smoke --metrics "$meta_off"
+  cargo run --release --offline -p carousel-bench --no-default-features --bin jsonl_check -- "$meta_off"
+  rm -f "$meta_off"
 fi
 
 step "build ext_cluster (real-TCP experiment binary)"

@@ -14,19 +14,25 @@
 //! carousel-tool serve <store-dir> [--addr HOST:PORT] [--id N]
 //! carousel-tool put <input> <manifest> --nodes addr,addr,... [--code SPEC] [--block-bytes N] [--threads N] [--seed N]
 //! carousel-tool get <manifest> <output> [--file NAME]
+//! carousel-tool manifest dump <manifest>
+//! carousel-tool manifest compact <manifest>
 //! carousel-tool stats <addr>
 //! carousel-tool repair-status <addr>
 //! ```
 //!
-//! The last five commands run against a *live* TCP cluster: `serve`
+//! The cluster commands run against a *live* TCP cluster: `serve`
 //! starts a foreground datanode, `put` encodes + places + uploads a file
-//! across datanodes and writes a cluster manifest, `get` reads it
-//! back (degrading transparently if nodes died), `stats` scrapes one
-//! node's telemetry registry over the wire, and `repair-status` reads
-//! the process-wide background-repair scoreboard (queue depth, in-flight
-//! rebuilds, completion counters). `repair` is
+//! across datanodes while appending every registration and placement to
+//! a durable metadata record log (the *manifest*), `get` replays that
+//! log and reads the file back (degrading transparently if nodes died),
+//! `stats` scrapes one node's telemetry registry over the wire, and
+//! `repair-status` reads the process-wide background-repair scoreboard
+//! (queue depth, in-flight rebuilds, completion counters). `repair` is
 //! polymorphic: given a block directory it repairs locally, given a
-//! manifest it rebuilds missing blocks over the network.
+//! manifest log it rebuilds missing blocks over the network, committing
+//! every re-homed block back to the log. `manifest dump` prints the
+//! log's surviving records and current placements; `manifest compact`
+//! collapses its history into a snapshot.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -59,6 +65,8 @@ fn main() -> ExitCode {
             eprintln!("  carousel-tool serve <store-dir> [--addr HOST:PORT] [--id N]");
             eprintln!("  carousel-tool put <input> <manifest> --nodes addr,addr,... [--code SPEC] [--block-bytes N] [--threads N] [--seed N]");
             eprintln!("  carousel-tool get <manifest> <output> [--file NAME]");
+            eprintln!("  carousel-tool manifest dump <manifest>");
+            eprintln!("  carousel-tool manifest compact <manifest>");
             eprintln!("  carousel-tool stats <addr>");
             eprintln!("  carousel-tool repair-status <addr>");
             ExitCode::FAILURE
@@ -80,6 +88,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve" => serve(&args[1..]),
         "put" => put_cluster(&args[1..]),
         "get" => get_cluster(&args[1..]),
+        "manifest" => manifest_cmd(&args[1..]),
         "stats" => stats_cluster(&args[1..]),
         "repair-status" => repair_status_cluster(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
@@ -380,9 +389,11 @@ fn serve(args: &[String]) -> Result<(), String> {
     cluster::serve_forever(&addr, DataNodeConfig::new(id, root)).map_err(err_str)
 }
 
-/// Builds a coordinator over explicitly-listed datanode addresses.
-fn coordinator_for(nodes: &str) -> Result<Arc<Coordinator>, String> {
-    let coord = Coordinator::new();
+/// Builds a coordinator with a fresh record log at `manifest` and
+/// registers the explicitly-listed datanode addresses (each
+/// registration is the log's first records).
+fn coordinator_for(nodes: &str, manifest: &Path) -> Result<Arc<Coordinator>, String> {
+    let coord = Coordinator::create_log(manifest).map_err(err_str)?;
     for (id, addr) in nodes.split(',').enumerate() {
         let addr = addr
             .trim()
@@ -390,6 +401,15 @@ fn coordinator_for(nodes: &str) -> Result<Arc<Coordinator>, String> {
             .map_err(|_| format!("invalid node address {addr:?}"))?;
         coord.register(id, addr);
     }
+    Ok(Arc::new(coord))
+}
+
+/// Replays a record-log manifest and pings the recovered nodes:
+/// replayed registrations start *dead*, so a live probe is what
+/// separates the nodes still serving from the ones that went away.
+fn open_manifest(manifest: &Path) -> Result<Arc<Coordinator>, String> {
+    let coord = Coordinator::open_log(manifest).map_err(err_str)?;
+    coord.verify_nodes(std::time::Duration::from_secs(2));
     Ok(Arc::new(coord))
 }
 
@@ -441,7 +461,7 @@ fn put_cluster(args: &[String]) -> Result<(), String> {
         }
     }
     let nodes = nodes.ok_or("put: --nodes addr,addr,... is required")?;
-    let coord = coordinator_for(&nodes)?;
+    let coord = coordinator_for(&nodes, Path::new(manifest))?;
     let data = std::fs::read(input).map_err(err_str)?;
     let code = spec.build().map_err(err_str)?;
     let sub = code.linear().sub();
@@ -465,7 +485,6 @@ fn put_cluster(args: &[String]) -> Result<(), String> {
             &mut rng,
         )
         .map_err(err_str)?;
-    coord.save_manifest(Path::new(manifest)).map_err(err_str)?;
     println!(
         "stored {name:?} ({} bytes) with {spec}: {} stripe(s) over {} node(s) -> {manifest}",
         data.len(),
@@ -504,11 +523,11 @@ fn manifest_file_arg(coord: &Coordinator, args: &[String], cmd: &str) -> Result<
     }
 }
 
-/// Reads a file back from the cluster described by a manifest.
+/// Reads a file back from the cluster described by a manifest log.
 fn get_cluster(args: &[String]) -> Result<(), String> {
     let manifest = args.first().ok_or("get: missing <manifest>")?;
     let output = args.get(1).ok_or("get: missing <output>")?;
-    let coord = Arc::new(Coordinator::load_manifest(Path::new(manifest)).map_err(err_str)?);
+    let coord = open_manifest(Path::new(manifest))?;
     let name = manifest_file_arg(&coord, args, "get")?;
     let mut client = ClusterClient::new(coord);
     let data = client.get_file(&name).map_err(err_str)?;
@@ -517,15 +536,15 @@ fn get_cluster(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Rebuilds a manifest-described file's missing blocks over the network,
-/// then rewrites the manifest with any re-homed placements.
+/// Rebuilds a manifest-described file's missing blocks over the
+/// network; every re-homed block is committed to the manifest log as it
+/// happens, so there is nothing to rewrite afterwards.
 fn repair_cluster(args: &[String]) -> Result<(), String> {
     let manifest = Path::new(args.first().ok_or("repair: missing <manifest>")?);
-    let coord = Arc::new(Coordinator::load_manifest(manifest).map_err(err_str)?);
+    let coord = open_manifest(manifest)?;
     let name = manifest_file_arg(&coord, args, "repair")?;
     let mut client = ClusterClient::new(Arc::clone(&coord));
     let report = client.repair_file(&name).map_err(err_str)?;
-    coord.save_manifest(manifest).map_err(err_str)?;
     if report.blocks_repaired == 0 {
         println!("nothing to repair in {name:?}");
     } else {
@@ -534,6 +553,96 @@ fn repair_cluster(args: &[String]) -> Result<(), String> {
             report.blocks_repaired, report.helper_payload_bytes, report.wire_bytes
         );
     }
+    Ok(())
+}
+
+/// `manifest dump <log>` / `manifest compact <log>`: offline inspection
+/// and maintenance of a metadata record log, no cluster required.
+fn manifest_cmd(args: &[String]) -> Result<(), String> {
+    let sub = args.first().ok_or("manifest: missing dump|compact")?;
+    let path = Path::new(args.get(1).ok_or("manifest: missing <manifest> log path")?);
+    match sub.as_str() {
+        "dump" => manifest_dump(path),
+        "compact" => manifest_compact(path),
+        other => Err(format!("manifest: unknown subcommand {other:?}")),
+    }
+}
+
+/// Prints every surviving record of a metadata log, then the placements
+/// they replay to. The `place_<file>_<stripe>=` lines are the stable,
+/// machine-parseable part (tests and scripts read node ids off them).
+fn manifest_dump(path: &Path) -> Result<(), String> {
+    use cluster::metalog;
+    use cluster::MetaRecord;
+    use std::collections::BTreeMap;
+
+    let (records, valid, total) = metalog::read_records(path).map_err(err_str)?;
+    println!(
+        "log {}: {} record(s), {valid} of {total} bytes valid",
+        path.display(),
+        records.len()
+    );
+    if valid < total {
+        println!(
+            "(torn tail: the last {} bytes are unreadable)",
+            total - valid
+        );
+    }
+    let mut files: BTreeMap<String, cluster::FilePlacement> = BTreeMap::new();
+    for rec in &records {
+        match rec {
+            MetaRecord::NodeRegistered { id, addr } => println!("  node {id} @ {addr}"),
+            MetaRecord::FilePlaced(fp) => {
+                println!(
+                    "  placed {:?} {} ({} bytes, {} stripe(s))",
+                    fp.name, fp.spec, fp.file_len, fp.stripes
+                );
+                files.insert(fp.name.clone(), fp.clone());
+            }
+            MetaRecord::PlacementCommitted {
+                file,
+                stripe,
+                role,
+                node,
+            } => {
+                println!("  commit {file:?} stripe {stripe} role {role} -> node {node}");
+                if let Some(fp) = files.get_mut(file) {
+                    if let Some(slot) = fp
+                        .nodes
+                        .get_mut(*stripe as usize)
+                        .and_then(|row| row.get_mut(*role as usize))
+                    {
+                        *slot = *node as usize;
+                    }
+                }
+            }
+            MetaRecord::FileDeleted { file } => {
+                println!("  deleted {file:?}");
+                files.remove(file);
+            }
+        }
+    }
+    for (idx, fp) in files.values().enumerate() {
+        println!(
+            "file_{idx}={} spec={} len={} block_bytes={} stripes={}",
+            fp.name, fp.spec, fp.file_len, fp.block_bytes, fp.stripes
+        );
+        for (s, row) in fp.nodes.iter().enumerate() {
+            let ids: Vec<String> = row.iter().map(|n| n.to_string()).collect();
+            println!("place_{idx}_{s}={}", ids.join(","));
+        }
+    }
+    Ok(())
+}
+
+/// Collapses a metadata log's history into a snapshot of its current
+/// state (same replay result, minimal size).
+fn manifest_compact(path: &Path) -> Result<(), String> {
+    let before = std::fs::metadata(path).map_err(err_str)?.len();
+    let coord = Coordinator::open_log(path).map_err(err_str)?;
+    coord.compact_log().map_err(err_str)?;
+    let after = std::fs::metadata(path).map_err(err_str)?.len();
+    println!("compacted {}: {before} -> {after} bytes", path.display());
     Ok(())
 }
 

@@ -272,8 +272,14 @@ fn cluster_serve_put_get_repair_round_trip() {
     assert_eq!(std::fs::read(&out).unwrap(), expect);
 
     // Kill a datanode that actually hosts blocks of stripe 0 (read from
-    // the manifest's placement line); get must degrade transparently.
-    let text = std::fs::read_to_string(&manifest).unwrap();
+    // `manifest dump`'s placement line — the manifest itself is a binary
+    // record log); get must degrade transparently.
+    let dump = tool()
+        .args(["manifest", "dump", manifest.to_str().unwrap()])
+        .output()
+        .expect("run manifest dump");
+    assert!(dump.status.success());
+    let text = String::from_utf8_lossy(&dump.stdout).to_string();
     let victim: usize = text
         .lines()
         .find_map(|l| l.strip_prefix("place_0_0="))

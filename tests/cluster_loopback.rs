@@ -161,8 +161,10 @@ fn rs_cluster_reads_and_degrades() {
     ));
 }
 
-/// The coordinator manifest round-trips through disk: a brand-new client
-/// built from the saved manifest reads the same bytes.
+/// The metadata record log round-trips through disk: a brand-new
+/// coordinator replayed purely from the harness's log — with its
+/// recovered nodes revived by a live ping — serves a client that reads
+/// the same bytes.
 #[test]
 fn manifest_reconnect_reads_same_bytes() {
     let cluster = LocalCluster::start(6).unwrap();
@@ -178,11 +180,13 @@ fn manifest_reconnect_reads_same_bytes() {
     client
         .put_file("doc", &data, spec, 60, &ctx(2), Placement::Random, &mut rng)
         .unwrap();
-    let path = std::env::temp_dir().join(format!("cluster-manifest-{}.txt", std::process::id()));
-    client.coordinator().save_manifest(&path).unwrap();
 
-    let coord = std::sync::Arc::new(cluster::Coordinator::load_manifest(&path).unwrap());
-    let mut fresh = cluster::ClusterClient::new(coord);
+    let coord = cluster::Coordinator::open_log(&cluster.meta_log_path(0)).unwrap();
+    // Replayed registrations start dead (satellite liveness fix): the
+    // nodes are all still serving, so pinging them revives every one.
+    assert!(coord.alive_nodes().is_empty());
+    let revived = coord.verify_nodes(std::time::Duration::from_secs(2));
+    assert_eq!(revived, vec![0, 1, 2, 3, 4, 5]);
+    let mut fresh = cluster::ClusterClient::new(std::sync::Arc::new(coord));
     assert_eq!(fresh.get_file("doc").unwrap(), data);
-    let _ = std::fs::remove_file(&path);
 }

@@ -1,0 +1,285 @@
+//! Scale-out metadata over real loopback TCP: sharded coordinators
+//! behind the `MetaRouter`, durable record logs, `ManifestGet` on the
+//! wire, client-side manifest caching with epoch invalidation, and
+//! byte-identity through a coordinator crash-and-replay mid-workload.
+
+use std::time::Duration;
+
+use cluster::testing::LocalCluster;
+use cluster::ClusterError;
+use dfs::Placement;
+use filestore::format::CodeSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::parallel::ParallelCtx;
+
+fn ctx(threads: usize) -> ParallelCtx {
+    ParallelCtx::builder().threads(threads).build()
+}
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 37 + 11) as u8).collect()
+}
+
+fn spec() -> CodeSpec {
+    CodeSpec::Carousel {
+        n: 6,
+        k: 3,
+        d: 3,
+        p: 6,
+    }
+}
+
+/// Several files over two shards: each routes to exactly one shard, the
+/// merged namespace sees all of them, and every read is byte-identical.
+#[test]
+fn sharded_namespace_routes_and_reads() {
+    let cluster = LocalCluster::start_sharded(6, 2).unwrap();
+    let router = cluster.router();
+    assert_eq!(router.shards().len(), 2);
+    let mut client = cluster.client();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut bodies = Vec::new();
+    for i in 0..8 {
+        let name = format!("shard-file-{i}");
+        let data = payload(500 + i * 97);
+        client
+            .put_file(
+                &name,
+                &data,
+                spec(),
+                60,
+                &ctx(2),
+                Placement::Random,
+                &mut rng,
+            )
+            .unwrap();
+        bodies.push((name, data));
+    }
+    assert_eq!(router.files().len(), 8, "merged namespace sees every file");
+    let mut used = [0usize; 2];
+    for (name, data) in &bodies {
+        let owner = router.shard_index(name);
+        used[owner] += 1;
+        for (s, shard) in router.shards().iter().enumerate() {
+            assert_eq!(
+                shard.file(name).is_some(),
+                s == owner,
+                "{name:?} must live only on shard {owner}"
+            );
+        }
+        assert_eq!(&client.get_file(name).unwrap(), data);
+    }
+    assert!(
+        used.iter().all(|&c| c > 0),
+        "8 files all hashed onto one shard: {used:?}"
+    );
+}
+
+/// `ManifestGet` over the wire: a datanode answers with the owning
+/// shard's epoch and a placement identical to the router's, and unknown
+/// files come back as clean remote errors.
+#[test]
+fn manifest_get_serves_placement_and_epoch_over_tcp() {
+    let cluster = LocalCluster::start_sharded(7, 2).unwrap();
+    let router = cluster.router();
+    let mut client = cluster.client();
+    let data = payload(900);
+    let mut rng = StdRng::seed_from_u64(21);
+    let placed = client
+        .put_file(
+            "wire",
+            &data,
+            spec(),
+            90,
+            &ctx(2),
+            Placement::Random,
+            &mut rng,
+        )
+        .unwrap();
+
+    let (epoch, fp) = client.manifest_from_node(0, "wire").unwrap();
+    assert_eq!(fp, placed, "wire manifest differs from the placed one");
+    assert_eq!(epoch, router.epoch_of("wire"), "epoch must be the shard's");
+
+    // A re-home advances the epoch served over the wire.
+    let before = epoch;
+    let target = (0..7)
+        .find(|&n| !placed.nodes[0].contains(&n))
+        .expect("a node outside stripe 0");
+    router.set_block_node("wire", 0, 0, target).unwrap();
+    let (after, fp2) = client.manifest_from_node(3, "wire").unwrap();
+    assert!(after > before, "commit must bump the served epoch");
+    assert_eq!(fp2.nodes[0][0], target);
+
+    assert!(matches!(
+        client.manifest_from_node(0, "no-such-file"),
+        Err(ClusterError::Remote { .. })
+    ));
+}
+
+/// The client manifest cache: repeat reads hit, a repair-driven re-home
+/// bumps the shard epoch, and the next read refetches instead of
+/// serving the stale placement.
+#[test]
+fn manifest_cache_invalidates_on_repair_rehome() {
+    let mut cluster = LocalCluster::start_sharded(7, 2).unwrap();
+    let mut client = cluster.client();
+    let data = payload(1200);
+    let mut rng = StdRng::seed_from_u64(8);
+    let fp = client
+        .put_file(
+            "hot",
+            &data,
+            spec(),
+            60,
+            &ctx(2),
+            Placement::Random,
+            &mut rng,
+        )
+        .unwrap();
+
+    // Two manifest reads: one miss, then a hit at the same epoch.
+    let m1 = client.file_manifest("hot").unwrap();
+    let m2 = client.file_manifest("hot").unwrap();
+    assert_eq!(*m1, *m2);
+    let (hits, misses) = client.manifest_cache_stats();
+    assert_eq!((hits, misses), (1, 1));
+
+    // Fail a block-hosting node and repair: the rebuilt block re-homes,
+    // committing through the shard's log and bumping its epoch.
+    let victim = fp.nodes[0][0];
+    cluster.fail(victim);
+    let report = client.repair_file("hot").unwrap();
+    assert!(report.blocks_repaired > 0, "repair rebuilt nothing");
+
+    // The next manifest read must observe the epoch bump: a refetch
+    // (miss), with the victim gone from the placement.
+    let m3 = client.file_manifest("hot").unwrap();
+    let (hits2, misses2) = client.manifest_cache_stats();
+    assert_eq!(hits2, hits, "stale cache hit after repair re-home");
+    assert_eq!(misses2, misses + 1, "epoch bump must force a refetch");
+    assert!(
+        m3.nodes.iter().all(|row| !row.contains(&victim)),
+        "refetched manifest still references the failed node"
+    );
+    assert_eq!(client.get_file("hot").unwrap(), data);
+}
+
+/// Satellite: kill-and-restart the *coordinators* mid-workload. Every
+/// shard is rebuilt purely from its record log, recovered nodes start
+/// dead until a live ping revives them, and `get_file` returns
+/// byte-identical contents for files placed both before and after the
+/// restart.
+#[test]
+fn coordinator_restart_mid_workload_keeps_bytes_identical() {
+    let mut cluster = LocalCluster::start_sharded(6, 2).unwrap();
+    let mut client = cluster.client();
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut bodies = Vec::new();
+    for i in 0..4 {
+        let name = format!("pre-{i}");
+        let data = payload(700 + i * 131);
+        client
+            .put_file(
+                &name,
+                &data,
+                spec(),
+                70,
+                &ctx(2),
+                Placement::Random,
+                &mut rng,
+            )
+            .unwrap();
+        bodies.push((name, data));
+    }
+
+    // Crash and replay the metadata service. The datanodes never
+    // stopped serving, so the ping pass revives every one.
+    let revived = cluster.restart_coordinators().unwrap();
+    assert_eq!(revived, vec![0, 1, 2, 3, 4, 5]);
+    for shard in cluster.router().shards() {
+        assert_eq!(shard.alive_nodes().len(), 6);
+    }
+
+    // The old client still points at the dead coordinators; a fresh one
+    // sees the replayed namespace. The workload continues: reads of
+    // pre-restart files and new placements both work.
+    let mut client = cluster.client();
+    for (name, data) in &bodies {
+        assert_eq!(
+            &client.get_file(name).unwrap(),
+            data,
+            "{name} after restart"
+        );
+    }
+    for i in 0..3 {
+        let name = format!("post-{i}");
+        let data = payload(900 + i * 53);
+        client
+            .put_file(
+                &name,
+                &data,
+                spec(),
+                90,
+                &ctx(2),
+                Placement::Random,
+                &mut rng,
+            )
+            .unwrap();
+        bodies.push((name, data));
+    }
+
+    // Restart again: the logs now hold both generations (and the
+    // post-restart placements were appended to the *reopened* logs).
+    cluster.restart_coordinators().unwrap();
+    let mut client = cluster.client();
+    assert_eq!(client.router().files().len(), 7);
+    for (name, data) in &bodies {
+        assert_eq!(
+            &client.get_file(name).unwrap(),
+            data,
+            "{name} after 2nd restart"
+        );
+    }
+}
+
+/// A node that died before a coordinator restart stays dead after the
+/// replay (its ping fails), so the replayed coordinator never plans
+/// reads against it — while degraded reads still return exact bytes.
+#[test]
+fn restart_keeps_vanished_nodes_dead() {
+    let mut cluster = LocalCluster::start_sharded(7, 1).unwrap();
+    let mut client = cluster.client();
+    let data = payload(1100);
+    let mut rng = StdRng::seed_from_u64(3);
+    let fp = client
+        .put_file(
+            "doc",
+            &data,
+            spec(),
+            60,
+            &ctx(2),
+            Placement::Random,
+            &mut rng,
+        )
+        .unwrap();
+    let victim = fp.nodes[0][0];
+    cluster.kill(victim);
+
+    let revived = cluster.restart_coordinators().unwrap();
+    assert!(
+        !revived.contains(&victim),
+        "dead node revived without a ping"
+    );
+    assert_eq!(revived.len(), 6);
+    let router = cluster.router();
+    assert!(!router.is_alive(victim));
+    std::thread::sleep(Duration::from_millis(10));
+    let mut client = cluster.client();
+    assert_eq!(
+        client.get_file("doc").unwrap(),
+        data,
+        "degraded post-restart read"
+    );
+}
