@@ -17,7 +17,11 @@
 //!   set and replan, up to a bounded number of attempts;
 //! * [`PlanCache`] — memoizes the Gaussian eliminations behind decode and
 //!   repair plans, keyed by the availability pattern, with
-//!   `access.plan.cache.{hit,miss}` telemetry counters.
+//!   `access.plan.cache.{hit,miss}` telemetry counters;
+//! * [`ObjectStore`] / [`PutOptions`] — the unified mutable-object API
+//!   (put/get/get_range/write_range/append/delete) every stack
+//!   implements, so whole-object reads, in-place delta writes, appends
+//!   and small-object packing behave identically across transports.
 //!
 //! The three in-tree transports are `filestore` (in-memory blocks, via
 //! [`MemorySource`]), `dfs` (simulated datanodes) and `cluster` (real TCP
@@ -28,6 +32,7 @@
 
 mod cache;
 mod executor;
+mod object;
 mod plan;
 mod source;
 
@@ -37,6 +42,7 @@ pub use executor::{
     ExecError, FetchedStripe, PlanExecutor, RegionRead, RepairOutcome, StripeRead,
     DEFAULT_MAX_REPLANS,
 };
+pub use object::{ObjectStore, PutOptions};
 pub use plan::{DegradedPlan, ReadPlan, RepairPlan};
 pub use source::{BatchRequest, BlockSource, Fetch, MemorySource};
 

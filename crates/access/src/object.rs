@@ -1,0 +1,187 @@
+//! The unified mutable-object API: one trait for every storage stack.
+//!
+//! The repo grew three ad-hoc surfaces for "store bytes under a name" —
+//! the in-memory filestore, the simulated DFS, and the TCP cluster
+//! client each had their own `put`/`get` shapes. [`ObjectStore`] folds
+//! them into one contract covering the full mutable-data lifecycle:
+//! whole-object put/get, byte-range reads, **in-place `write_range`**
+//! (delta parity updates — cost proportional to the touched region, not
+//! the stripe), **`append`** (growing the object, adding stripes as
+//! needed) and `delete`. The tri-stack equivalence tests drive all
+//! three implementations through this trait, so a mutation path that
+//! works on one stack is byte-identical on the others.
+//!
+//! [`PutOptions`] is the builder for per-put knobs. It is deliberately
+//! transport-agnostic: the code is named by its *spec string* (e.g.
+//! `"rs(8,4)"`, `"carousel(6,3,3,6)"`) so this crate does not depend on
+//! any particular spec parser; stores that fix their code at
+//! construction simply ignore it.
+
+/// Per-put options, builder style.
+///
+/// # Examples
+///
+/// ```
+/// use access::PutOptions;
+///
+/// let opts = PutOptions::new().code("rs(6,4)").block_bytes(4096).pack(true);
+/// assert_eq!(opts.code_spec(), Some("rs(6,4)"));
+/// assert_eq!(opts.block_bytes_hint(), Some(4096));
+/// assert!(opts.packed());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PutOptions {
+    code: Option<String>,
+    block_bytes: Option<usize>,
+    pack: bool,
+}
+
+impl PutOptions {
+    /// Default options: the store's default code and block size, no
+    /// packing.
+    pub fn new() -> PutOptions {
+        PutOptions::default()
+    }
+
+    /// Selects the erasure code by spec string (e.g. `"rs(6,4)"`).
+    /// Stores whose code is fixed at construction ignore this.
+    #[must_use]
+    pub fn code(mut self, spec: &str) -> PutOptions {
+        self.code = Some(spec.to_string());
+        self
+    }
+
+    /// Overrides the per-block byte size.
+    #[must_use]
+    pub fn block_bytes(mut self, bytes: usize) -> PutOptions {
+        self.block_bytes = Some(bytes);
+        self
+    }
+
+    /// Packs this (small) object into a shared stripe: the store
+    /// appends its bytes to an open *pack* and records only a
+    /// per-object extent, instead of dedicating whole stripes to it.
+    #[must_use]
+    pub fn pack(mut self, pack: bool) -> PutOptions {
+        self.pack = pack;
+        self
+    }
+
+    /// The requested code spec string, if any.
+    pub fn code_spec(&self) -> Option<&str> {
+        self.code.as_deref()
+    }
+
+    /// The requested block size, if any.
+    pub fn block_bytes_hint(&self) -> Option<usize> {
+        self.block_bytes
+    }
+
+    /// Whether this put asked to be packed into a shared stripe.
+    pub fn packed(&self) -> bool {
+        self.pack
+    }
+}
+
+/// A named store of erasure-coded mutable objects.
+///
+/// Methods take `&mut self` because every in-tree implementation keeps
+/// per-connection or per-cache mutable state; a shared store wraps the
+/// implementation in its own synchronization.
+///
+/// Contract highlights every implementation upholds (and the tri-stack
+/// tests verify):
+///
+/// * `get(name)` after `put(name, data)` returns exactly `data`;
+/// * `write_range(name, off, patch)` only overwrites — `off +
+///   patch.len()` must not exceed the current length (use `append` to
+///   grow), and afterwards `get` reflects the edit byte-for-byte;
+/// * `append(name, tail)` returns the new length and behaves like
+///   `put(name, old ++ tail)` would have;
+/// * `delete(name)` returns whether the object existed; a deleted name
+///   can be re-`put`;
+/// * parity stays consistent under every mutation: degraded reads and
+///   repairs after a `write_range`/`append` see the updated bytes.
+pub trait ObjectStore {
+    /// The implementation's error type.
+    type Error: std::error::Error;
+
+    /// Stores `data` under `name` with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; storing under an existing name is an
+    /// error (delete first).
+    fn put_opts(&mut self, name: &str, data: &[u8], opts: &PutOptions) -> Result<(), Self::Error>;
+
+    /// Stores `data` under `name` with default options.
+    ///
+    /// # Errors
+    ///
+    /// See [`ObjectStore::put_opts`].
+    fn put(&mut self, name: &str, data: &[u8]) -> Result<(), Self::Error> {
+        self.put_opts(name, data, &PutOptions::new())
+    }
+
+    /// Reads the whole object back.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; unknown names are an error.
+    fn get(&mut self, name: &str) -> Result<Vec<u8>, Self::Error>;
+
+    /// Reads `len` bytes at byte `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; ranges past the object's end are an
+    /// error.
+    fn get_range(&mut self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, Self::Error>;
+
+    /// Overwrites the object's bytes at `offset` with `data` in place,
+    /// updating parity by delta. The range must lie within the current
+    /// length.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; out-of-bounds ranges are an error.
+    fn write_range(&mut self, name: &str, offset: u64, data: &[u8]) -> Result<(), Self::Error>;
+
+    /// Appends `data` to the object, returning its new length.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined.
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<u64, Self::Error>;
+
+    /// Deletes the object. Returns `false` when it did not exist.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined (transport failures, not absence).
+    fn delete(&mut self, name: &str) -> Result<bool, Self::Error>;
+
+    /// The object's current length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; unknown names are an error.
+    fn object_len(&mut self, name: &str) -> Result<u64, Self::Error>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let opts = PutOptions::new();
+        assert_eq!(opts.code_spec(), None);
+        assert_eq!(opts.block_bytes_hint(), None);
+        assert!(!opts.packed());
+        let opts = opts.code("carousel(6,3,3,6)").block_bytes(120).pack(true);
+        assert_eq!(opts.code_spec(), Some("carousel(6,3,3,6)"));
+        assert_eq!(opts.block_bytes_hint(), Some(120));
+        assert!(opts.packed());
+    }
+}

@@ -21,14 +21,12 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use access::{ObjectStore, PutOptions};
 use bench_support::{env_knob, render_table};
 use cluster::protocol::FRAME_OVERHEAD;
 use cluster::testing::LocalCluster;
 use cluster::ClusterClient;
-use dfs::Placement;
 use filestore::format::CodeSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use workloads::parallel::ParallelCtx;
 
 fn payload(len: usize) -> Vec<u8> {
@@ -41,28 +39,22 @@ fn put(
     data: &[u8],
     spec: CodeSpec,
     block_bytes: usize,
-    ctx: &ParallelCtx,
-    seed: u64,
 ) -> cluster::FilePlacement {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let opts = PutOptions::new()
+        .code(&spec.to_string())
+        .block_bytes(block_bytes);
+    client.put_opts(name, data, &opts).expect("put");
     client
-        .put_file(
-            name,
-            data,
-            spec,
-            block_bytes,
-            ctx,
-            Placement::Random,
-            &mut rng,
-        )
-        .expect("put_file")
+        .coordinator()
+        .file(name)
+        .expect("placement after put")
 }
 
 /// One timed, verified read; returns `(millis, rx_bytes, identical)`.
 fn timed_read(client: &mut ClusterClient, name: &str, expect: &[u8]) -> (f64, u64, bool) {
     let rx0 = client.wire_counters().1;
     let t0 = Instant::now();
-    let got = client.get_file(name).expect("get_file");
+    let got = client.get(name).expect("get");
     let ms = t0.elapsed().as_secs_f64() * 1e3;
     (ms, client.wire_counters().1 - rx0, got == expect)
 }
@@ -70,7 +62,7 @@ fn timed_read(client: &mut ClusterClient, name: &str, expect: &[u8]) -> (f64, u6
 fn read_phase(block_bytes: usize, file_bytes: usize, ctx: &ParallelCtx) -> bool {
     let data = payload(file_bytes);
     let mut cluster = LocalCluster::start(9).expect("start cluster");
-    let mut client = cluster.client();
+    let mut client = cluster.client().with_fanout(ctx.clone()).with_seed(1);
     let schemes = [
         (
             "Carousel(9,6,6,9)",
@@ -85,7 +77,7 @@ fn read_phase(block_bytes: usize, file_bytes: usize, ctx: &ParallelCtx) -> bool 
         ("RS(9,6)", "rs", CodeSpec::Rs { n: 9, k: 6 }),
     ];
     for &(_, name, spec) in &schemes {
-        put(&mut client, name, &data, spec, block_bytes, ctx, 1);
+        put(&mut client, name, &data, spec, block_bytes);
     }
     let mut rows = Vec::new();
     let mut all_ok = true;
@@ -133,7 +125,7 @@ fn read_phase(block_bytes: usize, file_bytes: usize, ctx: &ParallelCtx) -> bool 
 fn repair_phase(block_bytes: usize, file_bytes: usize, ctx: &ParallelCtx) -> bool {
     let data = payload(file_bytes);
     let mut cluster = LocalCluster::start(9).expect("start cluster");
-    let mut client = cluster.client();
+    let mut client = cluster.client().with_fanout(ctx.clone()).with_seed(2);
     let (d, k) = (6usize, 4usize);
     let fp_car = put(
         &mut client,
@@ -141,8 +133,6 @@ fn repair_phase(block_bytes: usize, file_bytes: usize, ctx: &ParallelCtx) -> boo
         &data,
         CodeSpec::Carousel { n: 8, k, d, p: 8 },
         block_bytes,
-        ctx,
-        2,
     );
     let fp_rs = put(
         &mut client,
@@ -150,8 +140,6 @@ fn repair_phase(block_bytes: usize, file_bytes: usize, ctx: &ParallelCtx) -> boo
         &data,
         CodeSpec::Rs { n: 8, k },
         block_bytes,
-        ctx,
-        3,
     );
     // A victim hosting blocks of both files' first stripes (8-wide rows
     // over 9 nodes always intersect).
@@ -207,8 +195,8 @@ fn repair_phase(block_bytes: usize, file_bytes: usize, ctx: &ParallelCtx) -> boo
     );
 
     // Post-repair byte identity for both files.
-    let identical = client.get_file("carousel").expect("read") == data
-        && client.get_file("rs").expect("read") == data;
+    let identical =
+        client.get("carousel").expect("read") == data && client.get("rs").expect("read") == data;
     println!("post-repair contents identical: {identical}");
     ok && identical
 }

@@ -10,7 +10,7 @@
 //! Each phase resets the registry and uses a fresh client so its numbers
 //! are not polluted by the previous one.
 //!
-//! It also captures one traced `get_file` end to end: the client's
+//! It also captures one traced `get` end to end: the client's
 //! `cluster.op.get_us` root span, its per-stripe fetch/decode children,
 //! and the serving datanodes' `cluster.node.{request,queue,service}_us`
 //! spans — all sharing the client's TraceId because the trace context
@@ -28,13 +28,11 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use access::{ObjectStore, PutOptions};
 use bench_support::env_knob;
 use cluster::testing::LocalCluster;
 use cluster::ClusterClient;
-use dfs::Placement;
 use filestore::format::CodeSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use workloads::parallel::ParallelCtx;
 
 /// One phase histogram of one traffic mix: count and tail quantiles.
@@ -173,19 +171,17 @@ fn main() {
             .with_fanout(ParallelCtx::builder().threads(fanout).build())
             .with_pipeline_depth(depth)
     };
-    let ctx = ParallelCtx::builder().threads(fanout).build();
-    let mut rng = StdRng::seed_from_u64(2024);
-    let fp = client(&cluster)
-        .put_file(
-            "observed",
-            &data,
-            spec,
-            block_bytes,
-            &ctx,
-            Placement::Random,
-            &mut rng,
-        )
+    let opts = PutOptions::new()
+        .code(&spec.to_string())
+        .block_bytes(block_bytes);
+    client(&cluster)
+        .with_seed(2024)
+        .put_opts("observed", &data, &opts)
         .expect("put");
+    let fp = cluster
+        .coordinator()
+        .file("observed")
+        .expect("placement after put");
 
     let mut rows: Vec<PhaseRow> = Vec::new();
 
@@ -194,7 +190,7 @@ fn main() {
     telemetry::Registry::global().reset();
     let mut c = client(&cluster);
     for _ in 0..reps {
-        assert_eq!(c.get_file("observed").expect("get"), data);
+        assert_eq!(c.get("observed").expect("get"), data);
     }
     rows.extend(phase_rows(&telemetry::Registry::global().snapshot(), "get"));
 
@@ -204,10 +200,7 @@ fn main() {
     // TraceId over the wire).
     let capture = Capture(Arc::new(Mutex::new(Vec::new())));
     telemetry::set_event_sink(capture.clone());
-    assert_eq!(
-        client(&cluster).get_file("observed").expect("traced get"),
-        data
-    );
+    assert_eq!(client(&cluster).get("observed").expect("traced get"), data);
     // Server request spans close just after the response is written; give
     // the in-process nodes a beat to flush theirs into the sink.
     std::thread::sleep(Duration::from_millis(100));
@@ -227,7 +220,7 @@ fn main() {
     telemetry::Registry::global().reset();
     let mut c = client(&cluster);
     for _ in 0..reps {
-        assert_eq!(c.get_file("observed").expect("degraded get"), data);
+        assert_eq!(c.get("observed").expect("degraded get"), data);
     }
     rows.extend(phase_rows(
         &telemetry::Registry::global().snapshot(),
@@ -243,7 +236,7 @@ fn main() {
         &telemetry::Registry::global().snapshot(),
         "repair",
     ));
-    assert_eq!(c.get_file("observed").expect("post-repair get"), data);
+    assert_eq!(c.get("observed").expect("post-repair get"), data);
 
     // --- Cluster-wide scrape over the wire: every running node answers
     // the Stats op; the merged snapshot exercises the aggregation path.

@@ -6,8 +6,8 @@
 //! waits*, which is exactly what the paper's `p`-server data parallelism
 //! is about).
 //!
-//! Measures `put_file`, healthy `get_file`, degraded `get_file` (one node
-//! down) and `repair_file` latency twice each: once with a serial client
+//! Measures `put`, healthy `get`, degraded `get` (one node down) and
+//! `repair_file` latency twice each: once with a serial client
 //! (sequential fan-out, no pipelining — the pre-batching wire behavior)
 //! and once with the parallel client (8-way fan-out, stripe pipeline).
 //! Writes `results/BENCH_pipeline.json`.
@@ -22,12 +22,10 @@
 
 use std::time::{Duration, Instant};
 
+use access::{ObjectStore, PutOptions};
 use bench_support::env_knob;
 use cluster::testing::LocalCluster;
-use dfs::Placement;
 use filestore::format::CodeSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use workloads::parallel::ParallelCtx;
 
 /// One measured latency point.
@@ -120,55 +118,43 @@ fn main() {
 
     let delay = Duration::from_micros(delay_us as u64);
     let mut cluster = LocalCluster::start_with_delay(9, delay).expect("start cluster");
-    let sequential = ParallelCtx::sequential();
-    let fanout_ctx = ParallelCtx::builder().threads(fanout_width).build();
     let serial_client = || {
         cluster
             .client()
             .with_fanout(ParallelCtx::sequential())
             .with_pipeline_depth(0)
+            .with_seed(42)
     };
     let fanout_client = |depth: usize| {
         cluster
             .client()
             .with_fanout(ParallelCtx::builder().threads(fanout_width).build())
             .with_pipeline_depth(depth)
+            .with_seed(43)
     };
+    let opts = PutOptions::new()
+        .code(&spec.to_string())
+        .block_bytes(block_bytes);
 
     let mut samples: Vec<Sample> = Vec::new();
-    let mut rng = StdRng::seed_from_u64(42);
 
     // --- put: serial upload vs pipelined encode + fanned-out upload.
     let mut serial = serial_client();
     let t0 = Instant::now();
-    let fp = serial
-        .put_file(
-            "bench",
-            &data,
-            spec,
-            block_bytes,
-            &sequential,
-            Placement::Random,
-            &mut rng,
-        )
-        .expect("serial put");
+    serial.put_opts("bench", &data, &opts).expect("serial put");
     samples.push(Sample {
         op: "put",
         mode: "serial",
         ms: ms(t0.elapsed()),
     });
+    let fp = serial
+        .coordinator()
+        .file("bench")
+        .expect("placement after put");
     let mut parallel = fanout_client(depth);
     let t0 = Instant::now();
     parallel
-        .put_file(
-            "bench2",
-            &data,
-            spec,
-            block_bytes,
-            &fanout_ctx,
-            Placement::Random,
-            &mut rng,
-        )
+        .put_opts("bench2", &data, &opts)
         .expect("fanout put");
     samples.push(Sample {
         op: "put",
@@ -177,42 +163,42 @@ fn main() {
     });
 
     // --- healthy get: all p blocks reachable, direct parallel read.
-    let serial_bytes = serial.get_file("bench").expect("serial get");
+    let serial_bytes = serial.get("bench").expect("serial get");
     assert_eq!(serial_bytes, data, "serial get corrupted the file");
-    let fanout_bytes = parallel.get_file("bench").expect("fanout get");
+    let fanout_bytes = parallel.get("bench").expect("fanout get");
     assert_eq!(fanout_bytes, data, "fanout get corrupted the file");
     samples.push(Sample {
         op: "get",
         mode: "serial",
         ms: best_ms(reps, || {
-            serial.get_file("bench").expect("serial get");
+            serial.get("bench").expect("serial get");
         }),
     });
     samples.push(Sample {
         op: "get",
         mode: "fanout",
         ms: best_ms(reps, || {
-            parallel.get_file("bench").expect("fanout get");
+            parallel.get("bench").expect("fanout get");
         }),
     });
 
     // --- degraded get: one known-dead node, parity units fill the gap.
     let victim1 = fp.nodes[0][2];
     cluster.fail(victim1);
-    assert_eq!(serial.get_file("bench").expect("degraded"), data);
+    assert_eq!(serial.get("bench").expect("degraded"), data);
     samples.push(Sample {
         op: "degraded_get",
         mode: "serial",
         ms: best_ms(reps, || {
-            serial.get_file("bench").expect("serial degraded get");
+            serial.get("bench").expect("serial degraded get");
         }),
     });
-    assert_eq!(parallel.get_file("bench").expect("degraded"), data);
+    assert_eq!(parallel.get("bench").expect("degraded"), data);
     samples.push(Sample {
         op: "degraded_get",
         mode: "fanout",
         ms: best_ms(reps, || {
-            parallel.get_file("bench").expect("fanout degraded get");
+            parallel.get("bench").expect("fanout degraded get");
         }),
     });
 
@@ -239,7 +225,7 @@ fn main() {
         ms: ms(t0.elapsed()),
     });
     assert!(fanout_report.blocks_repaired > 0, "victim2 hosted no block");
-    assert_eq!(parallel.get_file("bench").expect("post-repair get"), data);
+    assert_eq!(parallel.get("bench").expect("post-repair get"), data);
 
     // --- report.
     println!(

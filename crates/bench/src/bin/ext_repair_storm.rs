@@ -7,7 +7,7 @@
 //! The experiment: place the same file with the same seeded placement
 //! under RS(8,4) and Carousel(8,4,6,8), attach a
 //! [`cluster::RepairScheduler`], then kill nodes on an identical
-//! schedule while pipelined foreground `get_file` clients hammer the
+//! schedule while pipelined foreground `get` clients hammer the
 //! cluster. RS rebuilds a block by reading `k = 4` whole blocks;
 //! Carousel (MSR regime) reads `β/sub` of `d = 6` blocks — `d/(d−k+1) =
 //! 2` block-sizes, half the bytes — so its rebuild both finishes sooner
@@ -30,13 +30,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use access::{ObjectStore, PutOptions};
 use bench_support::env_knob;
 use cluster::testing::LocalCluster;
 use cluster::{ClusterClient, Coordinator, RepairConfig, RepairScheduler};
-use dfs::Placement;
 use filestore::format::CodeSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use workloads::parallel::ParallelCtx;
 
 /// Everything measured for one code under the storm.
@@ -97,21 +95,16 @@ fn run_code(label: &str, spec: CodeSpec, cfg: &StormConfig) -> CodeResult {
     // Identical placement for every code: same seed, same node count,
     // same stripe count (both codes have k = 4), so the Random draws —
     // and therefore the kill schedule's blast radius — match exactly.
-    let mut rng = StdRng::seed_from_u64(4242);
-    let mut put_client = foreground_client(&coord);
-    let fp = put_client
-        .put_file(
-            "storm",
-            &data,
-            spec,
-            cfg.block_bytes,
-            &ParallelCtx::builder().threads(4).build(),
-            Placement::Random,
-            &mut rng,
-        )
+    let mut put_client = foreground_client(&coord).with_seed(4242);
+    let opts = PutOptions::new()
+        .code(&spec.to_string())
+        .block_bytes(cfg.block_bytes);
+    put_client
+        .put_opts("storm", &data, &opts)
         .expect("put storm file");
+    let fp = coord.file("storm").expect("placement after put");
     assert_eq!(
-        put_client.get_file("storm").expect("healthy get"),
+        put_client.get("storm").expect("healthy get"),
         data,
         "healthy read corrupted the file"
     );
@@ -151,7 +144,7 @@ fn run_code(label: &str, spec: CodeSpec, cfg: &StormConfig) -> CodeResult {
                 let mut taken: Vec<(Instant, f64)> = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
                     let t0 = Instant::now();
-                    let bytes = client.get_file("storm").expect("foreground get");
+                    let bytes = client.get("storm").expect("foreground get");
                     assert_eq!(
                         bytes.len(),
                         data.len(),
@@ -197,7 +190,7 @@ fn run_code(label: &str, spec: CodeSpec, cfg: &StormConfig) -> CodeResult {
     // storm, still reads identical bytes.
     assert_eq!(
         foreground_client(&coord)
-            .get_file("storm")
+            .get("storm")
             .expect("post-storm get"),
         data,
         "{label}: post-storm read not byte-identical"

@@ -24,6 +24,7 @@ const KNOWN_TYPES: &[&str] = &[
     "counter",
     "gauge",
     "histogram",
+    "update",
     "repair",
     "span",
     "sim",

@@ -46,16 +46,18 @@ use std::sync::{Arc, LazyLock, Mutex};
 use std::time::{Duration, Instant};
 
 use access::{
-    BatchRequest, BlockSource, ExecError, Fetch, FetchedStripe, PlanCache, PlanExecutor, ReadMode,
+    BatchRequest, BlockSource, ExecError, Fetch, FetchedStripe, ObjectStore, PlanCache,
+    PlanExecutor, PutOptions, ReadMode,
 };
 use dfs::Placement;
-use erasure::{CodeError, ErasureCode as _, HelperTask};
+use erasure::{CodeError, ColumnUpdater, ErasureCode as _, HelperTask};
 use filestore::format::CodeSpec;
-use filestore::{FileCodec, FileError};
-use rand::Rng;
+use filestore::{FileCodec, FileError, DEFAULT_PACK_LIMIT, PACK_PREFIX};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use workloads::parallel::{self, ParallelCtx};
 
-use crate::coordinator::{Coordinator, FilePlacement};
+use crate::coordinator::{Coordinator, FilePlacement, ObjectExtent};
 use crate::error::ClusterError;
 use crate::protocol::{self, BlockId, Request, Response};
 use crate::repair::{FanInGate, RepairStatusReport};
@@ -96,6 +98,21 @@ static META_CACHE_HIT: LazyLock<&'static telemetry::Counter> =
     LazyLock::new(|| telemetry::counter("meta.cache.hit"));
 static META_CACHE_MISS: LazyLock<&'static telemetry::Counter> =
     LazyLock::new(|| telemetry::counter("meta.cache.miss"));
+// Mutable-object write path: in-place range writes, appends, and the
+// delta traffic they ship (payload + framing, the wire cost the paper's
+// update analysis bounds against full re-encode).
+static UPDATE_WRITES: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("update.write_ranges"));
+static UPDATE_APPENDS: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("update.appends"));
+static UPDATE_DELTAS: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("update.delta_requests"));
+static UPDATE_WIRE: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("update.wire_bytes"));
+static UPDATE_PACKED: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("update.packed_puts"));
+static DELETES: LazyLock<&'static telemetry::Counter> =
+    LazyLock::new(|| telemetry::counter("cluster.deletes"));
 
 /// One node's scraped telemetry registry, as returned by
 /// [`ClusterClient::node_stats`]. With the `telemetry` feature off this
@@ -473,6 +490,22 @@ pub struct ClusterClient {
     manifest_misses: u64,
     tx_bytes: u64,
     rx_bytes: u64,
+    /// Code used by [`ObjectStore`] puts that name none.
+    default_spec: CodeSpec,
+    /// Block size used by [`ObjectStore`] puts that name none.
+    default_block_bytes: usize,
+    /// Placement policy for every put/append this client performs.
+    placement: Placement,
+    /// Placement randomness, advanced across puts. Seeded so a client's
+    /// placements are reproducible; override with
+    /// [`ClusterClient::with_seed`].
+    rng: StdRng,
+    /// The pack this client is currently filling: `(name, length)`.
+    open_pack: Option<(String, u64)>,
+    /// Next pack name suffix to try.
+    pack_seq: u64,
+    /// Pack rollover threshold in bytes.
+    pack_limit: u64,
 }
 
 impl ClusterClient {
@@ -501,7 +534,52 @@ impl ClusterClient {
             manifest_misses: 0,
             tx_bytes: 0,
             rx_bytes: 0,
+            default_spec: CodeSpec::Rs { n: 6, k: 4 },
+            default_block_bytes: 1 << 16,
+            placement: Placement::Random,
+            rng: StdRng::seed_from_u64(0x5EED),
+            open_pack: None,
+            pack_seq: 0,
+            pack_limit: DEFAULT_PACK_LIMIT,
         }
+    }
+
+    /// Overrides the code used by [`ObjectStore`] puts that do not name
+    /// one via [`PutOptions::code`].
+    #[must_use]
+    pub fn with_default_code(mut self, spec: CodeSpec) -> Self {
+        self.default_spec = spec;
+        self
+    }
+
+    /// Overrides the block size used by [`ObjectStore`] puts that do not
+    /// set [`PutOptions::block_bytes`].
+    #[must_use]
+    pub fn with_default_block_bytes(mut self, bytes: usize) -> Self {
+        self.default_block_bytes = bytes;
+        self
+    }
+
+    /// Overrides the placement policy for this client's puts and appends.
+    #[must_use]
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Reseeds the placement RNG (placements are deterministic per seed).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Overrides the byte length at which an open pack rolls over and the
+    /// next packed put starts a fresh pack file.
+    #[must_use]
+    pub fn with_pack_limit(mut self, bytes: u64) -> Self {
+        self.pack_limit = bytes;
+        self
     }
 
     /// Overrides the per-operation socket timeout.
@@ -634,23 +712,23 @@ impl ClusterClient {
     /// uploads every block. With a nonzero pipeline depth the stripe
     /// encoder runs ahead of the uploads, recycling a fixed ring of
     /// `EncodedStripe` buffers; each stripe's `n` block uploads fan out
-    /// over `ctx`'s workers.
+    /// over the client's workers. This is the engine under
+    /// [`ObjectStore::put_opts`], the only public entry point.
     ///
     /// # Errors
     ///
     /// Propagates geometry errors, placement failures (too few alive
     /// nodes, duplicate name) and upload failures.
-    #[allow(clippy::too_many_arguments)]
-    pub fn put_file(
+    pub(crate) fn put_file(
         &mut self,
         name: &str,
         data: &[u8],
         spec: CodeSpec,
         block_bytes: usize,
-        ctx: &ParallelCtx,
         placement: Placement,
         rng: &mut impl Rng,
     ) -> Result<FilePlacement, ClusterError> {
+        let ctx = &self.ctx.clone();
         if data.is_empty() {
             return Err(FileError::BadGeometry {
                 reason: "cannot encode an empty file".into(),
@@ -757,7 +835,7 @@ impl ClusterClient {
     /// [`ClusterError::Unavailable`] when a stripe has fewer than `k`
     /// reachable blocks, and [`ClusterError::ReplansExhausted`] when nodes
     /// keep dying mid-read past the replan budget.
-    pub fn get_file(&mut self, name: &str) -> Result<Vec<u8>, ClusterError> {
+    pub(crate) fn get_file(&mut self, name: &str) -> Result<Vec<u8>, ClusterError> {
         let _timer = if telemetry::ENABLED {
             READS.inc();
             Some(telemetry::span("cluster.read.ns"))
@@ -1131,6 +1209,472 @@ impl ClusterClient {
             }),
         }
     }
+
+    /// Reads `len` bytes at byte `offset` of a placed file, fetching and
+    /// decoding only the touched stripes (the engine under
+    /// [`ObjectStore::get_range`] and every packed-object read).
+    fn read_file_range(
+        &mut self,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, ClusterError> {
+        let op = telemetry::trace::TraceCtx::root().child("cluster.op.get_range_us");
+        let op_ctx = op.ctx();
+        let fp = self.file_manifest(name)?;
+        let end = offset.saturating_add(len);
+        if end > fp.file_len {
+            return Err(ClusterError::Protocol {
+                reason: format!(
+                    "range {offset}+{len} past end of {name:?} ({} bytes)",
+                    fp.file_len
+                ),
+            });
+        }
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let code = fp.spec.build()?;
+        let sub = code.linear().sub();
+        let w = fp.block_bytes / sub;
+        let sdb = (code.k() * fp.block_bytes) as u64;
+        let first = (offset / sdb) as usize;
+        let last = ((end - 1) / sdb) as usize;
+        let executor = PlanExecutor::new(&self.plans).with_max_replans(self.max_replans);
+        let mut buf = Vec::with_capacity((last - first + 1) * sdb as usize);
+        let mut tally = Tally::default();
+        let outcome = (|| -> Result<(), ClusterError> {
+            let link = &self.link;
+            let ctx = &self.ctx;
+            for s in first..=last {
+                let span = op_ctx.child("cluster.fetch.stripe_us");
+                let mut source = StripeSource {
+                    link,
+                    ctx,
+                    name,
+                    stripe: s,
+                    row: &fp.nodes[s],
+                    sub,
+                    w,
+                    present: None,
+                    trace: span.ctx(),
+                    gate: None,
+                    tally: Tally::default(),
+                };
+                let fetched = executor
+                    .fetch_stripe(&code, &mut source)
+                    .map_err(|e| read_error(name, s, e));
+                tally += source.tally;
+                let data = fetched?.decode().map_err(|_| unreadable(name, s))?;
+                buf.extend_from_slice(&data);
+            }
+            Ok(())
+        })();
+        self.fold(tally);
+        outcome?;
+        let at = (offset - first as u64 * sdb) as usize;
+        Ok(buf[at..at + len as usize].to_vec())
+    }
+
+    /// Ships an in-place edit of `name`'s bytes as per-node
+    /// [`Request::WriteDelta`]s: for each touched stripe the edit's
+    /// unit-aligned message deltas are computed once, and every affected
+    /// alive node applies `Σ coeffᵢ · Δᵢ` to its block locally —
+    /// parity' = parity ⊕ G·Δdata, byte-identical to re-encoding the
+    /// edited stripe, with only the delta (not the stripe) on the wire.
+    /// `old` holds the previous contents of the edited span (all zeros
+    /// for an append's tail fill, where the span was implicit padding).
+    ///
+    /// A node that is dead — or dies mid-update — misses its delta: its
+    /// block is stale, but the node is marked dead, so reads exclude it
+    /// and repair rebuilds the block from the *updated* survivors. The
+    /// one unhealed hazard is a node reviving by heartbeat without a
+    /// repair in between; that window exists for every missed write, not
+    /// just deltas.
+    fn delta_write(
+        &mut self,
+        name: &str,
+        fp: &FilePlacement,
+        offset: u64,
+        old: &[u8],
+        new: &[u8],
+        op_ctx: telemetry::trace::TraceCtx,
+    ) -> Result<(), ClusterError> {
+        debug_assert_eq!(old.len(), new.len());
+        if new.is_empty() {
+            return Ok(());
+        }
+        let code = fp.spec.build()?;
+        let updater = ColumnUpdater::new(code.linear());
+        let sub = code.linear().sub();
+        let w = fp.block_bytes / sub;
+        let sdb = (code.k() * fp.block_bytes) as u64;
+        let end = offset + new.len() as u64;
+        let first = (offset / sdb) as usize;
+        let last = ((end - 1) / sdb) as usize;
+        let mut tally = Tally::default();
+        let mut requests = 0u64;
+        let outcome = (|| -> Result<(), ClusterError> {
+            let link = &self.link;
+            let ctx = &self.ctx;
+            for s in first..=last {
+                let stripe_start = s as u64 * sdb;
+                let lo = offset.max(stripe_start);
+                let hi = end.min(stripe_start + sdb);
+                let span = (lo - offset) as usize..(hi - offset) as usize;
+                let delta = updater.stripe_delta(
+                    w,
+                    (lo - stripe_start) as usize,
+                    &old[span.clone()],
+                    &new[span],
+                )?;
+                let updates = updater.node_updates(&delta)?;
+                let row = &fp.nodes[s];
+                // Ship only to nodes the coordinator believes alive: a
+                // dead node's block is stale either way, and repair
+                // rebuilds it from the updated survivors.
+                let wire: Vec<(usize, Request)> = updates
+                    .iter()
+                    .filter(|u| link.meta.is_alive(row[u.node]))
+                    .map(|u| {
+                        let request = Request::WriteDelta {
+                            id: block_id(name, s, u.node),
+                            unit_bytes: w as u32,
+                            deltas: delta.deltas.clone(),
+                            rows: u
+                                .rows
+                                .iter()
+                                .map(|(unit, coeffs)| {
+                                    (*unit as u32, coeffs.iter().map(|c| c.value()).collect())
+                                })
+                                .collect(),
+                        };
+                        (row[u.node], request)
+                    })
+                    .collect();
+                requests += wire.len() as u64;
+                let results = ctx.run(wire.len(), |i| link.call(wire[i].0, &wire[i].1, op_ctx));
+                for result in results {
+                    match result {
+                        Ok((Response::Done, t)) => tally += t,
+                        Ok((Response::Error(message), _)) => {
+                            return Err(ClusterError::Remote { message });
+                        }
+                        Ok((other, _)) => {
+                            return Err(ClusterError::Protocol {
+                                reason: format!("unexpected WriteDelta reply: {other:?}"),
+                            });
+                        }
+                        // Died mid-update: already marked dead, repair
+                        // heals its block from the updated peers.
+                        Err(ClusterError::NodeDown { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if telemetry::ENABLED {
+            UPDATE_DELTAS.add(requests);
+            UPDATE_WIRE.add(tally.tx);
+        }
+        self.fold(tally);
+        outcome
+    }
+
+    /// The file half of [`ObjectStore::write_range`]: bounds-check
+    /// against the current length, read the old span, delta-write the
+    /// new one.
+    fn write_file_range(
+        &mut self,
+        name: &str,
+        offset: u64,
+        new: &[u8],
+        op_ctx: telemetry::trace::TraceCtx,
+    ) -> Result<(), ClusterError> {
+        let fp = self.file_manifest(name)?;
+        let end = offset.saturating_add(new.len() as u64);
+        if end > fp.file_len {
+            return Err(ClusterError::Protocol {
+                reason: format!(
+                    "write_range cannot extend {name:?}: {offset}+{} past {} bytes (use append)",
+                    new.len(),
+                    fp.file_len
+                ),
+            });
+        }
+        if new.is_empty() {
+            return Ok(());
+        }
+        let old = self.read_file_range(name, offset, new.len() as u64)?;
+        self.delta_write(name, &fp, offset, &old, new, op_ctx)?;
+        if telemetry::ENABLED {
+            UPDATE_WRITES.inc();
+        }
+        Ok(())
+    }
+
+    /// The file half of [`ObjectStore::append`]: fill the last stripe's
+    /// zero padding by delta (old bytes are implicit zeros), then encode
+    /// any overflow into fresh stripes placed by
+    /// [`MetaRouter::extend_file`].
+    fn append_file(&mut self, name: &str, tail: &[u8]) -> Result<u64, ClusterError> {
+        let op = telemetry::trace::TraceCtx::root().child("cluster.op.append_us");
+        let op_ctx = op.ctx();
+        let fp = self.file_manifest(name)?;
+        if tail.is_empty() {
+            return Ok(fp.file_len);
+        }
+        let code = fp.spec.build()?;
+        let sdb = code.k() * fp.block_bytes;
+        let capacity = fp.stripes as u64 * sdb as u64;
+        let old_len = fp.file_len;
+        let fill = ((capacity - old_len) as usize).min(tail.len());
+        let overflow = &tail[fill..];
+        let added = overflow.len().div_ceil(sdb);
+        let new_len = old_len + tail.len() as u64;
+        // Metadata first, mirroring put: the new stripes' homes are
+        // durable (one FileExtended record) before any block lands.
+        let mut rng = self.rng.clone();
+        let rows = self
+            .link
+            .meta
+            .extend_file(name, new_len, added, self.placement, &mut rng);
+        self.rng = rng;
+        let rows = rows?;
+        if fill > 0 {
+            // Bytes past the old end are implicit zero padding of the
+            // stripe message, so the fill is a delta with all-zero old.
+            let zeros = vec![0u8; fill];
+            self.delta_write(name, &fp, old_len, &zeros, &tail[..fill], op_ctx)?;
+        }
+        if !overflow.is_empty() {
+            let codec = FileCodec::new(code, fp.block_bytes)?;
+            let ctx = self.ctx.clone();
+            let mut stripe = codec.empty_stripe();
+            let mut tally = Tally::default();
+            let outcome = (|| -> Result<(), ClusterError> {
+                for (i, chunk) in overflow.chunks(sdb).enumerate() {
+                    codec.encode_stripe_into(chunk, &mut stripe)?;
+                    tally += send_stripe(
+                        &self.link,
+                        &ctx,
+                        name,
+                        fp.stripes + i,
+                        &rows[i],
+                        &stripe.blocks,
+                        op_ctx,
+                    )?;
+                }
+                Ok(())
+            })();
+            self.fold(tally);
+            outcome?;
+        }
+        if telemetry::ENABLED {
+            UPDATE_APPENDS.inc();
+        }
+        Ok(new_len)
+    }
+
+    /// Packs a small object into the client's open pack (or a fresh
+    /// one), recording only its extent with the metadata service. Packs
+    /// are ordinary cluster files named `.pack-NNNN` and encoded with
+    /// the client's default code, so packed objects inherit the whole
+    /// read/degraded-read/repair machinery for free. Deleting a packed
+    /// object drops its extent; the pack keeps the (now unreachable)
+    /// bytes until a future compaction pass.
+    fn pack_put(&mut self, name: &str, data: &[u8]) -> Result<(), ClusterError> {
+        if data.is_empty() {
+            return Err(ClusterError::Protocol {
+                reason: "cannot pack an empty object".into(),
+            });
+        }
+        let rolls = match &self.open_pack {
+            Some((_, len)) => len + data.len() as u64 > self.pack_limit,
+            None => true,
+        };
+        let (pack, at) = if rolls {
+            // Another client may have taken a suffix already; probe the
+            // namespace until a free one turns up.
+            let pack = loop {
+                let candidate = format!("{PACK_PREFIX}{:04}", self.pack_seq);
+                self.pack_seq += 1;
+                if self.link.meta.file(&candidate).is_none() {
+                    break candidate;
+                }
+            };
+            let (spec, block_bytes) = (self.default_spec, self.default_block_bytes);
+            let placement = self.placement;
+            let mut rng = self.rng.clone();
+            let result = self.put_file(&pack, data, spec, block_bytes, placement, &mut rng);
+            self.rng = rng;
+            result?;
+            self.open_pack = Some((pack.clone(), data.len() as u64));
+            (pack, 0)
+        } else {
+            let (pack, at) = self.open_pack.clone().expect("checked above");
+            let new_len = self.append_file(&pack, data)?;
+            self.open_pack = Some((pack.clone(), new_len));
+            (pack, at)
+        };
+        self.link.meta.put_extent(
+            name,
+            ObjectExtent {
+                pack,
+                offset: at,
+                len: data.len() as u64,
+            },
+        )?;
+        if telemetry::ENABLED {
+            UPDATE_PACKED.inc();
+        }
+        Ok(())
+    }
+}
+
+impl ObjectStore for ClusterClient {
+    type Error = ClusterError;
+
+    fn put_opts(&mut self, name: &str, data: &[u8], opts: &PutOptions) -> Result<(), ClusterError> {
+        if name.starts_with(PACK_PREFIX) {
+            return Err(ClusterError::Protocol {
+                reason: format!("names starting with {PACK_PREFIX:?} are reserved for packs"),
+            });
+        }
+        if self.link.meta.file(name).is_some() || self.link.meta.extent(name).is_some() {
+            return Err(ClusterError::Protocol {
+                reason: format!("file {name:?} already exists"),
+            });
+        }
+        if opts.packed() {
+            // Packed puts use the client's default code and block size:
+            // the pack's geometry is fixed when the pack is created, not
+            // per object.
+            return self.pack_put(name, data);
+        }
+        let spec = match opts.code_spec() {
+            Some(s) => CodeSpec::parse(s)?,
+            None => self.default_spec,
+        };
+        let block_bytes = opts.block_bytes_hint().unwrap_or(self.default_block_bytes);
+        let placement = self.placement;
+        let mut rng = self.rng.clone();
+        let result = self.put_file(name, data, spec, block_bytes, placement, &mut rng);
+        self.rng = rng;
+        result.map(|_| ())
+    }
+
+    fn get(&mut self, name: &str) -> Result<Vec<u8>, ClusterError> {
+        match self.link.meta.extent(name) {
+            Some(ext) => self.read_file_range(&ext.pack, ext.offset, ext.len),
+            None => self.get_file(name),
+        }
+    }
+
+    fn get_range(&mut self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, ClusterError> {
+        match self.link.meta.extent(name) {
+            Some(ext) => {
+                if offset.saturating_add(len) > ext.len {
+                    return Err(ClusterError::Protocol {
+                        reason: format!(
+                            "range {offset}+{len} past end of {name:?} ({} bytes)",
+                            ext.len
+                        ),
+                    });
+                }
+                self.read_file_range(&ext.pack, ext.offset + offset, len)
+            }
+            None => self.read_file_range(name, offset, len),
+        }
+    }
+
+    fn write_range(&mut self, name: &str, offset: u64, data: &[u8]) -> Result<(), ClusterError> {
+        let op = telemetry::trace::TraceCtx::root().child("cluster.op.write_range_us");
+        let op_ctx = op.ctx();
+        match self.link.meta.extent(name) {
+            Some(ext) => {
+                if offset.saturating_add(data.len() as u64) > ext.len {
+                    return Err(ClusterError::Protocol {
+                        reason: format!(
+                            "range {offset}+{} past end of {name:?} ({} bytes)",
+                            data.len(),
+                            ext.len
+                        ),
+                    });
+                }
+                self.write_file_range(&ext.pack, ext.offset + offset, data, op_ctx)
+            }
+            None => self.write_file_range(name, offset, data, op_ctx),
+        }
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<u64, ClusterError> {
+        if self.link.meta.extent(name).is_some() {
+            return Err(ClusterError::Protocol {
+                reason: format!("packed object {name:?} cannot grow; delete and re-put"),
+            });
+        }
+        self.append_file(name, data)
+    }
+
+    fn delete(&mut self, name: &str) -> Result<bool, ClusterError> {
+        if self.link.meta.extent(name).is_some() {
+            // Packed: drop the extent only — the pack keeps the bytes.
+            let existed = self.link.meta.delete_extent(name)?;
+            if existed && telemetry::ENABLED {
+                DELETES.inc();
+            }
+            return Ok(existed);
+        }
+        let Some(fp) = self.link.meta.file(name) else {
+            return Ok(false);
+        };
+        let op = telemetry::trace::TraceCtx::root().child("cluster.op.delete_us");
+        let op_ctx = op.ctx();
+        // Reclaim blocks best-effort on the alive nodes before the
+        // authoritative metadata delete. A node that is unreachable keeps
+        // an orphan block — wasted space, never served (the manifest is
+        // gone) and harmlessly overwritten if the name is re-put onto it.
+        let mut tally = Tally::default();
+        {
+            let link = &self.link;
+            let targets: Vec<(usize, BlockId)> = fp
+                .nodes
+                .iter()
+                .enumerate()
+                .flat_map(|(s, row)| {
+                    row.iter()
+                        .enumerate()
+                        .map(move |(r, &node)| (node, block_id(name, s, r)))
+                })
+                .filter(|&(node, _)| link.meta.is_alive(node))
+                .collect();
+            let results = self.ctx.run(targets.len(), |i| {
+                let request = Request::DeleteBlock {
+                    id: targets[i].1.clone(),
+                };
+                link.call(targets[i].0, &request, op_ctx)
+            });
+            for (_, t) in results.into_iter().flatten() {
+                tally += t;
+            }
+        }
+        self.fold(tally);
+        let existed = self.link.meta.delete_file(name)?;
+        self.manifests.remove(name);
+        if telemetry::ENABLED {
+            DELETES.inc();
+        }
+        Ok(existed)
+    }
+
+    fn object_len(&mut self, name: &str) -> Result<u64, ClusterError> {
+        if let Some(ext) = self.link.meta.extent(name) {
+            return Ok(ext.len);
+        }
+        Ok(self.file_manifest(name)?.file_len)
+    }
 }
 
 /// Uploads one encoded stripe: all `n` block PutBlocks fan out over
@@ -1233,15 +1777,7 @@ mod tests {
         let data: Vec<u8> = (0..720).map(|i| (i * 13 + 5) as u8).collect();
         let mut rng = StdRng::seed_from_u64(7);
         let fp = client
-            .put_file(
-                "batchfile",
-                &data,
-                spec,
-                120,
-                &ParallelCtx::sequential(),
-                Placement::Random,
-                &mut rng,
-            )
+            .put_file("batchfile", &data, spec, 120, Placement::Random, &mut rng)
             .unwrap();
         cluster.fail(fp.nodes[0][2]);
 

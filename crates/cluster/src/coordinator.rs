@@ -92,10 +92,22 @@ pub struct FilePlacement {
     pub nodes: Vec<Vec<usize>>,
 }
 
+/// A packed object's location: which pack file holds its bytes, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectExtent {
+    /// The pack file (a regular placed file) holding the bytes.
+    pub pack: String,
+    /// Byte offset of the object within the pack.
+    pub offset: u64,
+    /// Object length in bytes.
+    pub len: u64,
+}
+
 #[derive(Debug, Default)]
 struct State {
     nodes: BTreeMap<usize, NodeEntry>,
     files: BTreeMap<String, FilePlacement>,
+    extents: BTreeMap<String, ObjectExtent>,
     log: Option<MetaLog>,
 }
 
@@ -137,6 +149,14 @@ impl State {
         }
         for fp in self.files.values() {
             out.push(MetaRecord::FilePlaced(fp.clone()));
+        }
+        for (object, ext) in &self.extents {
+            out.push(MetaRecord::ObjectPacked {
+                object: object.clone(),
+                pack: ext.pack.clone(),
+                offset: ext.offset,
+                len: ext.len,
+            });
         }
         out
     }
@@ -250,6 +270,32 @@ impl Coordinator {
                     MetaRecord::FileDeleted { file } => {
                         mutations += 1;
                         st.files.remove(&file);
+                    }
+                    MetaRecord::ObjectPacked {
+                        object,
+                        pack,
+                        offset,
+                        len,
+                    } => {
+                        mutations += 1;
+                        st.extents
+                            .insert(object, ObjectExtent { pack, offset, len });
+                    }
+                    MetaRecord::ObjectDeleted { object } => {
+                        mutations += 1;
+                        st.extents.remove(&object);
+                    }
+                    MetaRecord::FileExtended {
+                        file,
+                        file_len,
+                        added,
+                    } => {
+                        mutations += 1;
+                        if let Some(fp) = st.files.get_mut(&file) {
+                            fp.file_len = file_len;
+                            fp.stripes += added.len();
+                            fp.nodes.extend(added);
+                        }
                     }
                 }
             }
@@ -492,7 +538,7 @@ impl Coordinator {
             });
         }
         let mut st = self.state.lock().expect("coordinator lock");
-        if st.files.contains_key(name) {
+        if st.files.contains_key(name) || st.extents.contains_key(name) {
             return Err(ClusterError::Protocol {
                 reason: format!("file {name:?} already exists"),
             });
@@ -612,6 +658,135 @@ impl Coordinator {
         st.maybe_compact();
         self.bump_epoch();
         Ok(true)
+    }
+
+    /// Grows a file in place: records its new length and places
+    /// `added_stripes` fresh stripe rows on the alive nodes, logging one
+    /// [`MetaRecord::FileExtended`] and advancing the epoch. Returns the
+    /// new rows (empty when the append fit in existing stripes) so the
+    /// caller can write the new blocks where they now belong.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Protocol`] for an unknown file,
+    /// [`ClusterError::Unavailable`] when fewer alive nodes than a
+    /// stripe's width remain, and [`ClusterError::Io`] when the log
+    /// append fails (state unchanged).
+    pub fn extend_file(
+        &self,
+        name: &str,
+        new_file_len: u64,
+        added_stripes: usize,
+        placement: Placement,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<usize>>, ClusterError> {
+        let alive = self.alive_nodes();
+        let mut st = self.state.lock().expect("coordinator lock");
+        let Some(fp) = st.files.get(name) else {
+            return Err(ClusterError::Protocol {
+                reason: format!("unknown file {name:?}"),
+            });
+        };
+        let n = fp.nodes.first().map_or(0, Vec::len);
+        if added_stripes > 0 && alive.len() < n {
+            return Err(ClusterError::Unavailable {
+                reason: format!(
+                    "extending {n}-wide stripes needs {n} alive nodes, have {}",
+                    alive.len()
+                ),
+            });
+        }
+        let added: Vec<Vec<usize>> = (0..added_stripes)
+            .map(|_| {
+                placement
+                    .place(alive.len(), n, rng)
+                    .into_iter()
+                    .map(|slot| alive[slot])
+                    .collect()
+            })
+            .collect();
+        st.log_append(
+            &MetaRecord::FileExtended {
+                file: name.to_string(),
+                file_len: new_file_len,
+                added: added.clone(),
+            },
+            true,
+        )?;
+        let fp = st.files.get_mut(name).expect("checked above");
+        fp.file_len = new_file_len;
+        fp.stripes += added.len();
+        fp.nodes.extend(added.iter().cloned());
+        st.maybe_compact();
+        self.bump_epoch();
+        Ok(added)
+    }
+
+    /// Records a packed object's extent, logging a
+    /// [`MetaRecord::ObjectPacked`] and advancing the epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Protocol`] when the name is already a
+    /// file or a packed object, and [`ClusterError::Io`] when the log
+    /// append fails.
+    pub fn put_extent(&self, object: &str, extent: ObjectExtent) -> Result<(), ClusterError> {
+        let mut st = self.state.lock().expect("coordinator lock");
+        if st.files.contains_key(object) || st.extents.contains_key(object) {
+            return Err(ClusterError::Protocol {
+                reason: format!("file {object:?} already exists"),
+            });
+        }
+        st.log_append(
+            &MetaRecord::ObjectPacked {
+                object: object.to_string(),
+                pack: extent.pack.clone(),
+                offset: extent.offset,
+                len: extent.len,
+            },
+            true,
+        )?;
+        st.extents.insert(object.to_string(), extent);
+        st.maybe_compact();
+        self.bump_epoch();
+        Ok(())
+    }
+
+    /// Looks up a packed object's extent.
+    pub fn extent(&self, object: &str) -> Option<ObjectExtent> {
+        let st = self.state.lock().expect("coordinator lock");
+        st.extents.get(object).cloned()
+    }
+
+    /// Removes a packed object's extent, logging a
+    /// [`MetaRecord::ObjectDeleted`] and advancing the epoch. Returns
+    /// whether the object existed. The pack keeps the (now unreachable)
+    /// bytes until a future compaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Io`] when the log append fails.
+    pub fn delete_extent(&self, object: &str) -> Result<bool, ClusterError> {
+        let mut st = self.state.lock().expect("coordinator lock");
+        if !st.extents.contains_key(object) {
+            return Ok(false);
+        }
+        st.log_append(
+            &MetaRecord::ObjectDeleted {
+                object: object.to_string(),
+            },
+            true,
+        )?;
+        st.extents.remove(object);
+        st.maybe_compact();
+        self.bump_epoch();
+        Ok(true)
+    }
+
+    /// Names of all packed objects, ascending.
+    pub fn packed_objects(&self) -> Vec<String> {
+        let st = self.state.lock().expect("coordinator lock");
+        st.extents.keys().cloned().collect()
     }
 
     /// Forces a compaction of the attached log (no size trigger),
@@ -938,6 +1113,126 @@ mod tests {
         c.mark_dead(0);
         c.heartbeat(0);
         assert_eq!(c.epoch(), 3, "liveness does not move the epoch");
+    }
+
+    #[test]
+    fn extent_lifecycle_survives_replay_and_compaction() {
+        let path = tmp_log("extents");
+        let _ = std::fs::remove_file(&path);
+        {
+            let c = Coordinator::create_log(&path).unwrap();
+            for i in 0..4 {
+                c.register(i, addr(9750 + i as u16));
+            }
+            let mut rng = StdRng::seed_from_u64(3);
+            c.place_file(
+                ".pack-0000",
+                CodeSpec::Rs { n: 4, k: 2 },
+                600,
+                100,
+                3,
+                Placement::Random,
+                &mut rng,
+            )
+            .unwrap();
+            let ext = |offset, len| ObjectExtent {
+                pack: ".pack-0000".to_string(),
+                offset,
+                len,
+            };
+            c.put_extent("small-a", ext(0, 200)).unwrap();
+            c.put_extent("small-b", ext(200, 150)).unwrap();
+            c.put_extent("small-c", ext(350, 250)).unwrap();
+            assert_eq!(c.epoch(), 4, "each extent bumps the epoch");
+            // Extents and files share one namespace, both ways.
+            assert!(c.put_extent("small-a", ext(0, 1)).is_err());
+            assert!(c.put_extent(".pack-0000", ext(0, 1)).is_err());
+            assert!(c
+                .place_file(
+                    "small-b",
+                    CodeSpec::Rs { n: 4, k: 2 },
+                    1,
+                    1,
+                    1,
+                    Placement::Random,
+                    &mut rng
+                )
+                .is_err());
+            assert!(c.delete_extent("small-b").unwrap());
+            assert!(!c.delete_extent("small-b").unwrap());
+            assert_eq!(c.epoch(), 5);
+            assert!(c.compact_log().unwrap());
+        }
+        let loaded = Coordinator::open_log(&path).unwrap();
+        assert_eq!(loaded.packed_objects(), vec!["small-a", "small-c"]);
+        let a = loaded.extent("small-a").unwrap();
+        assert_eq!((a.pack.as_str(), a.offset, a.len), (".pack-0000", 0, 200));
+        let c3 = loaded.extent("small-c").unwrap();
+        assert_eq!((c3.offset, c3.len), (350, 250));
+        assert!(loaded.extent("small-b").is_none(), "deletion replayed");
+        assert!(loaded.file(".pack-0000").is_some(), "pack file intact");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn extend_file_places_new_rows_and_survives_replay() {
+        let path = tmp_log("extend");
+        let _ = std::fs::remove_file(&path);
+        let (rows, len) = {
+            let c = Coordinator::create_log(&path).unwrap();
+            for i in 0..5 {
+                c.register(i, addr(9780 + i as u16));
+            }
+            let mut rng = StdRng::seed_from_u64(9);
+            c.place_file(
+                "grow.bin",
+                CodeSpec::Rs { n: 4, k: 2 },
+                350,
+                100,
+                2,
+                Placement::Random,
+                &mut rng,
+            )
+            .unwrap();
+            // Tail fill within the last stripe: no new rows.
+            let added = c
+                .extend_file("grow.bin", 400, 0, Placement::Random, &mut rng)
+                .unwrap();
+            assert!(added.is_empty());
+            assert_eq!(c.epoch(), 2);
+            // Overflow into two fresh stripes.
+            let added = c
+                .extend_file("grow.bin", 780, 2, Placement::Random, &mut rng)
+                .unwrap();
+            assert_eq!(added.len(), 2);
+            for row in &added {
+                assert_eq!(row.len(), 4);
+                let mut sorted = row.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 4, "nodes distinct within a stripe");
+            }
+            assert!(matches!(
+                c.extend_file("missing", 1, 1, Placement::Random, &mut rng),
+                Err(ClusterError::Protocol { .. })
+            ));
+            // A 4-wide stripe can't be placed with only 3 alive nodes.
+            c.mark_dead(0);
+            c.mark_dead(1);
+            assert!(matches!(
+                c.extend_file("grow.bin", 900, 1, Placement::Random, &mut rng),
+                Err(ClusterError::Unavailable { .. })
+            ));
+            let fp = c.file("grow.bin").unwrap();
+            (fp.nodes, fp.file_len)
+        };
+        let loaded = Coordinator::open_log(&path).unwrap();
+        let fp = loaded.file("grow.bin").unwrap();
+        assert_eq!(fp.stripes, 4, "two original + two appended stripes");
+        assert_eq!(fp.file_len, len);
+        assert_eq!(fp.file_len, 780);
+        assert_eq!(fp.nodes, rows, "appended rows survive replay");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

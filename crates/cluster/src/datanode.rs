@@ -415,6 +415,41 @@ fn handle(store: &BlockStore, request: Request, meta: Option<&MetaRouter>) -> Re
         Request::RepairStatus => Response::Data(protocol::encode_repair_status(
             &crate::repair::StatusBoard::global().report(),
         )),
+        // The write-path dual of RepairRead: fold the shipped message
+        // deltas into the stored block with the shipped per-unit
+        // coefficients. The node needs no knowledge of the code — data
+        // and parity blocks are updated by the same local computation.
+        Request::WriteDelta {
+            id,
+            unit_bytes,
+            deltas,
+            rows,
+        } => {
+            let mut block = match store.get(&id) {
+                Ok(Some(b)) => b,
+                Ok(None) => return Response::Error(format!("block {id:?} not found")),
+                Err(e) => return fail(e),
+            };
+            let rows: Vec<(usize, Vec<Gf256>)> = rows
+                .into_iter()
+                .map(|(unit, coeffs)| (unit as usize, coeffs.into_iter().map(Gf256::new).collect()))
+                .collect();
+            if let Err(e) =
+                erasure::apply_block_delta(&mut block, unit_bytes as usize, &rows, &deltas)
+            {
+                return Response::Error(e.to_string());
+            }
+            match store.put(&id, &block) {
+                Ok(()) => Response::Done,
+                Err(e) => fail(e),
+            }
+        }
+        // Idempotent block reclamation: Done whether or not the block was
+        // present, so a delete fan-out can be retried safely.
+        Request::DeleteBlock { id } => match store.delete(&id) {
+            Ok(_existed) => Response::Done,
+            Err(e) => fail(e),
+        },
         // A file's manifest, routed to its owning shard and stamped with
         // that shard's epoch so the caller can cache it.
         Request::ManifestGet { name } => match meta {
@@ -573,6 +608,70 @@ mod tests {
         .run(&block)
         .unwrap();
         assert_eq!(resp, Response::Data(expect));
+        node.shutdown();
+    }
+
+    #[test]
+    fn write_delta_and_delete_over_tcp() {
+        let node =
+            DataNode::spawn("127.0.0.1:0", DataNodeConfig::new(3, temp_root("delta"))).unwrap();
+        let addr = node.addr();
+        let block: Vec<u8> = (0..24).map(|i| (i * 5 + 2) as u8).collect();
+        let a = id("m", 0, 1);
+        call(
+            addr,
+            &Request::PutBlock {
+                id: a.clone(),
+                data: block.clone(),
+            },
+        );
+        // Two deltas of unit width 8, folded into local units 0 and 2
+        // with per-delta coefficients.
+        let d0 = [0x11u8; 8];
+        let d1 = [0x02u8; 8];
+        let resp = call(
+            addr,
+            &Request::WriteDelta {
+                id: a.clone(),
+                unit_bytes: 8,
+                deltas: vec![d0.to_vec(), d1.to_vec()],
+                rows: vec![(0, vec![1, 0]), (2, vec![3, 2])],
+            },
+        );
+        assert_eq!(resp, Response::Done);
+        let mut expect = block.clone();
+        for i in 0..8 {
+            expect[i] ^= d0[i]; // 1·d0 ⊕ 0·d1
+            expect[16 + i] ^=
+                (Gf256::new(3) * Gf256::new(d0[i]) + Gf256::new(2) * Gf256::new(d1[i])).value();
+        }
+        assert_eq!(
+            call(addr, &Request::GetBlock { id: a.clone() }),
+            Response::Data(expect)
+        );
+        // Bad geometry is rejected without touching the block.
+        assert!(matches!(
+            call(
+                addr,
+                &Request::WriteDelta {
+                    id: a.clone(),
+                    unit_bytes: 7,
+                    deltas: vec![vec![0u8; 7]],
+                    rows: vec![(0, vec![1])],
+                }
+            ),
+            Response::Error(_)
+        ));
+        // Delete reclaims the block and is idempotent.
+        assert_eq!(
+            call(addr, &Request::DeleteBlock { id: a.clone() }),
+            Response::Done
+        );
+        assert!(matches!(
+            call(addr, &Request::GetBlock { id: a.clone() }),
+            Response::Error(_)
+        ));
+        assert_eq!(call(addr, &Request::DeleteBlock { id: a }), Response::Done);
         node.shutdown();
     }
 

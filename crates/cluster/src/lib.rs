@@ -34,26 +34,28 @@
 //!
 //! # Examples
 //!
+//! All data-path traffic flows through the unified
+//! [`access::ObjectStore`] trait — the same contract the in-memory
+//! filestore and the simulated DFS implement:
+//!
 //! ```
+//! use access::{ObjectStore, PutOptions};
 //! use cluster::testing::LocalCluster;
-//! use dfs::Placement;
-//! use filestore::format::CodeSpec;
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
-//! use workloads::parallel::ParallelCtx;
 //!
 //! let mut cluster = LocalCluster::start(6)?;
 //! let mut client = cluster.client();
 //! let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
-//! let spec = CodeSpec::Carousel { n: 6, k: 3, d: 3, p: 6 };
-//! let mut rng = StdRng::seed_from_u64(42);
-//! let ctx = ParallelCtx::builder().threads(2).build();
-//! client.put_file("demo", &data, spec, 120, &ctx, Placement::Random, &mut rng)?;
-//! assert_eq!(client.get_file("demo")?, data);
+//! let opts = PutOptions::new().code("carousel(6,3,3,6)").block_bytes(120);
+//! client.put_opts("demo", &data, &opts)?;
+//! assert_eq!(client.get("demo")?, data);
+//! // Mutate in place: parity is updated by delta, not re-encode.
+//! client.write_range("demo", 100, &[7u8; 32])?;
+//! assert_eq!(&client.get_range("demo", 100, 32)?, &[7u8; 32]);
 //! // Kill a node silently: the client degrades mid-read and still
 //! // returns identical bytes.
 //! cluster.kill(2);
-//! assert_eq!(client.get_file("demo")?, data);
+//! assert_eq!(&client.get("demo")?[..100], &data[..100]);
+//! assert!(client.delete("demo")?);
 //! # Ok::<(), cluster::ClusterError>(())
 //! ```
 
@@ -72,7 +74,7 @@ mod store;
 pub mod testing;
 
 pub use client::{ClusterClient, NodeStats, RepairReport};
-pub use coordinator::{Coordinator, FilePlacement, LivenessEvent, NodeInfo};
+pub use coordinator::{Coordinator, FilePlacement, LivenessEvent, NodeInfo, ObjectExtent};
 pub use datanode::{serve_forever, DataNode, DataNodeConfig};
 pub use error::ClusterError;
 pub use metalog::{MetaLog, MetaRecord};

@@ -60,6 +60,9 @@ const TAG_NODE_REGISTERED: u8 = 0x01;
 const TAG_FILE_PLACED: u8 = 0x02;
 const TAG_PLACEMENT_COMMITTED: u8 = 0x03;
 const TAG_FILE_DELETED: u8 = 0x04;
+const TAG_OBJECT_PACKED: u8 = 0x05;
+const TAG_OBJECT_DELETED: u8 = 0x06;
+const TAG_FILE_EXTENDED: u8 = 0x07;
 
 /// Decode bounds: a corrupt record must not allocate absurd amounts
 /// before its CRC check has already rejected it — these are sanity caps
@@ -111,6 +114,35 @@ pub enum MetaRecord {
     FileDeleted {
         /// The deleted file's name.
         file: String,
+    },
+    /// A small object was packed into a shared pack file: only its
+    /// extent is metadata; the bytes live in the pack's stripes.
+    ObjectPacked {
+        /// The packed object's name.
+        object: String,
+        /// The pack file holding its bytes.
+        pack: String,
+        /// Byte offset within the pack.
+        offset: u64,
+        /// Object length in bytes.
+        len: u64,
+    },
+    /// A packed object left the namespace (its pack keeps the bytes
+    /// until compaction).
+    ObjectDeleted {
+        /// The deleted object's name.
+        object: String,
+    },
+    /// A file grew in place: the new length, plus placement rows for any
+    /// freshly appended stripes (empty when the append fit in the last
+    /// stripe's padding).
+    FileExtended {
+        /// The extended file.
+        file: String,
+        /// The file's new length in bytes.
+        file_len: u64,
+        /// `nodes[new stripe][role]` rows appended to the placement.
+        added: Vec<Vec<usize>>,
     },
 }
 
@@ -211,6 +243,38 @@ pub fn encode_payload(rec: &MetaRecord) -> Vec<u8> {
             out.push(TAG_FILE_DELETED);
             put_str(&mut out, file);
         }
+        MetaRecord::ObjectPacked {
+            object,
+            pack,
+            offset,
+            len,
+        } => {
+            out.push(TAG_OBJECT_PACKED);
+            put_str(&mut out, object);
+            put_str(&mut out, pack);
+            put_u64(&mut out, *offset);
+            put_u64(&mut out, *len);
+        }
+        MetaRecord::ObjectDeleted { object } => {
+            out.push(TAG_OBJECT_DELETED);
+            put_str(&mut out, object);
+        }
+        MetaRecord::FileExtended {
+            file,
+            file_len,
+            added,
+        } => {
+            out.push(TAG_FILE_EXTENDED);
+            put_str(&mut out, file);
+            put_u64(&mut out, *file_len);
+            put_u64(&mut out, added.len() as u64);
+            for row in added {
+                put_u32(&mut out, row.len() as u32);
+                for &node in row {
+                    put_u32(&mut out, node as u32);
+                }
+            }
+        }
     }
     out
 }
@@ -274,6 +338,38 @@ pub fn decode_payload(payload: &[u8]) -> Option<MetaRecord> {
             node: cur.u64()?,
         },
         TAG_FILE_DELETED => MetaRecord::FileDeleted { file: cur.str()? },
+        TAG_OBJECT_PACKED => MetaRecord::ObjectPacked {
+            object: cur.str()?,
+            pack: cur.str()?,
+            offset: cur.u64()?,
+            len: cur.u64()?,
+        },
+        TAG_OBJECT_DELETED => MetaRecord::ObjectDeleted { object: cur.str()? },
+        TAG_FILE_EXTENDED => {
+            let file = cur.str()?;
+            let file_len = cur.u64()?;
+            let count = cur.u64()?;
+            if count > MAX_STRIPES {
+                return None;
+            }
+            let mut added = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let len = cur.u32()?;
+                if len > MAX_ROW {
+                    return None;
+                }
+                let mut row = Vec::with_capacity(len as usize);
+                for _ in 0..len {
+                    row.push(cur.u32()? as usize);
+                }
+                added.push(row);
+            }
+            MetaRecord::FileExtended {
+                file,
+                file_len,
+                added,
+            }
+        }
         _ => return None,
     };
     cur.done().then_some(rec)
@@ -563,6 +659,25 @@ mod tests {
             MetaRecord::FileDeleted {
                 file: "a.bin".into(),
             },
+            MetaRecord::ObjectPacked {
+                object: "tiny.json".into(),
+                pack: ".pack-0003".into(),
+                offset: 4096,
+                len: 120,
+            },
+            MetaRecord::ObjectDeleted {
+                object: "tiny.json".into(),
+            },
+            MetaRecord::FileExtended {
+                file: "a.bin".into(),
+                file_len: 2200,
+                added: vec![vec![1, 2, 3, 4, 5, 6], vec![6, 5, 4, 3, 2, 1]],
+            },
+            MetaRecord::FileExtended {
+                file: "a.bin".into(),
+                file_len: 2300,
+                added: vec![],
+            },
         ]
     }
 
@@ -662,7 +777,7 @@ mod tests {
             let mut recs: Vec<MetaRecord> = Vec::new();
             for (i, &n) in names.iter().enumerate() {
                 let name = format!("f{n:03}.bin");
-                recs.push(match (seed + i) % 4 {
+                recs.push(match (seed + i) % 7 {
                     0 => MetaRecord::NodeRegistered {
                         id: (seed + i) as u64,
                         addr: format!("10.0.0.{}:7000", i + 1),
@@ -674,7 +789,19 @@ mod tests {
                         role: (seed % 3) as u32,
                         node: seed as u64,
                     },
-                    _ => MetaRecord::FileDeleted { file: name },
+                    3 => MetaRecord::FileDeleted { file: name },
+                    4 => MetaRecord::ObjectPacked {
+                        object: name,
+                        pack: format!(".pack-{seed:04}"),
+                        offset: (seed * 512) as u64,
+                        len: (i * 31 + 1) as u64,
+                    },
+                    5 => MetaRecord::ObjectDeleted { object: name },
+                    _ => MetaRecord::FileExtended {
+                        file: name,
+                        file_len: (seed * 1000 + i) as u64,
+                        added: vec![vec![i, i + 1, i + 2]; i % 3],
+                    },
                 });
             }
             let mut bytes = Vec::new();

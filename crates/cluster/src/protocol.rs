@@ -85,6 +85,8 @@ const TAG_STAT: u8 = 0x06;
 const TAG_STATS: u8 = 0x07;
 const TAG_REPAIR_STATUS: u8 = 0x08;
 const TAG_MANIFEST_GET: u8 = 0x09;
+const TAG_WRITE_DELTA: u8 = 0x0A;
+const TAG_DELETE_BLOCK: u8 = 0x0B;
 const TAG_PONG: u8 = 0x81;
 const TAG_DONE: u8 = 0x82;
 const TAG_DATA: u8 = 0x83;
@@ -258,6 +260,32 @@ pub enum Request {
     ManifestGet {
         /// The file whose manifest is wanted.
         name: String,
+    },
+    /// In-place delta update of one stored block — the write-path dual of
+    /// [`Request::RepairRead`]: instead of shipping the whole rewritten
+    /// block, the client ships only the unit-aligned *message deltas* of
+    /// the edit plus, per touched local unit of this block, one GF(256)
+    /// coefficient per delta. The datanode folds `Σ coeff · Δ` into its
+    /// stored bytes locally ([`erasure::apply_block_delta`]) — it never
+    /// learns the generator matrix — and answers [`Response::Done`]. The
+    /// same op updates data and parity blocks; only the coefficients
+    /// differ.
+    WriteDelta {
+        /// Which block to update.
+        id: BlockId,
+        /// Width of one unit in bytes; every delta is this long.
+        unit_bytes: u32,
+        /// The edit's message deltas (new ⊕ old), unit-aligned.
+        deltas: Vec<Vec<u8>>,
+        /// Per touched local unit of this block: `(unit index, one
+        /// coefficient byte per delta, in delta order)`.
+        rows: Vec<(u32, Vec<u8>)>,
+    },
+    /// Remove one stored block; answered with [`Response::Done`] whether
+    /// or not the block existed (deletes are idempotent).
+    DeleteBlock {
+        /// Which block.
+        id: BlockId,
     },
 }
 
@@ -631,6 +659,33 @@ impl Request {
                 p.push(TAG_MANIFEST_GET);
                 put_str(&mut p, name);
             }
+            Request::WriteDelta {
+                id,
+                unit_bytes,
+                deltas,
+                rows,
+            } => {
+                p.push(TAG_WRITE_DELTA);
+                put_block_id(&mut p, id);
+                put_u32(&mut p, *unit_bytes);
+                // Deltas and coefficient rows have known widths
+                // (`unit_bytes` and `deltas.len()` respectively), so they
+                // travel raw, without per-item length prefixes — the whole
+                // point of this op is a small wire footprint.
+                put_u32(&mut p, deltas.len() as u32);
+                for d in deltas {
+                    p.extend_from_slice(d);
+                }
+                put_u32(&mut p, rows.len() as u32);
+                for (unit, coeffs) in rows {
+                    put_u32(&mut p, *unit);
+                    p.extend_from_slice(coeffs);
+                }
+            }
+            Request::DeleteBlock { id } => {
+                p.push(TAG_DELETE_BLOCK);
+                put_block_id(&mut p, id);
+            }
         }
         frame(&p, trace)
     }
@@ -715,6 +770,41 @@ impl Request {
                 validate_file_name(&name)?;
                 Request::ManifestGet { name }
             }
+            TAG_WRITE_DELTA => {
+                let id = r.block_id()?;
+                let unit_bytes = r.u32()?;
+                let ndeltas = r.u32()? as usize;
+                if unit_bytes == 0
+                    || ndeltas == 0
+                    || ndeltas.saturating_mul(unit_bytes as usize) > MAX_PAYLOAD
+                {
+                    return Err(ClusterError::Protocol {
+                        reason: format!("WriteDelta with {ndeltas} deltas of {unit_bytes} bytes"),
+                    });
+                }
+                let mut deltas = Vec::with_capacity(ndeltas);
+                for _ in 0..ndeltas {
+                    deltas.push(r.take(unit_bytes as usize)?.to_vec());
+                }
+                let nrows = r.u32()? as usize;
+                if nrows == 0 || nrows > MAX_PAYLOAD / ndeltas.max(4) {
+                    return Err(ClusterError::Protocol {
+                        reason: format!("WriteDelta with {nrows} coefficient rows"),
+                    });
+                }
+                let mut rows = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    let unit = r.u32()?;
+                    rows.push((unit, r.take(ndeltas)?.to_vec()));
+                }
+                Request::WriteDelta {
+                    id,
+                    unit_bytes,
+                    deltas,
+                    rows,
+                }
+            }
+            TAG_DELETE_BLOCK => Request::DeleteBlock { id: r.block_id()? },
             tag => {
                 return Err(ClusterError::Protocol {
                     reason: format!("unknown request tag 0x{tag:02x}"),
@@ -1206,6 +1296,15 @@ mod tests {
             Request::ManifestGet {
                 name: "data.bin".into(),
             },
+            Request::WriteDelta {
+                id: id("mut.bin", 4, 9),
+                unit_bytes: 4,
+                deltas: vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]],
+                rows: vec![(0, vec![3, 1]), (5, vec![0, 7])],
+            },
+            Request::DeleteBlock {
+                id: id("gone", 2, 1),
+            },
         ]
     }
 
@@ -1501,6 +1600,21 @@ mod tests {
             rows: 2,
             cols: 2,
             coeffs: vec![1, 2, 3],
+        };
+        assert!(Request::decode(&bad.encode()).is_err());
+        // WriteDelta with zero-width units or no deltas/rows.
+        let bad = Request::WriteDelta {
+            id: id("f", 0, 0),
+            unit_bytes: 0,
+            deltas: vec![vec![]],
+            rows: vec![(0, vec![1])],
+        };
+        assert!(Request::decode(&bad.encode()).is_err());
+        let bad = Request::WriteDelta {
+            id: id("f", 0, 0),
+            unit_bytes: 4,
+            deltas: vec![],
+            rows: vec![],
         };
         assert!(Request::decode(&bad.encode()).is_err());
     }

@@ -26,7 +26,7 @@ use dfs::Placement;
 use filestore::format::CodeSpec;
 use rand::Rng;
 
-use crate::coordinator::{Coordinator, FilePlacement, NodeInfo};
+use crate::coordinator::{Coordinator, FilePlacement, NodeInfo, ObjectExtent};
 use crate::error::ClusterError;
 
 /// Ring points contributed by each shard.
@@ -259,6 +259,62 @@ impl MetaRouter {
     /// Propagates the shard's log-append failure.
     pub fn delete_file(&self, name: &str) -> Result<bool, ClusterError> {
         self.shard(name).delete_file(name)
+    }
+
+    /// Extends a file on its owning shard — see
+    /// [`Coordinator::extend_file`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's extension errors.
+    pub fn extend_file(
+        &self,
+        name: &str,
+        new_file_len: u64,
+        added_stripes: usize,
+        placement: Placement,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<usize>>, ClusterError> {
+        self.shard(name)
+            .extend_file(name, new_file_len, added_stripes, placement, rng)
+    }
+
+    /// Records a packed object's extent on the shard owning the *object*
+    /// name — see [`Coordinator::put_extent`]. (The pack file itself may
+    /// route to a different shard; extents and packs are independent
+    /// namespace entries.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's duplicate-name and log-append failures.
+    pub fn put_extent(&self, object: &str, extent: ObjectExtent) -> Result<(), ClusterError> {
+        self.shard(object).put_extent(object, extent)
+    }
+
+    /// Looks up a packed object's extent on its owning shard.
+    pub fn extent(&self, object: &str) -> Option<ObjectExtent> {
+        self.shard(object).extent(object)
+    }
+
+    /// Removes a packed object's extent from its owning shard — see
+    /// [`Coordinator::delete_extent`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's log-append failure.
+    pub fn delete_extent(&self, object: &str) -> Result<bool, ClusterError> {
+        self.shard(object).delete_extent(object)
+    }
+
+    /// Names of all packed objects across every shard, ascending.
+    pub fn packed_objects(&self) -> Vec<String> {
+        let mut all: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.packed_objects())
+            .collect();
+        all.sort_unstable();
+        all
     }
 
     /// The stripe's erasure count on the owning shard.

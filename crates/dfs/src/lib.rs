@@ -34,5 +34,5 @@ pub mod writer;
 pub use namenode::{MapSplit, Namenode, PlacedBlock, StoredFile, Stripe};
 pub use placement::Placement;
 pub use policy::{CodingRates, Policy, SplitSpec};
-pub use simstore::{SimNodes, SimStore};
+pub use simstore::{SimExtent, SimNodes, SimObjects, SimStore};
 pub use topology::{ClusterSpec, Topology};

@@ -304,6 +304,242 @@ impl ColumnUpdater {
         }
         Ok(())
     }
+
+    /// The code's sub-packetization (units per block).
+    pub fn sub(&self) -> usize {
+        self.sub
+    }
+
+    /// Message units per stripe (`k · sub`).
+    pub fn message_units(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Builds the unit-aligned [`StripeDelta`] of an in-place edit:
+    /// `new` replaces the bytes at `offset..offset + new.len()` of the
+    /// stripe's message, whose previous contents were `old`. The edit is
+    /// widened to unit boundaries with zero deltas, then trimmed of
+    /// leading/trailing units whose delta is entirely zero — an edit
+    /// that changes nothing yields an empty delta list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InsufficientData`] when `old` and `new`
+    /// differ in length or the edit is empty, and
+    /// [`CodeError::BlockSizeMismatch`] when the span falls outside the
+    /// stripe's `message_units() · unit_bytes` message bytes.
+    pub fn stripe_delta(
+        &self,
+        unit_bytes: usize,
+        offset: usize,
+        old: &[u8],
+        new: &[u8],
+    ) -> Result<StripeDelta, CodeError> {
+        if old.len() != new.len() || new.is_empty() {
+            return Err(CodeError::InsufficientData {
+                needed: new.len().max(1),
+                got: old.len(),
+            });
+        }
+        let message_bytes = self.cols.len() * unit_bytes;
+        let end = offset.saturating_add(new.len());
+        if unit_bytes == 0 || end > message_bytes {
+            return Err(CodeError::BlockSizeMismatch {
+                expected: message_bytes,
+                actual: end,
+            });
+        }
+        let mut first_unit = offset / unit_bytes;
+        let last_unit = (end - 1) / unit_bytes;
+        let mut deltas = vec![vec![0u8; unit_bytes]; last_unit - first_unit + 1];
+        for (i, (&o, &n)) in old.iter().zip(new).enumerate() {
+            let at = offset + i;
+            deltas[at / unit_bytes - first_unit][at % unit_bytes] = o ^ n;
+        }
+        // Trim all-zero units from both ends: bytes rewritten with their
+        // own value contribute nothing under XOR, and a fully unchanged
+        // span ships nothing at all.
+        while deltas.last().is_some_and(|d| d.iter().all(|&b| b == 0)) {
+            deltas.pop();
+        }
+        while deltas.first().is_some_and(|d| d.iter().all(|&b| b == 0)) {
+            deltas.remove(0);
+            first_unit += 1;
+        }
+        Ok(StripeDelta {
+            unit_bytes,
+            first_unit,
+            deltas,
+        })
+    }
+
+    /// Splits a [`StripeDelta`] into per-node coefficient updates: the
+    /// sender ships `delta.deltas` plus each node's rows, and the node
+    /// applies them with [`apply_block_delta`] — parity' = parity ⊕ G·Δ
+    /// without the node ever seeing the rest of the stripe. Nodes whose
+    /// blocks are untouched by the edit are simply absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NodeOutOfRange`] when the delta's unit span
+    /// exceeds the code's message units.
+    pub fn node_updates(&self, delta: &StripeDelta) -> Result<Vec<NodeDeltaUpdate>, CodeError> {
+        let count = delta.deltas.len();
+        let last = delta.first_unit + count;
+        if last > self.cols.len() {
+            return Err(CodeError::NodeOutOfRange {
+                node: last,
+                n: self.cols.len(),
+            });
+        }
+        // (node, local unit) -> coefficient per delta, built by walking
+        // the touched columns once.
+        let mut by_row: std::collections::BTreeMap<usize, Vec<Gf256>> =
+            std::collections::BTreeMap::new();
+        for (d, j) in (delta.first_unit..last).enumerate() {
+            for &(row, coeff) in &self.cols[j] {
+                by_row
+                    .entry(row)
+                    .or_insert_with(|| vec![Gf256::ZERO; count])[d] = coeff;
+            }
+        }
+        let mut out: Vec<NodeDeltaUpdate> = Vec::new();
+        for (row, coeffs) in by_row {
+            let (node, unit) = (row / self.sub, row % self.sub);
+            match out.last_mut() {
+                Some(u) if u.node == node => u.rows.push((unit, coeffs)),
+                _ => out.push(NodeDeltaUpdate {
+                    node,
+                    rows: vec![(unit, coeffs)],
+                }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies an in-place edit of the stripe's message directly to its
+    /// blocks: `new` replaces `old` at message byte `offset`, and every
+    /// affected encoded unit (data and parity alike) is updated by
+    /// `coeff · Δ` — byte-identical to re-encoding the edited message,
+    /// at a cost proportional to the touched columns only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ColumnUpdater::stripe_delta`] validation and
+    /// [`ColumnUpdater::apply`] geometry errors.
+    pub fn delta_update(
+        &self,
+        blocks: &mut [Vec<u8>],
+        offset: usize,
+        old: &[u8],
+        new: &[u8],
+    ) -> Result<(), CodeError> {
+        let block_len = blocks.first().map_or(0, Vec::len);
+        if !block_len.is_multiple_of(self.sub.max(1)) || block_len == 0 {
+            return Err(CodeError::BlockSizeMismatch {
+                expected: self.sub,
+                actual: block_len,
+            });
+        }
+        let delta = self.stripe_delta(block_len / self.sub, offset, old, new)?;
+        for (d, bytes) in delta.deltas.iter().enumerate() {
+            self.apply(delta.first_unit + d, bytes, blocks)?;
+        }
+        Ok(())
+    }
+}
+
+/// A unit-aligned description of an in-place edit to one stripe's
+/// message: the XOR deltas of every touched message unit, ready to be
+/// applied locally ([`ColumnUpdater::delta_update`]) or shipped to the
+/// nodes holding the affected blocks ([`ColumnUpdater::node_updates`]).
+///
+/// The edit is widened to unit boundaries; bytes outside the edited span
+/// carry a zero delta, which contributes nothing under GF(2⁸).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeDelta {
+    /// Unit width in bytes (`w`), the blocks' geometry.
+    pub unit_bytes: usize,
+    /// Index of the first touched message unit.
+    pub first_unit: usize,
+    /// One `w`-byte delta per touched message unit, contiguous from
+    /// `first_unit`.
+    pub deltas: Vec<Vec<u8>>,
+}
+
+impl StripeDelta {
+    /// Total delta payload bytes (what a wire transport ships once,
+    /// regardless of how many nodes consume it).
+    pub fn payload_bytes(&self) -> usize {
+        self.deltas.iter().map(Vec::len).sum()
+    }
+}
+
+/// The per-node slice of a [`StripeDelta`]: for each local unit of the
+/// node's block, the coefficient to apply to each message-unit delta.
+/// `rows[i] = (local_unit, coeffs)` with `coeffs.len() == deltas.len()`;
+/// zero coefficients mean "this delta does not touch this unit".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeDeltaUpdate {
+    /// The block (node index within the stripe) this update targets.
+    pub node: usize,
+    /// `(local unit, coefficient per delta)` pairs, ascending by unit.
+    pub rows: Vec<(usize, Vec<Gf256>)>,
+}
+
+/// Applies a shipped delta to one block in place: for every row,
+/// `block[unit] += coeff_d · delta_d` over all deltas. This is the
+/// *receiver* side of a delta update — it needs no generator matrix,
+/// only the coefficients the sender derived, so a storage node can run
+/// it against its local block without knowing the code.
+///
+/// # Errors
+///
+/// Returns [`CodeError::BlockSizeMismatch`] when a delta is not
+/// `unit_bytes` wide or a row's unit falls outside the block, and
+/// [`CodeError::InsufficientData`] when a row's coefficient list does
+/// not match the delta count.
+pub fn apply_block_delta(
+    block: &mut [u8],
+    unit_bytes: usize,
+    rows: &[(usize, Vec<Gf256>)],
+    deltas: &[Vec<u8>],
+) -> Result<(), CodeError> {
+    if unit_bytes == 0 || !block.len().is_multiple_of(unit_bytes) {
+        return Err(CodeError::BlockSizeMismatch {
+            expected: unit_bytes,
+            actual: block.len(),
+        });
+    }
+    if deltas.iter().any(|d| d.len() != unit_bytes) {
+        return Err(CodeError::BlockSizeMismatch {
+            expected: unit_bytes,
+            actual: deltas.iter().map(Vec::len).max().unwrap_or(0),
+        });
+    }
+    let sub = block.len() / unit_bytes;
+    let kernel = gf256::kernel();
+    for (unit, coeffs) in rows {
+        if *unit >= sub {
+            return Err(CodeError::BlockSizeMismatch {
+                expected: sub,
+                actual: *unit,
+            });
+        }
+        if coeffs.len() != deltas.len() {
+            return Err(CodeError::InsufficientData {
+                needed: deltas.len(),
+                got: coeffs.len(),
+            });
+        }
+        let out = &mut block[unit * unit_bytes..(unit + 1) * unit_bytes];
+        for (delta, &c) in deltas.iter().zip(coeffs) {
+            if !c.is_zero() {
+                kernel.mul_acc(c, delta, out);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// A dense reference encoder that does *not* skip zero coefficients.
@@ -465,7 +701,98 @@ mod tests {
         assert!(DenseEncoder::new(&code).encode(b"").is_err());
     }
 
+    #[test]
+    fn delta_update_matches_reencode() {
+        let code = code(6, 4);
+        let enc = SparseEncoder::new(&code);
+        let upd = ColumnUpdater::new(&code);
+        let old: Vec<u8> = (0..64).map(|i| (i * 11 + 3) as u8).collect();
+        let mut new = old.clone();
+        for (i, b) in new[13..29].iter_mut().enumerate() {
+            *b = (i * 91 + 7) as u8;
+        }
+        let mut stripe = enc.encode(&old).unwrap();
+        upd.delta_update(&mut stripe.blocks, 13, &old[13..29], &new[13..29])
+            .unwrap();
+        assert_eq!(stripe.blocks, enc.encode(&new).unwrap().blocks);
+    }
+
+    #[test]
+    fn node_updates_reproduce_delta_update() {
+        // Shipping (deltas, per-node rows) and applying them with
+        // apply_block_delta — the wire path — lands on the same blocks
+        // as the local delta_update and the full re-encode.
+        let code = code(6, 4);
+        let enc = SparseEncoder::new(&code);
+        let upd = ColumnUpdater::new(&code);
+        let old: Vec<u8> = (0..48).map(|i| (i * 5 + 1) as u8).collect();
+        let mut new = old.clone();
+        for b in &mut new[20..40] {
+            *b ^= 0xA5;
+        }
+        let mut stripe = enc.encode(&old).unwrap();
+        let w = stripe.unit_bytes;
+        let delta = upd.stripe_delta(w, 20, &old[20..40], &new[20..40]).unwrap();
+        let updates = upd.node_updates(&delta).unwrap();
+        assert!(!updates.is_empty());
+        for nu in &updates {
+            apply_block_delta(&mut stripe.blocks[nu.node], w, &nu.rows, &delta.deltas).unwrap();
+        }
+        assert_eq!(stripe.blocks, enc.encode(&new).unwrap().blocks);
+        // Untouched columns mean untouched data nodes: a systematic code
+        // editing units 1..4 must not ship anything to data node 0.
+        assert!(updates.iter().all(|u| u.node != 0));
+    }
+
+    #[test]
+    fn delta_validation_rejects_bad_spans() {
+        let code = code(4, 2);
+        let upd = ColumnUpdater::new(&code);
+        let mut stripe = SparseEncoder::new(&code).encode(&[7u8; 16]).unwrap();
+        // Length mismatch between old and new.
+        assert!(upd
+            .delta_update(&mut stripe.blocks, 0, &[1, 2], &[3])
+            .is_err());
+        // Span past the end of the message.
+        assert!(upd
+            .delta_update(&mut stripe.blocks, 15, &[0, 0], &[1, 1])
+            .is_err());
+        // Empty edit.
+        assert!(upd.delta_update(&mut stripe.blocks, 0, &[], &[]).is_err());
+        // apply_block_delta geometry checks.
+        let mut block = vec![0u8; 8];
+        let rows = vec![(0usize, vec![Gf256::new(1)])];
+        assert!(apply_block_delta(&mut block, 4, &rows, &[vec![0u8; 3]]).is_err());
+        assert!(apply_block_delta(&mut block, 3, &rows, &[vec![0u8; 3]]).is_err());
+        let bad_unit = vec![(5usize, vec![Gf256::new(1)])];
+        assert!(apply_block_delta(&mut block, 4, &bad_unit, &[vec![0u8; 4]]).is_err());
+    }
+
     proptest! {
+        #[test]
+        fn prop_delta_update_matches_reencode(
+            data in proptest::collection::vec(any::<u8>(), 8..200),
+            patch in proptest::collection::vec(any::<u8>(), 1..64),
+            at in any::<u16>(),
+        ) {
+            let code = code(6, 4);
+            let enc = SparseEncoder::new(&code);
+            let upd = ColumnUpdater::new(&code);
+            let offset = at as usize % data.len();
+            let len = patch.len().min(data.len() - offset);
+            let mut new = data.clone();
+            new[offset..offset + len].copy_from_slice(&patch[..len]);
+            let mut stripe = enc.encode(&data).unwrap();
+            upd.delta_update(
+                &mut stripe.blocks,
+                offset,
+                &data[offset..offset + len],
+                &new[offset..offset + len],
+            )
+            .unwrap();
+            prop_assert_eq!(stripe.blocks, enc.encode(&new).unwrap().blocks);
+        }
+
         #[test]
         fn prop_encode_decode_round_trip(
             data in proptest::collection::vec(any::<u8>(), 1..300),

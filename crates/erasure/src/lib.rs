@@ -46,7 +46,9 @@ pub mod mds;
 pub mod repair;
 pub mod sparsity;
 
-pub use codec::{ColumnUpdater, EncodedStripe, SparseEncoder};
+pub use codec::{
+    apply_block_delta, ColumnUpdater, EncodedStripe, NodeDeltaUpdate, SparseEncoder, StripeDelta,
+};
 pub use decode::DecodePlan;
 pub use error::CodeError;
 pub use layout::{DataLayout, UnitRef};

@@ -450,9 +450,6 @@ impl<C: AccessCode> EncodedFile<C> {
             return Ok(());
         }
         let updater = ColumnUpdater::new(self.codec.code.linear());
-        let layout = self.codec.code.data_layout();
-        let sub = self.codec.code.linear().sub();
-        let w = self.meta.block_bytes / sub;
         let sdb = self.meta.stripe_data_bytes as u64;
 
         let mut pos = 0usize;
@@ -460,42 +457,106 @@ impl<C: AccessCode> EncodedFile<C> {
             let abs = offset + pos as u64;
             let stripe = (abs / sdb) as usize;
             let within = (abs % sdb) as usize;
-            let unit = within / w;
-            let in_unit = within % w;
-            let chunk = (w - in_unit).min(bytes.len() - pos);
+            let take = (sdb as usize - within).min(bytes.len() - pos);
+            // Old bytes of the touched span, read straight from live data
+            // regions (an in-place update requires a fully live stripe).
+            let old = self.stripe_span(stripe, within, take)?;
+            self.apply_stripe_delta(stripe, within, &old, &bytes[pos..pos + take], &updater)?;
+            pos += take;
+        }
+        Ok(())
+    }
 
-            // All blocks of this stripe must be live for an in-place update.
-            if self.stripes[stripe].iter().any(Option::is_none) {
-                return Err(FileError::StripeUnrecoverable {
-                    stripe,
-                    live: self.live_blocks(stripe).len(),
-                    needed: self.meta.n,
-                });
-            }
-            // Old bytes of the touched unit live in its data location.
+    /// Appends `bytes` to the file, returning its new length. The tail of
+    /// the last stripe (zero padding) is filled in place via delta
+    /// updates; overflow becomes freshly encoded stripes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileError::StripeUnrecoverable`] if the last stripe has
+    /// missing blocks (repair first) and propagates encoding errors for
+    /// the overflow stripes.
+    pub fn append(&mut self, bytes: &[u8]) -> Result<u64, FileError> {
+        if bytes.is_empty() {
+            return Ok(self.meta.file_len);
+        }
+        let sdb = self.meta.stripe_data_bytes as u64;
+        let capacity = self.stripes.len() as u64 * sdb;
+        let fill = ((capacity - self.meta.file_len) as usize).min(bytes.len());
+        if fill > 0 {
+            // The bytes past file_len are implicit zero padding, so the
+            // delta of the fill region is simply the appended bytes.
+            let updater = ColumnUpdater::new(self.codec.code.linear());
+            let stripe = self.stripes.len() - 1;
+            let within = (self.meta.file_len % sdb) as usize;
+            let zeros = vec![0u8; fill];
+            self.apply_stripe_delta(stripe, within, &zeros, &bytes[..fill], &updater)?;
+        }
+        for chunk in bytes[fill..].chunks(sdb as usize) {
+            let blocks = self.codec.encode_stripe(chunk)?;
+            self.stripes.push(blocks.into_iter().map(Some).collect());
+        }
+        self.meta.stripes = self.stripes.len();
+        self.meta.file_len += bytes.len() as u64;
+        Ok(self.meta.file_len)
+    }
+
+    /// Reads `take` data bytes at offset `within` of one stripe in message
+    /// order — the "old" side of a delta update. Requires a fully live
+    /// stripe.
+    fn stripe_span(&self, stripe: usize, within: usize, take: usize) -> Result<Vec<u8>, FileError> {
+        if self.stripes[stripe].iter().any(Option::is_none) {
+            return Err(FileError::StripeUnrecoverable {
+                stripe,
+                live: self.live_blocks(stripe).len(),
+                needed: self.meta.n,
+            });
+        }
+        let layout = self.codec.code.data_layout();
+        let w = self.meta.block_bytes / self.codec.code.linear().sub();
+        let mut out = Vec::with_capacity(take);
+        let mut pos = within;
+        let end = within + take;
+        while pos < end {
+            let unit = pos / w;
+            let in_unit = pos % w;
+            let chunk = (w - in_unit).min(end - pos);
             let loc = layout.locate(unit).expect("every file unit is mapped");
             let start = loc.unit * w + in_unit;
-            let old = self.stripes[stripe][loc.node]
-                .as_ref()
-                .expect("checked live")[start..start + chunk]
-                .to_vec();
-            // Unit-wide delta (zero outside the written span).
-            let mut delta = vec![0u8; w];
-            for (i, (&new, &o)) in bytes[pos..pos + chunk].iter().zip(&old).enumerate() {
-                delta[in_unit + i] = new ^ o;
-            }
-            // Move the blocks out, apply the delta, move them back.
-            let mut blocks: Vec<Vec<u8>> = self.stripes[stripe]
-                .iter_mut()
-                .map(|b| b.take().expect("checked live"))
-                .collect();
-            let applied = updater.apply(unit, &delta, &mut blocks);
-            for (slot, block) in self.stripes[stripe].iter_mut().zip(blocks) {
-                *slot = Some(block);
-            }
-            applied.map_err(FileError::Code)?;
+            let block = self.stripes[stripe][loc.node].as_ref().expect("live");
+            out.extend_from_slice(&block[start..start + chunk]);
             pos += chunk;
         }
+        Ok(out)
+    }
+
+    /// Applies `old → new` at message byte `within` of one stripe via the
+    /// erasure layer's stripe-level delta update (all blocks live).
+    fn apply_stripe_delta(
+        &mut self,
+        stripe: usize,
+        within: usize,
+        old: &[u8],
+        new: &[u8],
+        updater: &ColumnUpdater,
+    ) -> Result<(), FileError> {
+        if self.stripes[stripe].iter().any(Option::is_none) {
+            return Err(FileError::StripeUnrecoverable {
+                stripe,
+                live: self.live_blocks(stripe).len(),
+                needed: self.meta.n,
+            });
+        }
+        // Move the blocks out, apply the delta, move them back.
+        let mut blocks: Vec<Vec<u8>> = self.stripes[stripe]
+            .iter_mut()
+            .map(|b| b.take().expect("checked live"))
+            .collect();
+        let applied = updater.delta_update(&mut blocks, within, old, new);
+        for (slot, block) in self.stripes[stripe].iter_mut().zip(blocks) {
+            *slot = Some(block);
+        }
+        applied.map_err(FileError::Code)?;
         Ok(())
     }
 

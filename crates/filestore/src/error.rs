@@ -40,6 +40,16 @@ pub enum FileError {
         /// Explanation.
         reason: String,
     },
+    /// No object is stored under the given name.
+    UnknownObject {
+        /// The requested object name.
+        name: String,
+    },
+    /// An object already exists under the given name.
+    ObjectExists {
+        /// The conflicting object name.
+        name: String,
+    },
 }
 
 impl fmt::Display for FileError {
@@ -66,6 +76,8 @@ impl fmt::Display for FileError {
             ),
             FileError::Io(e) => write!(f, "i/o error: {e}"),
             FileError::BadMeta { reason } => write!(f, "bad metadata: {reason}"),
+            FileError::UnknownObject { name } => write!(f, "unknown object {name:?}"),
+            FileError::ObjectExists { name } => write!(f, "object {name:?} already exists"),
         }
     }
 }

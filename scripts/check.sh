@@ -57,6 +57,22 @@ if [ -n "$guard_hits" ]; then
   exit 1
 fi
 
+step "object-store guard: everything goes through the ObjectStore trait"
+# The free-standing put_file/get_file signatures are pub(crate) plumbing
+# inside the cluster client now; every consumer — tool, tests, benches,
+# transports — uses the ObjectStore trait (put_opts/get/write_range/
+# append/delete) instead.
+guard_hits=$(grep -rnE "\.(put_file|get_file)\(" \
+  --include='*.rs' src tests examples \
+  crates/access crates/bench crates/cluster crates/core crates/dfs crates/erasure \
+  crates/filestore crates/gf256 crates/lrc crates/mapreduce crates/msr crates/rs \
+  crates/simcore crates/telemetry crates/workloads \
+  | grep -v 'crates/cluster/src/client\.rs' || true)
+if [ -n "$guard_hits" ]; then
+  printf 'use the ObjectStore trait (put_opts/get) instead of put_file/get_file:\n%s\n' "$guard_hits" >&2
+  exit 1
+fi
+
 step "cargo clippy (default features, -D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
@@ -100,6 +116,12 @@ cargo run --release --offline -p carousel-bench --bin ext_metadata -- --smoke --
 cargo run --release --offline -p carousel-bench --bin jsonl_check -- "$meta_on"
 rm -f "$meta_on"
 
+step "update/packing bench smoke + JSONL schema check (telemetry on)"
+upd_on=$(mktemp /tmp/carousel-update-on.XXXXXX.jsonl)
+cargo run --release --offline -p carousel-bench --bin ext_update -- --smoke --metrics "$upd_on"
+cargo run --release --offline -p carousel-bench --bin jsonl_check -- "$upd_on"
+rm -f "$upd_on"
+
 if [ "$mode" != "fast" ]; then
   step "cargo test (--no-default-features: telemetry compiled out)"
   cargo test --workspace --no-default-features --offline -q
@@ -127,6 +149,12 @@ if [ "$mode" != "fast" ]; then
   cargo run --release --offline -p carousel-bench --no-default-features --bin ext_metadata -- --smoke --metrics "$meta_off"
   cargo run --release --offline -p carousel-bench --no-default-features --bin jsonl_check -- "$meta_off"
   rm -f "$meta_off"
+
+  step "update/packing bench smoke + JSONL schema check (telemetry off)"
+  upd_off=$(mktemp /tmp/carousel-update-off.XXXXXX.jsonl)
+  cargo run --release --offline -p carousel-bench --no-default-features --bin ext_update -- --smoke --metrics "$upd_off"
+  cargo run --release --offline -p carousel-bench --no-default-features --bin jsonl_check -- "$upd_off"
+  rm -f "$upd_off"
 fi
 
 step "build ext_cluster (real-TCP experiment binary)"

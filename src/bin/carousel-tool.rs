@@ -14,6 +14,7 @@
 //! carousel-tool serve <store-dir> [--addr HOST:PORT] [--id N]
 //! carousel-tool put <input> <manifest> --nodes addr,addr,... [--code SPEC] [--block-bytes N] [--threads N] [--seed N]
 //! carousel-tool get <manifest> <output> [--file NAME]
+//! carousel-tool delete <manifest> [--file NAME]
 //! carousel-tool manifest dump <manifest>
 //! carousel-tool manifest compact <manifest>
 //! carousel-tool stats <addr>
@@ -38,12 +39,11 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use access::{ObjectStore, PutOptions};
 use cluster::{ClusterClient, Coordinator, DataNodeConfig};
 use erasure::ErasureCode;
 use filestore::format::{self, AnyCode, CodeSpec};
 use filestore::{FileCodec, FileError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use workloads::parallel::ParallelCtx;
 
 fn main() -> ExitCode {
@@ -65,6 +65,7 @@ fn main() -> ExitCode {
             eprintln!("  carousel-tool serve <store-dir> [--addr HOST:PORT] [--id N]");
             eprintln!("  carousel-tool put <input> <manifest> --nodes addr,addr,... [--code SPEC] [--block-bytes N] [--threads N] [--seed N]");
             eprintln!("  carousel-tool get <manifest> <output> [--file NAME]");
+            eprintln!("  carousel-tool delete <manifest> [--file NAME]");
             eprintln!("  carousel-tool manifest dump <manifest>");
             eprintln!("  carousel-tool manifest compact <manifest>");
             eprintln!("  carousel-tool stats <addr>");
@@ -88,6 +89,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve" => serve(&args[1..]),
         "put" => put_cluster(&args[1..]),
         "get" => get_cluster(&args[1..]),
+        "delete" => delete_cluster(&args[1..]),
         "manifest" => manifest_cmd(&args[1..]),
         "stats" => stats_cluster(&args[1..]),
         "repair-status" => repair_status_cluster(&args[1..]),
@@ -472,19 +474,14 @@ fn put_cluster(args: &[String]) -> Result<(), String> {
         .file_name()
         .and_then(|n| n.to_str())
         .ok_or("put: input has no usable file name")?;
-    let mut client = ClusterClient::new(Arc::clone(&coord));
-    let mut rng = StdRng::seed_from_u64(seed);
-    let fp = client
-        .put_file(
-            name,
-            &data,
-            spec,
-            block_bytes,
-            &ctx,
-            dfs::Placement::Random,
-            &mut rng,
-        )
-        .map_err(err_str)?;
+    let mut client = ClusterClient::new(Arc::clone(&coord))
+        .with_fanout(ctx)
+        .with_seed(seed);
+    let opts = PutOptions::new()
+        .code(&spec.to_string())
+        .block_bytes(block_bytes);
+    client.put_opts(name, &data, &opts).map_err(err_str)?;
+    let fp = coord.file(name).ok_or("put: placement vanished")?;
     println!(
         "stored {name:?} ({} bytes) with {spec}: {} stripe(s) over {} node(s) -> {manifest}",
         data.len(),
@@ -494,11 +491,17 @@ fn put_cluster(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses the shared `[--file NAME]` flag and resolves the default (the
-/// manifest's only file, or an explicit name when it has several).
-fn manifest_file_arg(coord: &Coordinator, args: &[String], cmd: &str) -> Result<String, String> {
+/// Parses the shared `[--file NAME]` flag (starting at `args[start]`)
+/// and resolves the default (the manifest's only file, or an explicit
+/// name when it has several).
+fn manifest_file_arg(
+    coord: &Coordinator,
+    args: &[String],
+    start: usize,
+    cmd: &str,
+) -> Result<String, String> {
     let mut name: Option<String> = None;
-    let mut i = 2;
+    let mut i = start;
     while i < args.len() {
         match args[i].as_str() {
             "--file" => {
@@ -528,11 +531,27 @@ fn get_cluster(args: &[String]) -> Result<(), String> {
     let manifest = args.first().ok_or("get: missing <manifest>")?;
     let output = args.get(1).ok_or("get: missing <output>")?;
     let coord = open_manifest(Path::new(manifest))?;
-    let name = manifest_file_arg(&coord, args, "get")?;
+    let name = manifest_file_arg(&coord, args, 2, "get")?;
     let mut client = ClusterClient::new(coord);
-    let data = client.get_file(&name).map_err(err_str)?;
+    let data = client.get(&name).map_err(err_str)?;
     std::fs::write(output, &data).map_err(err_str)?;
     println!("read {name:?}: {} bytes -> {output}", data.len());
+    Ok(())
+}
+
+/// Deletes a file from the cluster: blocks are reclaimed best-effort on
+/// the reachable datanodes, and the removal is committed to the manifest
+/// log (a `FileDeleted` record), so a later `get` refuses the name.
+fn delete_cluster(args: &[String]) -> Result<(), String> {
+    let manifest = Path::new(args.first().ok_or("delete: missing <manifest>")?);
+    let coord = open_manifest(manifest)?;
+    let name = manifest_file_arg(&coord, args, 1, "delete")?;
+    let mut client = ClusterClient::new(coord);
+    if client.delete(&name).map_err(err_str)? {
+        println!("deleted {name:?}");
+    } else {
+        println!("{name:?} does not exist");
+    }
     Ok(())
 }
 
@@ -542,7 +561,7 @@ fn get_cluster(args: &[String]) -> Result<(), String> {
 fn repair_cluster(args: &[String]) -> Result<(), String> {
     let manifest = Path::new(args.first().ok_or("repair: missing <manifest>")?);
     let coord = open_manifest(manifest)?;
-    let name = manifest_file_arg(&coord, args, "repair")?;
+    let name = manifest_file_arg(&coord, args, 1, "repair")?;
     let mut client = ClusterClient::new(Arc::clone(&coord));
     let report = client.repair_file(&name).map_err(err_str)?;
     if report.blocks_repaired == 0 {
@@ -620,6 +639,28 @@ fn manifest_dump(path: &Path) -> Result<(), String> {
                 println!("  deleted {file:?}");
                 files.remove(file);
             }
+            MetaRecord::FileExtended {
+                file,
+                file_len,
+                added,
+            } => {
+                println!(
+                    "  extended {file:?} to {file_len} bytes (+{} stripe(s))",
+                    added.len()
+                );
+                if let Some(fp) = files.get_mut(file) {
+                    fp.file_len = *file_len;
+                    fp.stripes += added.len();
+                    fp.nodes.extend(added.iter().cloned());
+                }
+            }
+            MetaRecord::ObjectPacked {
+                object,
+                pack,
+                offset,
+                len,
+            } => println!("  packed {object:?} -> {pack:?} @{offset}+{len}"),
+            MetaRecord::ObjectDeleted { object } => println!("  unpacked {object:?}"),
         }
     }
     for (idx, fp) in files.values().enumerate() {

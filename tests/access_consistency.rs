@@ -6,16 +6,14 @@
 
 use std::sync::Arc;
 
-use access::PlanCache;
+use access::{ObjectStore, PlanCache, PutOptions};
 use carousel::Carousel;
 use cluster::testing::LocalCluster;
-use dfs::{Placement, SimStore};
+use dfs::SimStore;
 use erasure::ErasureCode;
 use filestore::format::CodeSpec;
 use filestore::FileCodec;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use workloads::parallel::ParallelCtx;
 
 /// Small Carousel geometries every stack supports, with distinct
@@ -71,24 +69,19 @@ proptest! {
         // Stack 3: loopback TCP cluster. One node per stripe role, so a
         // failed node loses exactly one block of every stripe.
         let mut cluster = LocalCluster::start(n).unwrap();
-        let mut client = cluster.client();
+        let mut client = cluster
+            .client()
+            .with_fanout(ParallelCtx::sequential())
+            .with_seed(7);
         let spec = CodeSpec::Carousel { n, k, d, p };
-        let mut rng = StdRng::seed_from_u64(7);
-        client
-            .put_file(
-                "f",
-                &data,
-                spec,
-                block_bytes,
-                &ParallelCtx::sequential(),
-                Placement::Random,
-                &mut rng,
-            )
-            .unwrap();
+        let opts = PutOptions::new()
+            .code(&spec.to_string())
+            .block_bytes(block_bytes);
+        client.put_opts("f", &data, &opts).unwrap();
         for &node in &roles {
             cluster.fail(node);
         }
-        let from_cluster = client.get_file("f").unwrap();
+        let from_cluster = client.get("f").unwrap();
         prop_assert_eq!(&from_cluster, &data);
     }
 }
@@ -217,25 +210,20 @@ fn tri_stack_scenario_for_pinned_kernel() {
     );
 
     let mut cluster = LocalCluster::start(n).unwrap();
-    let mut client = cluster.client();
+    let mut client = cluster
+        .client()
+        .with_fanout(ParallelCtx::sequential())
+        .with_seed(7);
     let spec = CodeSpec::Carousel { n, k, d, p };
-    let mut rng = StdRng::seed_from_u64(7);
-    client
-        .put_file(
-            "f",
-            &data,
-            spec,
-            block_bytes,
-            &ParallelCtx::sequential(),
-            Placement::Random,
-            &mut rng,
-        )
-        .unwrap();
+    let opts = PutOptions::new()
+        .code(&spec.to_string())
+        .block_bytes(block_bytes);
+    client.put_opts("f", &data, &opts).unwrap();
     for &node in &roles {
         cluster.fail(node);
     }
     assert_eq!(
-        client.get_file("f").unwrap(),
+        client.get("f").unwrap(),
         data,
         "cluster under kernel {kernel}"
     );

@@ -11,11 +11,8 @@
 
 use std::sync::{Arc, Barrier, Mutex};
 
+use access::{ObjectStore, PutOptions};
 use cluster::testing::LocalCluster;
-use dfs::Placement;
-use filestore::format::CodeSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use workloads::parallel::ParallelCtx;
 
 fn payload(len: usize, salt: usize) -> Vec<u8> {
@@ -53,40 +50,18 @@ fn concurrent_clients_read_and_repair_consistently() {
     const READS_EACH: usize = 4;
 
     let mut cluster = LocalCluster::start(7).unwrap();
-    let spec = CodeSpec::Carousel {
-        n: 6,
-        k: 3,
-        d: 3,
-        p: 6,
-    };
     // sub = 3; 120-byte blocks → 360-byte stripes.
     let shared = payload(3000, 1); // 9 stripes
     let fixme = payload(1500, 2); // 5 stripes
-    let mut rng = StdRng::seed_from_u64(23);
-    let setup_ctx = ParallelCtx::builder().threads(4).build();
-    let mut setup = cluster.client();
-    let shared_fp = setup
-        .put_file(
-            "shared",
-            &shared,
-            spec,
-            120,
-            &setup_ctx,
-            Placement::Random,
-            &mut rng,
-        )
-        .unwrap();
-    let fixme_fp = setup
-        .put_file(
-            "fixme",
-            &fixme,
-            spec,
-            120,
-            &setup_ctx,
-            Placement::Random,
-            &mut rng,
-        )
-        .unwrap();
+    let opts = PutOptions::new().code("carousel(6,3,3,6)").block_bytes(120);
+    let mut setup = cluster
+        .client()
+        .with_fanout(ParallelCtx::builder().threads(4).build())
+        .with_seed(23);
+    setup.put_opts("shared", &shared, &opts).unwrap();
+    setup.put_opts("fixme", &fixme, &opts).unwrap();
+    let shared_fp = setup.coordinator().file("shared").unwrap();
+    let fixme_fp = setup.coordinator().file("fixme").unwrap();
 
     // Fail a node hosting blocks of both files, so readers run degraded
     // while the repairer rebuilds fixme's lost blocks concurrently.
@@ -126,7 +101,7 @@ fn concurrent_clients_read_and_repair_consistently() {
                     let mut delta_sum = (0u64, 0u64);
                     for _ in 0..READS_EACH {
                         let before = client.wire_counters();
-                        assert_eq!(client.get_file("shared").unwrap(), *shared, "corrupt read");
+                        assert_eq!(client.get("shared").unwrap(), *shared, "corrupt read");
                         let after = client.wire_counters();
                         assert!(after.0 > before.0 && after.1 > before.1);
                         delta_sum.0 += after.0 - before.0;
@@ -235,6 +210,6 @@ fn concurrent_clients_read_and_repair_consistently() {
 
     // A fresh client sees both files intact after the storm.
     let mut verify = cluster.client();
-    assert_eq!(verify.get_file("shared").unwrap(), shared);
-    assert_eq!(verify.get_file("fixme").unwrap(), fixme);
+    assert_eq!(verify.get("shared").unwrap(), shared);
+    assert_eq!(verify.get("fixme").unwrap(), fixme);
 }

@@ -5,12 +5,9 @@
 
 use std::time::Duration;
 
+use access::{ObjectStore, PutOptions};
 use cluster::testing::LocalCluster;
 use cluster::ClusterError;
-use dfs::Placement;
-use filestore::format::CodeSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use workloads::parallel::ParallelCtx;
 
 fn ctx(threads: usize) -> ParallelCtx {
@@ -21,13 +18,10 @@ fn payload(len: usize) -> Vec<u8> {
     (0..len).map(|i| (i * 37 + 11) as u8).collect()
 }
 
-fn spec() -> CodeSpec {
-    CodeSpec::Carousel {
-        n: 6,
-        k: 3,
-        d: 3,
-        p: 6,
-    }
+fn opts(block_bytes: usize) -> PutOptions {
+    PutOptions::new()
+        .code("carousel(6,3,3,6)")
+        .block_bytes(block_bytes)
 }
 
 /// Several files over two shards: each routes to exactly one shard, the
@@ -37,23 +31,12 @@ fn sharded_namespace_routes_and_reads() {
     let cluster = LocalCluster::start_sharded(6, 2).unwrap();
     let router = cluster.router();
     assert_eq!(router.shards().len(), 2);
-    let mut client = cluster.client();
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut client = cluster.client().with_fanout(ctx(2)).with_seed(5);
     let mut bodies = Vec::new();
     for i in 0..8 {
         let name = format!("shard-file-{i}");
         let data = payload(500 + i * 97);
-        client
-            .put_file(
-                &name,
-                &data,
-                spec(),
-                60,
-                &ctx(2),
-                Placement::Random,
-                &mut rng,
-            )
-            .unwrap();
+        client.put_opts(&name, &data, &opts(60)).unwrap();
         bodies.push((name, data));
     }
     assert_eq!(router.files().len(), 8, "merged namespace sees every file");
@@ -68,7 +51,7 @@ fn sharded_namespace_routes_and_reads() {
                 "{name:?} must live only on shard {owner}"
             );
         }
-        assert_eq!(&client.get_file(name).unwrap(), data);
+        assert_eq!(&client.get(name).unwrap(), data);
     }
     assert!(
         used.iter().all(|&c| c > 0),
@@ -83,20 +66,10 @@ fn sharded_namespace_routes_and_reads() {
 fn manifest_get_serves_placement_and_epoch_over_tcp() {
     let cluster = LocalCluster::start_sharded(7, 2).unwrap();
     let router = cluster.router();
-    let mut client = cluster.client();
+    let mut client = cluster.client().with_fanout(ctx(2)).with_seed(21);
     let data = payload(900);
-    let mut rng = StdRng::seed_from_u64(21);
-    let placed = client
-        .put_file(
-            "wire",
-            &data,
-            spec(),
-            90,
-            &ctx(2),
-            Placement::Random,
-            &mut rng,
-        )
-        .unwrap();
+    client.put_opts("wire", &data, &opts(90)).unwrap();
+    let placed = router.file("wire").expect("placement after put");
 
     let (epoch, fp) = client.manifest_from_node(0, "wire").unwrap();
     assert_eq!(fp, placed, "wire manifest differs from the placed one");
@@ -124,20 +97,10 @@ fn manifest_get_serves_placement_and_epoch_over_tcp() {
 #[test]
 fn manifest_cache_invalidates_on_repair_rehome() {
     let mut cluster = LocalCluster::start_sharded(7, 2).unwrap();
-    let mut client = cluster.client();
+    let mut client = cluster.client().with_fanout(ctx(2)).with_seed(8);
     let data = payload(1200);
-    let mut rng = StdRng::seed_from_u64(8);
-    let fp = client
-        .put_file(
-            "hot",
-            &data,
-            spec(),
-            60,
-            &ctx(2),
-            Placement::Random,
-            &mut rng,
-        )
-        .unwrap();
+    client.put_opts("hot", &data, &opts(60)).unwrap();
+    let fp = client.router().file("hot").expect("placement after put");
 
     // Two manifest reads: one miss, then a hit at the same epoch.
     let m1 = client.file_manifest("hot").unwrap();
@@ -163,34 +126,23 @@ fn manifest_cache_invalidates_on_repair_rehome() {
         m3.nodes.iter().all(|row| !row.contains(&victim)),
         "refetched manifest still references the failed node"
     );
-    assert_eq!(client.get_file("hot").unwrap(), data);
+    assert_eq!(client.get("hot").unwrap(), data);
 }
 
 /// Satellite: kill-and-restart the *coordinators* mid-workload. Every
 /// shard is rebuilt purely from its record log, recovered nodes start
-/// dead until a live ping revives them, and `get_file` returns
+/// dead until a live ping revives them, and `get` returns
 /// byte-identical contents for files placed both before and after the
 /// restart.
 #[test]
 fn coordinator_restart_mid_workload_keeps_bytes_identical() {
     let mut cluster = LocalCluster::start_sharded(6, 2).unwrap();
-    let mut client = cluster.client();
-    let mut rng = StdRng::seed_from_u64(13);
+    let mut client = cluster.client().with_fanout(ctx(2)).with_seed(13);
     let mut bodies = Vec::new();
     for i in 0..4 {
         let name = format!("pre-{i}");
         let data = payload(700 + i * 131);
-        client
-            .put_file(
-                &name,
-                &data,
-                spec(),
-                70,
-                &ctx(2),
-                Placement::Random,
-                &mut rng,
-            )
-            .unwrap();
+        client.put_opts(&name, &data, &opts(70)).unwrap();
         bodies.push((name, data));
     }
 
@@ -205,42 +157,24 @@ fn coordinator_restart_mid_workload_keeps_bytes_identical() {
     // The old client still points at the dead coordinators; a fresh one
     // sees the replayed namespace. The workload continues: reads of
     // pre-restart files and new placements both work.
-    let mut client = cluster.client();
+    let mut client = cluster.client().with_fanout(ctx(2)).with_seed(14);
     for (name, data) in &bodies {
-        assert_eq!(
-            &client.get_file(name).unwrap(),
-            data,
-            "{name} after restart"
-        );
+        assert_eq!(&client.get(name).unwrap(), data, "{name} after restart");
     }
     for i in 0..3 {
         let name = format!("post-{i}");
         let data = payload(900 + i * 53);
-        client
-            .put_file(
-                &name,
-                &data,
-                spec(),
-                90,
-                &ctx(2),
-                Placement::Random,
-                &mut rng,
-            )
-            .unwrap();
+        client.put_opts(&name, &data, &opts(90)).unwrap();
         bodies.push((name, data));
     }
 
     // Restart again: the logs now hold both generations (and the
     // post-restart placements were appended to the *reopened* logs).
     cluster.restart_coordinators().unwrap();
-    let mut client = cluster.client();
+    let mut client = cluster.client().with_fanout(ctx(2));
     assert_eq!(client.router().files().len(), 7);
     for (name, data) in &bodies {
-        assert_eq!(
-            &client.get_file(name).unwrap(),
-            data,
-            "{name} after 2nd restart"
-        );
+        assert_eq!(&client.get(name).unwrap(), data, "{name} after 2nd restart");
     }
 }
 
@@ -250,20 +184,10 @@ fn coordinator_restart_mid_workload_keeps_bytes_identical() {
 #[test]
 fn restart_keeps_vanished_nodes_dead() {
     let mut cluster = LocalCluster::start_sharded(7, 1).unwrap();
-    let mut client = cluster.client();
+    let mut client = cluster.client().with_fanout(ctx(2)).with_seed(3);
     let data = payload(1100);
-    let mut rng = StdRng::seed_from_u64(3);
-    let fp = client
-        .put_file(
-            "doc",
-            &data,
-            spec(),
-            60,
-            &ctx(2),
-            Placement::Random,
-            &mut rng,
-        )
-        .unwrap();
+    client.put_opts("doc", &data, &opts(60)).unwrap();
+    let fp = client.router().file("doc").expect("placement after put");
     let victim = fp.nodes[0][0];
     cluster.kill(victim);
 
@@ -276,9 +200,9 @@ fn restart_keeps_vanished_nodes_dead() {
     let router = cluster.router();
     assert!(!router.is_alive(victim));
     std::thread::sleep(Duration::from_millis(10));
-    let mut client = cluster.client();
+    let mut client = cluster.client().with_fanout(ctx(2));
     assert_eq!(
-        client.get_file("doc").unwrap(),
+        client.get("doc").unwrap(),
         data,
         "degraded post-restart read"
     );

@@ -10,12 +10,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use access::{ObjectStore, PutOptions};
 use cluster::testing::LocalCluster;
 use cluster::{ClusterClient, Coordinator, RepairConfig, RepairScheduler};
-use dfs::Placement;
 use filestore::format::CodeSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use workloads::parallel::ParallelCtx;
 
 fn put_storm_file(
@@ -27,19 +25,17 @@ fn put_storm_file(
     let data: Vec<u8> = (0..stripes * spec_k(spec) * block_bytes)
         .map(|i| (i * 37 + 11) as u8)
         .collect();
-    let mut rng = StdRng::seed_from_u64(7);
-    let mut client = ClusterClient::new(Arc::clone(coord)).with_timeout(Duration::from_secs(5));
-    let fp = client
-        .put_file(
-            "storm",
-            &data,
-            spec,
-            block_bytes,
-            &ParallelCtx::sequential(),
-            Placement::Random,
-            &mut rng,
-        )
+    let mut client = ClusterClient::new(Arc::clone(coord))
+        .with_timeout(Duration::from_secs(5))
+        .with_fanout(ParallelCtx::sequential())
+        .with_seed(7);
+    let opts = PutOptions::new()
+        .code(&spec.to_string())
+        .block_bytes(block_bytes);
+    client
+        .put_opts("storm", &data, &opts)
         .expect("put storm file");
+    let fp = coord.file("storm").expect("placement after put");
     (data, fp)
 }
 
@@ -88,7 +84,7 @@ fn storm_rebuild_is_byte_identical_and_fan_in_capped() {
                 let mut client = ClusterClient::new(coord).with_timeout(Duration::from_secs(5));
                 let mut gets = 0usize;
                 while !stop.load(Ordering::Relaxed) {
-                    let bytes = client.get_file("storm").expect("foreground get");
+                    let bytes = client.get("storm").expect("foreground get");
                     assert!(bytes == *data, "foreground read not byte-identical");
                     gets += 1;
                 }
@@ -121,7 +117,7 @@ fn storm_rebuild_is_byte_identical_and_fan_in_capped() {
     // After the rebuild, a fresh client — planning against the updated
     // placement — still reads identical bytes.
     let mut fresh = ClusterClient::new(Arc::clone(&coord)).with_timeout(Duration::from_secs(5));
-    assert_eq!(fresh.get_file("storm").expect("post-rebuild get"), data);
+    assert_eq!(fresh.get("storm").expect("post-rebuild get"), data);
 
     if telemetry::ENABLED {
         let snap = coord.stats();
@@ -212,7 +208,7 @@ fn flapping_node_cancels_and_healthy_stripe_absorbs() {
     scheduler.shutdown();
 
     let mut client = ClusterClient::new(coord).with_timeout(Duration::from_secs(5));
-    assert_eq!(client.get_file("storm").expect("get after flap"), data);
+    assert_eq!(client.get("storm").expect("get after flap"), data);
 }
 
 /// Transient failures back off. With two nodes dead, a Carousel(4,2,3,4)
@@ -288,5 +284,5 @@ fn transient_failures_requeue_with_backoff() {
     scheduler.shutdown();
 
     let mut client = ClusterClient::new(coord).with_timeout(Duration::from_secs(5));
-    assert_eq!(client.get_file("storm").expect("get after backoff"), data);
+    assert_eq!(client.get("storm").expect("get after backoff"), data);
 }
