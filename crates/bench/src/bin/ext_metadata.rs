@@ -291,7 +291,8 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"metadata\",\n  \"smoke\": {smoke},\n  \
          \"config\": {{\"files\": {}, \"shards\": {}, \"clients\": {}, \
-         \"ops_per_client\": {}, \"mutations\": {}, \"nodes\": {NODES}}},\n  \
+         \"ops_per_client\": {}, \"mutations\": {}, \"nodes\": {NODES}, \
+         \"kernel\": \"{}\"}},\n  \
          \"place\": {{\"ops\": {}, \"secs\": {:.3}, \"ops_per_sec\": {:.0}}},\n  \
          \"read\": {{\"ops\": {reads}, \"secs\": {:.3}, \"ops_per_sec\": {:.0}, \
          \"p50_us\": {:.2}, \"p95_us\": {:.2}, \"p99_us\": {:.2}}},\n  \
@@ -303,6 +304,7 @@ fn main() {
         cfg.clients,
         cfg.ops_per_client,
         cfg.mutations,
+        gf256::kernel().name(),
         cfg.files,
         place_secs,
         place_ops_per_sec,

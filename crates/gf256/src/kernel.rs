@@ -8,7 +8,7 @@
 //! counterpart: several interchangeable [`Kernel`] implementations behind a
 //! cheap [`Copy`] handle, selected once at process startup.
 //!
-//! Three kernels are registered:
+//! Three portable kernels are always registered:
 //!
 //! * `scalar` — the textbook log/exp formulation, one table round-trip and
 //!   one modular reduction per byte. Deliberately unclever: this is the
@@ -24,10 +24,20 @@
 //!   eight shift/mask/multiply steps produce eight full GF products with no
 //!   per-byte table traffic at all.
 //!
-//! The process-wide default is `swar` (fastest on every machine this has
-//! been measured on — see `docs/PERFORMANCE.md`); set `CAROUSEL_KERNEL` to
-//! `scalar`, `split` or `swar` before startup to override, e.g. for A/B
-//! benchmarking with `ext_kernels`.
+//! On top of those, the [`simd`] module contributes vector-shuffle kernels
+//! that are registered **only when the CPU supports them**, probed once at
+//! startup with `is_x86_feature_detected!` / `is_aarch64_feature_detected!`:
+//! `ssse3` (16-byte PSHUFB split tables), `avx2` (the same scheme on
+//! 32-byte lanes) and `neon` (aarch64 `vqtbl1q_u8`). The registry
+//! ([`kernels`]) is therefore a detection-dependent slice, not a fixed
+//! array: benches, the per-kernel proptests and the child-process
+//! `CAROUSEL_KERNEL` tests automatically cover whatever the host supports.
+//!
+//! The process-wide default is the **best detected kernel**
+//! ([`detected_best`]: `avx2` > `ssse3` > `neon` > `swar`); set
+//! `CAROUSEL_KERNEL` to any registered name before startup to override,
+//! e.g. for A/B benchmarking with `ext_kernels`. An unrecognized name warns
+//! once on stderr and falls back to the detected best.
 //!
 //! # Examples
 //!
@@ -45,6 +55,8 @@ use std::sync::LazyLock;
 
 use crate::tables::{gf_mul_const, EXP, LOG, SPLIT};
 use crate::Gf256;
+
+pub mod simd;
 
 /// Bytes pushed through the multiply loops (any kernel).
 static MUL_BYTES: LazyLock<&'static telemetry::Counter> =
@@ -71,8 +83,9 @@ const FUSE_BLOCK: usize = 32 * 1024;
 /// slice lengths are already validated equal. Use through [`KernelHandle`];
 /// the trait is public so benchmarks and tests can enumerate [`kernels`].
 pub trait Kernel: Sync {
-    /// Short stable identifier (`"scalar"`, `"split"`, `"swar"`), accepted
-    /// by [`by_name`] and the `CAROUSEL_KERNEL` environment variable.
+    /// Short stable identifier (`"scalar"`, `"split"`, `"swar"`, `"ssse3"`,
+    /// `"avx2"`, `"neon"`), accepted by [`by_name`] and the
+    /// `CAROUSEL_KERNEL` environment variable.
     fn name(&self) -> &'static str;
 
     /// `dst[i] ^= c * src[i]`. Called with `c ∉ {0, 1}` and equal lengths.
@@ -83,6 +96,28 @@ pub trait Kernel: Sync {
 
     /// `buf[i] = c * buf[i]`, in place. Called with `c ∉ {0, 1}`.
     fn mul_in_place_raw(&self, c: u8, buf: &mut [u8]);
+
+    /// `dst[i] ^= Σ terms[t].0 * terms[t].1[i]` — the fused multi-row
+    /// product. Every coefficient is `∉ {0, 1}` and every slice length
+    /// equals `dst`'s (the handle strips/validates first).
+    ///
+    /// The default walks the destination in cache-sized column blocks and
+    /// accumulates every term into a block before moving on, so the block
+    /// stays L1/L2-resident no matter how many source rows contribute. The
+    /// SIMD kernels override this with a register-fused loop: the
+    /// destination is held in vector registers across *all* terms of a
+    /// column strip, so it is loaded and stored exactly once per strip.
+    fn mul_acc_rows_raw(&self, terms: &[(u8, &[u8])], dst: &mut [u8]) {
+        let len = dst.len();
+        let mut start = 0;
+        while start < len {
+            let end = usize::min(start + FUSE_BLOCK, len);
+            for &(c, src) in terms {
+                self.mul_acc_raw(c, &src[start..end], &mut dst[start..end]);
+            }
+            start = end;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -393,11 +428,12 @@ impl KernelHandle {
     /// `dst[i] ^= Σ terms[t].0 * terms[t].1[i]` — one output row of a
     /// matrix×data product.
     ///
-    /// Instead of streaming the full destination once per term, the columns
-    /// are walked in cache-sized blocks and *all* terms are accumulated into
-    /// a block before moving on, so the destination block is read and
-    /// written from L1/L2 no matter how many source rows contribute. This is
-    /// the kernel the decode/repair combine loops use.
+    /// Instead of streaming the full destination once per term, all terms
+    /// are accumulated together — cache-blocked on the portable kernels,
+    /// register-fused on the SIMD ones (see [`Kernel::mul_acc_rows_raw`]) —
+    /// so the destination is read and written from L1/L2 (or registers) no
+    /// matter how many source rows contribute. This is the kernel the
+    /// decode/repair combine loops use.
     ///
     /// # Panics
     ///
@@ -410,16 +446,31 @@ impl KernelHandle {
             DISPATCH.add(1);
             FUSED_ROWS.add(terms.len() as u64);
         }
-        let len = dst.len();
-        let mut start = 0;
-        while start < len {
-            let end = usize::min(start + FUSE_BLOCK, len);
-            let block = &mut dst[start..end];
-            for &(c, src) in terms {
-                self.mul_acc_inner(c, &src[start..end], block);
+        // Strip the handle-level fast paths once for the whole product:
+        // zero terms vanish, one terms are a plain XOR pass, and only the
+        // general coefficients reach the kernel's fused loop. XOR commutes
+        // with everything, so accumulation order does not matter.
+        let mut raw: Vec<(u8, &[u8])> = Vec::with_capacity(terms.len());
+        for &(c, src) in terms {
+            if c.is_zero() {
+                continue;
             }
-            start = end;
+            if c == Gf256::ONE {
+                if telemetry::ENABLED {
+                    XOR_BYTES.add(dst.len() as u64);
+                }
+                xor_slices(dst, src);
+            } else {
+                raw.push((c.value(), src));
+            }
         }
+        if raw.is_empty() {
+            return;
+        }
+        if telemetry::ENABLED {
+            MUL_BYTES.add((dst.len() * raw.len()) as u64);
+        }
+        self.inner.mul_acc_rows_raw(&raw, dst);
         // Zero-length destinations: still a valid (empty) product.
     }
 
@@ -466,34 +517,96 @@ static SCALAR: ScalarKernel = ScalarKernel;
 static SPLIT_KERNEL: SplitKernel = SplitKernel;
 static SWAR: SwarKernel = SwarKernel;
 
-/// Every registered kernel, scalar reference first. Benchmarks and the
-/// equivalence proptests iterate this; new kernels must be added here to be
-/// reachable (and therefore tested).
-pub fn kernels() -> [KernelHandle; 3] {
-    [
+/// The registry, built once: the three portable kernels in ascending speed
+/// order, then every SIMD kernel the CPU supports (again ascending), so the
+/// last entry is always the best detected kernel.
+static REGISTRY: LazyLock<Vec<KernelHandle>> = LazyLock::new(|| {
+    let mut v = vec![
         KernelHandle { inner: &SCALAR },
         KernelHandle {
             inner: &SPLIT_KERNEL,
         },
         KernelHandle { inner: &SWAR },
-    ]
+    ];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            v.push(KernelHandle {
+                inner: &simd::SSSE3,
+            });
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            v.push(KernelHandle { inner: &simd::AVX2 });
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            v.push(KernelHandle { inner: &simd::NEON });
+        }
+    }
+    v
+});
+
+/// Every kernel registered on this machine, scalar reference first, best
+/// detected kernel last. The portable kernels (`scalar`, `split`, `swar`)
+/// are always present; SIMD kernels appear only where runtime CPU-feature
+/// detection approved them. Benchmarks and the equivalence proptests
+/// iterate this slice, so a kernel is tested exactly where it can run.
+pub fn kernels() -> &'static [KernelHandle] {
+    &REGISTRY
+}
+
+/// The fastest kernel the CPU supports (`avx2` > `ssse3` > `neon` > `swar`
+/// in practice) — the process default unless `CAROUSEL_KERNEL` overrides.
+pub fn detected_best() -> KernelHandle {
+    *REGISTRY.last().expect("registry is never empty")
+}
+
+/// The CPU features the registry probes for, with their detection results —
+/// diagnostic data for `carousel-tool kernels` and the bench config blocks.
+/// Features irrelevant to the build architecture are reported as absent.
+pub fn detected_features() -> Vec<(&'static str, bool)> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        vec![
+            ("ssse3", std::arch::is_x86_feature_detected!("ssse3")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("neon", false),
+        ]
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        vec![
+            ("ssse3", false),
+            ("avx2", false),
+            ("neon", std::arch::is_aarch64_feature_detected!("neon")),
+        ]
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        vec![("ssse3", false), ("avx2", false), ("neon", false)]
+    }
 }
 
 /// Looks a kernel up by its stable name; `None` for unknown names.
 pub fn by_name(name: &str) -> Option<KernelHandle> {
-    kernels().into_iter().find(|k| k.name() == name)
+    kernels().iter().copied().find(|k| k.name() == name)
 }
 
 /// The process-default kernel, resolved once on first use: the value of
-/// `CAROUSEL_KERNEL` if set to a registered name, otherwise `swar`. An
-/// unrecognized value is reported on stderr once and the default is used.
+/// `CAROUSEL_KERNEL` if set to a registered name, otherwise the best
+/// detected kernel. An unrecognized value is reported on stderr once and
+/// the detected best is used.
 static DEFAULT: LazyLock<KernelHandle> = LazyLock::new(|| {
-    let fallback = KernelHandle { inner: &SWAR };
+    let fallback = detected_best();
     match std::env::var("CAROUSEL_KERNEL") {
         Ok(name) if !name.is_empty() => by_name(&name).unwrap_or_else(|| {
+            let registered: Vec<&str> = kernels().iter().map(|k| k.name()).collect();
             eprintln!(
                 "warning: CAROUSEL_KERNEL={name:?} is not a registered kernel \
-                 (expected one of scalar/split/swar); using {:?}",
+                 (expected one of {}); using detected best {:?}",
+                registered.join("/"),
                 fallback.name()
             );
             fallback
@@ -520,7 +633,19 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let names: Vec<_> = kernels().iter().map(|k| k.name()).collect();
-        assert_eq!(names, ["scalar", "split", "swar"]);
+        // The portable kernels always lead, in ascending speed order; any
+        // further entries are the detection-gated SIMD kernels.
+        assert_eq!(&names[..3], &["scalar", "split", "swar"]);
+        for extra in &names[3..] {
+            assert!(
+                ["ssse3", "avx2", "neon"].contains(extra),
+                "unexpected registered kernel {extra:?}"
+            );
+        }
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate kernel names");
         for n in names {
             assert_eq!(by_name(n).expect("registered").name(), n);
         }
@@ -532,6 +657,26 @@ mod tests {
         // Do not assert which one: CAROUSEL_KERNEL may be set in the
         // environment running the tests.
         assert!(by_name(kernel().name()).is_some());
+    }
+
+    #[test]
+    fn detected_best_is_last_and_registered() {
+        let best = detected_best();
+        assert_eq!(best.name(), kernels().last().expect("nonempty").name());
+        assert!(by_name(best.name()).is_some());
+    }
+
+    #[test]
+    fn detected_features_match_registry() {
+        // A feature reported as detected must have its kernel registered,
+        // and vice versa — the registry and the diagnostics cannot drift.
+        for (feature, detected) in detected_features() {
+            assert_eq!(
+                by_name(feature).is_some(),
+                detected,
+                "feature {feature} detection/registration mismatch"
+            );
+        }
     }
 
     #[test]

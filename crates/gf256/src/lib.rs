@@ -3,12 +3,18 @@
 //!
 //! The paper performs all coding operations as vector/matrix multiplications
 //! over GF(2⁸) (one symbol = one byte), originally via Intel ISA-L. This
-//! crate is the pure-Rust substitute: log/exp table arithmetic for scalars,
-//! a runtime-dispatched [`mod@kernel`] engine for long byte slices (scalar
-//! reference, 4-bit split-table, and 64-bit SWAR implementations behind a
-//! `Copy` [`KernelHandle`], selectable via `CAROUSEL_KERNEL`), and a dense
-//! [`Matrix`] type with Gauss-Jordan inversion plus the structured builders
-//! (Vandermonde, Cauchy, Kronecker) the code constructions need.
+//! crate is the Rust substitute: log/exp table arithmetic for scalars, a
+//! runtime-dispatched [`mod@kernel`] engine for long byte slices (scalar
+//! reference, 4-bit split-table and 64-bit SWAR portable kernels, plus
+//! SSSE3/AVX2 PSHUFB and aarch64 NEON split-table kernels registered by
+//! runtime CPU-feature detection, all behind a `Copy` [`KernelHandle`] and
+//! selectable via `CAROUSEL_KERNEL`), and a dense [`Matrix`] type with
+//! Gauss-Jordan inversion plus the structured builders (Vandermonde,
+//! Cauchy, Kronecker) the code constructions need.
+//!
+//! `unsafe` is denied crate-wide with one carve-out: the intrinsics inside
+//! [`kernel::simd`], each behind a `#[target_feature]` function whose
+//! kernel is only registered after the feature was detected.
 //!
 //! # Examples
 //!
@@ -23,7 +29,7 @@
 //! assert_eq!(m.rank(), 2);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // allowed back on only in kernel::simd (see check.sh)
 #![warn(missing_docs)]
 
 mod field;
@@ -38,5 +44,7 @@ pub mod kernel;
 pub use field::Gf256;
 pub use field_trait::Field;
 pub use gf65536::Gf65536;
-pub use kernel::{by_name, kernel, kernels, Kernel, KernelHandle};
+pub use kernel::{
+    by_name, detected_best, detected_features, kernel, kernels, Kernel, KernelHandle,
+};
 pub use matrix::{Matrix, MatrixOf};

@@ -1,7 +1,9 @@
 //! Every registered kernel must be byte-identical to the scalar log/exp
 //! reference — across random lengths, unaligned slice offsets (the SWAR
-//! kernel reads `u64` words, so word-boundary handling matters), and the
-//! aliasing in-place entry point.
+//! kernel reads `u64` words and the SIMD kernels 16/32-byte vectors, so
+//! word-boundary handling matters), and the aliasing in-place entry point.
+//! The registry is detection-dependent, so whatever SIMD kernels this host
+//! supports are swept automatically alongside the portable three.
 
 use gf256::{by_name, kernels, Gf256, KernelHandle};
 use proptest::prelude::*;
@@ -105,6 +107,72 @@ proptest! {
             let mut dst = vec![seed; len];
             k.mul_acc_rows(&terms, &mut dst[..]);
             prop_assert_eq!(&dst, &reference, "kernel {}", k.name());
+        }
+    }
+}
+
+/// Explicit vector-width boundary sweep: every length 0..=96 at every
+/// offset 0..8, per kernel and per entry point. The SIMD kernels step in
+/// 16/32-byte vectors (with 64/128-byte fused strips) and hand sub-vector
+/// heads/tails to a scalar loop, so every split point around those widths
+/// is exercised deterministically — not just whenever the proptest sampler
+/// happens to land there.
+#[test]
+fn unaligned_head_tail_boundaries() {
+    // 96 covers one-past every vector width in use (16, 32, 64) plus a
+    // full strip boundary for the 64-byte fused loops; the 128-byte AVX2
+    // strip's split point is still hit via len 96 tails inside
+    // `mul_acc_rows` (dst shorter than one strip).
+    let backing: Vec<u8> = (0..96 + 8).map(|i| (i * 37 + 5) as u8).collect();
+    for k in kernels() {
+        for c in [0x02u8, 0x1D, 0xA7] {
+            for off in 0..8usize {
+                for len in 0..=96usize {
+                    let src = &backing[off..off + len];
+
+                    let mut reference = vec![0x5Au8; len];
+                    scalar().mul_acc(Gf256::new(c), src, &mut reference[..]);
+                    let mut dst = vec![0x5Au8; len];
+                    k.mul_acc(Gf256::new(c), src, &mut dst[..]);
+                    assert_eq!(dst, reference, "{} mul_acc len={len} off={off}", k.name());
+
+                    let mut ref_mul = vec![0u8; len];
+                    scalar().mul(Gf256::new(c), src, &mut ref_mul[..]);
+                    let mut out = vec![0xEEu8; len];
+                    k.mul(Gf256::new(c), src, &mut out[..]);
+                    assert_eq!(out, ref_mul, "{} mul len={len} off={off}", k.name());
+
+                    let mut buf = src.to_vec();
+                    k.mul_in_place(Gf256::new(c), &mut buf[..]);
+                    assert_eq!(
+                        buf,
+                        ref_mul,
+                        "{} mul_in_place len={len} off={off}",
+                        k.name()
+                    );
+
+                    // The fused entry point with several general terms, so
+                    // the register-fused strip loop and its tail both run.
+                    let rows: Vec<&[u8]> = vec![src; 3];
+                    let terms: Vec<(Gf256, &[u8])> = [c, 0x53, 0xCA]
+                        .iter()
+                        .zip(rows)
+                        .map(|(&cc, row)| (Gf256::new(cc), row))
+                        .collect();
+                    let mut fused_ref = vec![0xB1u8; len];
+                    for &(cc, row) in &terms {
+                        scalar().mul_acc(cc, row, &mut fused_ref[..]);
+                    }
+                    let mut fused = vec![0xB1u8; len];
+                    k.mul_acc_rows(&terms, &mut fused[..]);
+                    assert_eq!(
+                        fused,
+                        fused_ref,
+                        "{} mul_acc_rows len={len} off={off}",
+                        k.name()
+                    );
+                }
+            }
         }
     }
 }

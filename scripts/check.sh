@@ -57,6 +57,23 @@ if [ -n "$guard_hits" ]; then
   exit 1
 fi
 
+step "unsafe guard: intrinsics stay in gf256::kernel::simd"
+# The SIMD kernels are the workspace's only sanctioned unsafe: every
+# intrinsic lives behind a #[target_feature] function in
+# crates/gf256/src/kernel/simd.rs, and kernels are registered only after
+# runtime CPU-feature detection. Nothing else may contain unsafe code
+# (attribute mentions like deny(unsafe_code) and comments are fine).
+guard_hits=$(grep -rnE '\bunsafe\b' --include='*.rs' src tests examples \
+  crates/access crates/bench crates/cluster crates/core crates/dfs crates/erasure \
+  crates/filestore crates/gf256 crates/lrc crates/mapreduce crates/msr crates/rs \
+  crates/simcore crates/telemetry crates/workloads \
+  | grep -v 'crates/gf256/src/kernel/simd\.rs' \
+  | grep -vE 'unsafe_code|:[0-9]+:\s*//' || true)
+if [ -n "$guard_hits" ]; then
+  printf 'unsafe code is confined to crates/gf256/src/kernel/simd.rs:\n%s\n' "$guard_hits" >&2
+  exit 1
+fi
+
 step "object-store guard: everything goes through the ObjectStore trait"
 # The free-standing put_file/get_file signatures are pub(crate) plumbing
 # inside the cluster client now; every consumer — tool, tests, benches,
@@ -155,6 +172,17 @@ if [ "$mode" != "fast" ]; then
   cargo run --release --offline -p carousel-bench --no-default-features --bin ext_update -- --smoke --metrics "$upd_off"
   cargo run --release --offline -p carousel-bench --no-default-features --bin jsonl_check -- "$upd_off"
   rm -f "$upd_off"
+fi
+
+step "cross-compile gate: aarch64 NEON kernel path"
+# The NEON kernel cannot run on x86 CI, but it must at least keep
+# compiling; `cargo check` for the aarch64 target catches intrinsic or
+# cfg rot. Falls back with a warning when the target's std isn't
+# installed (e.g. a fresh toolchain without `rustup target add`).
+if rustup target list --installed 2>/dev/null | grep -q '^aarch64-unknown-linux-gnu$'; then
+  cargo check -p carousel-gf256 --target aarch64-unknown-linux-gnu --offline -q
+else
+  echo "warning: aarch64-unknown-linux-gnu target not installed; skipping NEON cross-check"
 fi
 
 step "build ext_cluster (real-TCP experiment binary)"

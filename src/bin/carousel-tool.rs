@@ -19,6 +19,7 @@
 //! carousel-tool manifest compact <manifest>
 //! carousel-tool stats <addr>
 //! carousel-tool repair-status <addr>
+//! carousel-tool kernels
 //! ```
 //!
 //! The cluster commands run against a *live* TCP cluster: `serve`
@@ -70,6 +71,7 @@ fn main() -> ExitCode {
             eprintln!("  carousel-tool manifest compact <manifest>");
             eprintln!("  carousel-tool stats <addr>");
             eprintln!("  carousel-tool repair-status <addr>");
+            eprintln!("  carousel-tool kernels");
             ExitCode::FAILURE
         }
     }
@@ -93,6 +95,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "manifest" => manifest_cmd(&args[1..]),
         "stats" => stats_cluster(&args[1..]),
         "repair-status" => repair_status_cluster(&args[1..]),
+        "kernels" => kernels_cmd(&args[1..]),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -776,6 +779,54 @@ fn repair_status_cluster(args: &[String]) -> Result<(), String> {
     println!("blocks rebuilt:  {}", report.blocks_rebuilt);
     println!("helper bytes:    {}", report.helper_bytes);
     println!("wire bytes:      {}", report.wire_bytes);
+    Ok(())
+}
+
+/// `kernels` — prints the GF(2⁸) kernel registry: every kernel runtime
+/// CPU-feature detection registered on this machine, the probed features,
+/// which kernel is the active process default, and why (detected best vs a
+/// `CAROUSEL_KERNEL` override).
+fn kernels_cmd(args: &[String]) -> Result<(), String> {
+    if let Some(flag) = args.first() {
+        return Err(format!("kernels: unknown flag {flag:?}"));
+    }
+    let active = gf256::kernel();
+    let best = gf256::detected_best();
+    println!("registered kernels (ascending speed order):");
+    for k in gf256::kernels() {
+        let mut notes = Vec::new();
+        if k.name() == "scalar" {
+            notes.push("reference");
+        }
+        if k.name() == best.name() {
+            notes.push("detected best");
+        }
+        if k.name() == active.name() {
+            notes.push("active default");
+        }
+        let notes = if notes.is_empty() {
+            String::new()
+        } else {
+            format!("  ({})", notes.join(", "))
+        };
+        println!("  {}{notes}", k.name());
+    }
+    println!("detected CPU features:");
+    for (feature, on) in gf256::detected_features() {
+        println!("  {feature}: {}", if on { "yes" } else { "no" });
+    }
+    match std::env::var("CAROUSEL_KERNEL") {
+        Ok(name) if !name.is_empty() => {
+            println!(
+                "CAROUSEL_KERNEL={name:?} -> active kernel {:?}",
+                active.name()
+            );
+        }
+        _ => println!(
+            "CAROUSEL_KERNEL unset -> active kernel {:?} (detected best)",
+            active.name()
+        ),
+    }
     Ok(())
 }
 

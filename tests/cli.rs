@@ -207,6 +207,69 @@ fn unknown_commands_fail_with_usage() {
     assert!(String::from_utf8_lossy(&output.stderr).contains("usage"));
 }
 
+/// `kernels` prints every registered kernel, the probed CPU features and
+/// the active default — and honors the `CAROUSEL_KERNEL` override,
+/// including warn-and-fallback to the detected best for unknown names.
+#[test]
+fn kernels_subcommand_reports_registry_and_dispatch() {
+    let output = tool().args(["kernels"]).output().unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout).to_string();
+    for k in gf256::kernels() {
+        assert!(
+            text.contains(k.name()),
+            "kernel {} missing:\n{text}",
+            k.name()
+        );
+    }
+    for feature in ["ssse3", "avx2", "neon"] {
+        assert!(text.contains(feature), "feature {feature} missing:\n{text}");
+    }
+    assert!(text.contains("detected best"), "{text}");
+    assert!(
+        text.contains(&format!(
+            "active kernel {:?}",
+            gf256::detected_best().name()
+        )),
+        "{text}"
+    );
+
+    // A pinned override becomes the active default...
+    let output = tool()
+        .args(["kernels"])
+        .env("CAROUSEL_KERNEL", "scalar")
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout).to_string();
+    assert!(text.contains("active kernel \"scalar\""), "{text}");
+
+    // ...and an unknown name warns and falls back to the detected best.
+    let output = tool()
+        .args(["kernels"])
+        .env("CAROUSEL_KERNEL", "not-a-kernel")
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let out = String::from_utf8_lossy(&output.stdout).to_string();
+    let err = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(err.contains("not a registered kernel"), "{err}");
+    assert!(
+        err.contains(&format!(
+            "using detected best {:?}",
+            gf256::detected_best().name()
+        )),
+        "{err}"
+    );
+    assert!(
+        out.contains(&format!(
+            "active kernel {:?}",
+            gf256::detected_best().name()
+        )),
+        "{out}"
+    );
+}
+
 /// Full cluster workflow through the CLI: seven `serve` datanode
 /// *processes*, then `put` / `get` / kill-a-node / degraded `get` /
 /// `repair` / `get` — asserting byte-identical output each time. Seven
